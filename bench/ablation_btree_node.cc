@@ -1,0 +1,46 @@
+// Ablation: B+tree node size (paper Sec. 3.1 discusses the trade-off:
+// smaller nodes span fewer cachelines but deepen the tree). Sweeps the
+// node size on the windowed INLJ at R = 100 GiB.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"node bytes", "tree height", "Q/s",
+                      "host random read"});
+  for (uint32_t node_bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+    cfg.index_type = index::IndexType::kBTree;
+    cfg.btree.node_bytes = node_bytes;
+    cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+    cfg.inlj.window_tuples = uint64_t{4} << 20;
+    auto exp = core::Experiment::Create(cfg);
+    if (!exp.ok()) {
+      table.AddRow({std::to_string(node_bytes), "-", "OOM", "-"});
+      continue;
+    }
+    const auto& btree =
+        static_cast<const index::BTreeIndex&>((*exp)->index());
+    sim::RunResult res = (*exp)->RunInlj();
+    table.AddRow(
+        {std::to_string(node_bytes), std::to_string(btree.height()),
+         TablePrinter::Num(res.qps(), 3),
+         FormatBytes(static_cast<double>(res.counters.host_random_read_bytes))});
+  }
+
+  std::printf("Ablation — B+tree node size, windowed INLJ, R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

@@ -1,0 +1,47 @@
+// Ablation: concurrent kernel execution (paper Sec. 5.1). The windowed
+// pipeline runs the partition and join kernels on two CUDA streams so
+// window t's partitioning overlaps window t-1's join; this ablation
+// measures the pipeline with and without that overlap across window
+// sizes.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"window (MiB)", "overlapped Q/s", "serial Q/s",
+                      "speedup"});
+  for (int log_w = 18; log_w <= 26; log_w += 2) {
+    const uint64_t window = uint64_t{1} << log_w;
+    double qps[2] = {0, 0};
+    for (int overlap = 0; overlap < 2; ++overlap) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = index::IndexType::kRadixSpline;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = window;
+      cfg.inlj.overlap = overlap == 1;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) continue;
+      qps[overlap] = (*exp)->RunInlj().qps();
+    }
+    table.AddRow({TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),
+                  TablePrinter::Num(qps[1], 3), TablePrinter::Num(qps[0], 3),
+                  TablePrinter::Num(qps[1] / qps[0], 2) + "x"});
+  }
+
+  std::printf("Ablation — concurrent kernel execution (transfer/compute "
+              "overlap), RadixSpline INLJ, R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

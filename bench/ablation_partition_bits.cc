@@ -1,0 +1,54 @@
+// Ablation: how many radix bits to partition the lookup keys on (paper
+// Sec. 4.2 discusses the bit-range choice; Sec. 4.3.1 uses 2048
+// partitions). Sweeps the partition count on the windowed INLJ at
+// R = 100 GiB (beyond the TLB range, so partitioning is load-bearing).
+//
+// Expectation: too few partitions leave each partition's key range wider
+// than the TLB can cover (translation requests persist) and forfeit the
+// intra-partition cache sharing; beyond ~2^11 the benefit saturates.
+// Thinned sampling is forced so the TLB working set of wide partitions
+// stays faithful (range-restricted samples would hide it).
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"partitions", "binary Q/s", "binary tr/key",
+                      "radix_spline Q/s", "radix_spline tr/key"});
+  for (int bits = 1; bits <= 13; bits += 2) {
+    std::vector<std::string> row{std::to_string(uint64_t{1} << bits)};
+    for (index::IndexType type : {index::IndexType::kBinarySearch,
+                                  index::IndexType::kRadixSpline}) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      cfg.inlj.max_partition_bits = bits;
+      cfg.sample_scheme =
+          core::ExperimentConfig::SampleSchemeOverride::kThinned;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) continue;
+      sim::RunResult res = (*exp)->RunInlj();
+      row.push_back(TablePrinter::Num(res.qps(), 3));
+      row.push_back(TablePrinter::Num(res.translations_per_key(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Ablation — radix partition count, windowed INLJ, "
+              "R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

@@ -1,0 +1,50 @@
+// Ablation: Harmonia's cooperative sub-warp traversal (paper Sec. 2.2 /
+// 3.3.1). Sweeps the sub-warp width from 1 (each lane traverses alone,
+// like a plain per-thread B+tree) to 32 (the whole warp cooperates on one
+// key at a time) on the windowed INLJ.
+//
+// Run on the *unpartitioned* INLJ beyond the TLB range, where the width
+// matters most: narrow sub-warps keep 32 probe keys in flight per warp
+// (32 divergent traversal paths thrash the shared TLB), while wide
+// sub-warps process few keys at a time and amortize translations — the
+// effect the paper credits for Harmonia's low Fig. 4 counts. Node
+// traffic itself is width-independent (every node line is read once per
+// visited node).
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"sub-warp width", "Q/s", "host random read",
+                      "translations/key"});
+  for (int width : {1, 2, 4, 8, 16, 32}) {
+    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+    cfg.index_type = index::IndexType::kHarmonia;
+    cfg.harmonia.sub_warp_width = width;
+    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+    auto exp = core::Experiment::Create(cfg);
+    if (!exp.ok()) continue;
+    sim::RunResult res = (*exp)->RunInlj();
+    table.AddRow(
+        {std::to_string(width), TablePrinter::Num(res.qps(), 3),
+         FormatBytes(static_cast<double>(res.counters.host_random_read_bytes)),
+         TablePrinter::Num(res.translations_per_key(), 3)});
+  }
+
+  std::printf("Ablation — Harmonia sub-warp width, unpartitioned INLJ, "
+              "R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

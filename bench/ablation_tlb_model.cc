@@ -1,0 +1,47 @@
+// Simulator ablation: the TLB interference model (DESIGN.md Sec. 2 and
+// GpuSpec::tlb_co_resident_warps). The warp executor is sequential, so
+// inter-warp TLB churn is modeled explicitly; this ablation shows how the
+// co-resident warp count shapes the Fig. 3/4 cliff — with 0 the cliff is
+// far too shallow (only intra-warp thrashing remains), and the effect
+// saturates beyond ~64 warps.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;  // beyond 32 GiB
+
+  TablePrinter table({"co-resident warps", "binary tr/key", "binary Q/s",
+                      "harmonia tr/key", "harmonia Q/s"});
+  for (int warps : {0, 4, 16, 64, 256}) {
+    std::vector<std::string> row{std::to_string(warps)};
+    for (index::IndexType type : {index::IndexType::kBinarySearch,
+                                  index::IndexType::kHarmonia}) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.platform.gpu.tlb_co_resident_warps = warps;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) continue;
+      sim::RunResult res = (*exp)->RunInlj();
+      row.push_back(TablePrinter::Num(res.translations_per_key(), 2));
+      row.push_back(TablePrinter::Num(res.qps(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Ablation — TLB co-resident-warp interference model, naive "
+              "INLJ, R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

@@ -1,0 +1,89 @@
+#ifndef GPUJOIN_BENCH_BENCH_COMMON_H_
+#define GPUJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace gpujoin::bench {
+
+// The paper's R-axis (Sec. 3.2): 2^26 .. 2^33.9 tuples (0.5 - 120 GiB),
+// with the 111 GiB point the text quotes numbers for.
+inline std::vector<uint64_t> PaperRSizes() {
+  return {
+      uint64_t{1} << 26,          // 0.5 GiB
+      uint64_t{1} << 27,          // 1 GiB
+      uint64_t{1} << 28,          // 2 GiB
+      uint64_t{1} << 29,          // 4 GiB
+      uint64_t{1} << 30,          // 8 GiB
+      uint64_t{1} << 31,          // 16 GiB
+      uint64_t{1} << 32,          // 32 GiB
+      uint64_t{3} << 31,          // 48 GiB
+      uint64_t{1} << 33,          // 64 GiB
+      uint64_t{5} << 31,          // 80 GiB
+      uint64_t{14898093260},      // 111 GiB
+      uint64_t{16106127360},      // 120 GiB
+  };
+}
+
+inline std::string GiBStr(uint64_t tuples) {
+  return TablePrinter::Num(
+      static_cast<double>(tuples) * 8.0 / static_cast<double>(kGiB), 1);
+}
+
+inline const std::vector<index::IndexType>& AllIndexTypes() {
+  static const std::vector<index::IndexType> kTypes = {
+      index::IndexType::kBTree,
+      index::IndexType::kBinarySearch,
+      index::IndexType::kHarmonia,
+      index::IndexType::kRadixSpline,
+  };
+  return kTypes;
+}
+
+// Common flags for the figure benches. Returns false if the process
+// should exit (help requested / parse error).
+inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
+  flags.DefineInt64("s_sample", int64_t{1} << 19,
+                    "simulated probe sample size (tuples)");
+  flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
+  flags.DefineInt64("seed", 1, "workload seed");
+  Status s = flags.Parse(argc, argv);
+  if (!s.ok()) {
+    if (s.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    }
+    return false;
+  }
+  return true;
+}
+
+inline void PrintTable(const TablePrinter& table, const Flags& flags) {
+  if (flags.GetBool("csv")) {
+    table.PrintCsv(stdout);
+  } else {
+    table.Print(stdout);
+  }
+}
+
+// Builds the experiment config shared by the paper's experiments
+// (Sec. 3.2 defaults).
+inline core::ExperimentConfig PaperConfig(const Flags& flags,
+                                          uint64_t r_tuples) {
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = r_tuples;
+  cfg.s_tuples = uint64_t{1} << 26;
+  cfg.s_sample = static_cast<uint64_t>(flags.GetInt64("s_sample"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  return cfg;
+}
+
+}  // namespace gpujoin::bench
+
+#endif  // GPUJOIN_BENCH_BENCH_COMMON_H_

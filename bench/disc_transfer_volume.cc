@@ -1,0 +1,75 @@
+// Reproduces the Sec. 6 discussion measurements: the interconnect
+// transfer volume of the windowed INLJ vs the hash join's table scan
+// (the index reduces the volume "by up to 12x"), and the naive INLJ's
+// TLB-induced throughput drop factor (up to 16.7x).
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  TablePrinter volume({"R (GiB)", "index", "INLJ transfer", "hash join "
+                       "transfer", "reduction"});
+  TablePrinter drop({"index", "Q/s @16GiB (naive)", "Q/s @120GiB (naive)",
+                     "drop factor"});
+
+  for (uint64_t r_tuples :
+       {uint64_t{1} << 32, uint64_t{14898093260}, uint64_t{16106127360}}) {
+    for (index::IndexType type : AllIndexTypes()) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) continue;
+      sim::RunResult inlj = (*exp)->RunInlj();
+      sim::RunResult hj = (*exp)->RunHashJoin().value();
+      volume.AddRow(
+          {GiBStr(r_tuples), index::IndexTypeName(type),
+           FormatBytes(static_cast<double>(inlj.counters.interconnect_bytes())),
+           FormatBytes(static_cast<double>(hj.counters.interconnect_bytes())),
+           TablePrinter::Num(
+               static_cast<double>(hj.counters.interconnect_bytes()) /
+                   static_cast<double>(inlj.counters.interconnect_bytes()),
+               1) + "x"});
+    }
+  }
+
+  for (index::IndexType type : AllIndexTypes()) {
+    core::ExperimentConfig below = PaperConfig(flags, uint64_t{1} << 31);
+    below.index_type = type;
+    below.inlj.mode = core::InljConfig::PartitionMode::kNone;
+    auto exp_below = core::Experiment::Create(below);
+
+    core::ExperimentConfig above = PaperConfig(flags, uint64_t{16106127360});
+    above.index_type = type;
+    above.inlj.mode = core::InljConfig::PartitionMode::kNone;
+    auto exp_above = core::Experiment::Create(above);
+
+    if (!exp_below.ok() || !exp_above.ok()) {
+      drop.AddRow({index::IndexTypeName(type), "-", "OOM", "-"});
+      continue;
+    }
+    const double q_below = (*exp_below)->RunInlj().qps();
+    const double q_above = (*exp_above)->RunInlj().qps();
+    drop.AddRow({index::IndexTypeName(type), TablePrinter::Num(q_below, 3),
+                 TablePrinter::Num(q_above, 3),
+                 TablePrinter::Num(q_below / q_above, 1) + "x"});
+  }
+
+  std::printf("Sec. 6 — transfer volume: windowed INLJ vs hash-join scan\n");
+  PrintTable(volume, flags);
+  std::printf("\nSec. 6 — naive INLJ throughput drop across the TLB "
+              "boundary\n");
+  PrintTable(drop, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

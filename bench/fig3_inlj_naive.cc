@@ -1,0 +1,64 @@
+// Reproduces Fig. 3: query throughput of the textbook (unpartitioned)
+// INLJ for all four index structures vs the hash-join baseline, scaling
+// R from 0.5 to 120 GiB with |S| fixed at 2^26 tuples.
+//
+// Expected shape (paper Sec. 3.3.1): the INLJs collapse once R exceeds
+// the GPU's 32 GiB TLB range; the hash join declines smoothly with the
+// growing table-scan volume and stays on top.
+
+#include "bench/bench_common.h"
+
+#include "core/experiment.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  TablePrinter table({"R (GiB)", "selectivity", "btree Q/s", "binary Q/s",
+                      "harmonia Q/s", "radix_spline Q/s", "hash_join Q/s"});
+
+  for (uint64_t r_tuples : PaperRSizes()) {
+    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+
+    std::vector<std::string> row;
+    row.push_back(GiBStr(r_tuples));
+    row.push_back(TablePrinter::Num(
+        100.0 * static_cast<double>(cfg.s_tuples) /
+            static_cast<double>(r_tuples),
+        2) + "%");
+
+    sim::RunResult hj;
+    bool have_hj = false;
+    for (index::IndexType type : AllIndexTypes()) {
+      cfg.index_type = type;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) {
+        // B+tree / Harmonia exceed the machine's 256 GiB CPU memory at
+        // the largest R (paper Sec. 3.2: "size limit of R is reduced").
+        row.push_back("OOM");
+        continue;
+      }
+      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+      if (!have_hj) {
+        hj = (*exp)->RunHashJoin().value();
+        have_hj = true;
+      }
+    }
+    row.push_back(TablePrinter::Num(hj.qps(), 3));
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Fig. 3 — INLJ (no partitioning) vs hash join, V100 + "
+              "NVLink 2.0, |S| = 2^26\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

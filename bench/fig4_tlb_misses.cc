@@ -1,0 +1,48 @@
+// Reproduces Fig. 4: GPU address translation requests per lookup key for
+// the unpartitioned INLJ, scaling R.
+//
+// Expected shape (paper Sec. 3.3.2): near zero below the 32 GiB TLB
+// range, a sharp spike beyond it; binary search worst, Harmonia best;
+// tree-based indexes spike a data point earlier (their persistent state
+// adds to the working set).
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  TablePrinter table({"R (GiB)", "btree tr/key", "binary tr/key",
+                      "harmonia tr/key", "radix_spline tr/key"});
+
+  for (uint64_t r_tuples : PaperRSizes()) {
+    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+
+    std::vector<std::string> row{GiBStr(r_tuples)};
+    for (index::IndexType type : AllIndexTypes()) {
+      cfg.index_type = type;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      row.push_back(
+          TablePrinter::Num((*exp)->RunInlj().translations_per_key(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Fig. 4 — address translation requests per lookup "
+              "(unpartitioned INLJ)\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

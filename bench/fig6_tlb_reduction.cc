@@ -1,0 +1,56 @@
+// Reproduces Fig. 6: the percentage of address translation requests
+// eliminated by partitioning the lookup keys, relative to Fig. 4.
+//
+// Expected shape (paper Sec. 4.3.2): ~100% at and beyond the 32 GiB TLB
+// boundary; tree-based indexes see the improvement a data point earlier.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  TablePrinter table({"R (GiB)", "btree", "binary", "harmonia",
+                      "radix_spline"});
+
+  for (uint64_t r_tuples : PaperRSizes()) {
+    std::vector<std::string> row{GiBStr(r_tuples)};
+    for (index::IndexType type : AllIndexTypes()) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto naive = core::Experiment::Create(cfg);
+      if (!naive.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      const double before = (*naive)->RunInlj().translations_per_key();
+
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
+      auto part = core::Experiment::Create(cfg);
+      const double after = (*part)->RunInlj().translations_per_key();
+
+      if (before <= 1e-9) {
+        row.push_back("-");  // nothing to eliminate below the TLB range
+      } else {
+        row.push_back(
+            TablePrinter::Num(100.0 * (before - after) / before, 1) + "%");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Fig. 6 — translation requests eliminated by partitioning "
+              "(%% vs Fig. 4)\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

@@ -1,0 +1,52 @@
+// Reproduces Fig. 7: impact of the tumbling-window size on windowed-
+// partitioning INLJ throughput, with R fixed at 100 GiB.
+//
+// Expected shape (paper Sec. 5.2.1): throughput stays within ~2x across
+// window sizes 2^18..2^26 tuples (2-512 MiB); small windows (4-52 MiB)
+// are best for the RadixSpline; binary search and the B+tree vary little.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  // 100 GiB of 8-byte keys.
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"window (tuples)", "window (MiB)", "btree Q/s",
+                      "binary Q/s", "harmonia Q/s", "radix_spline Q/s"});
+
+  for (int log_w = 18; log_w <= 26; ++log_w) {
+    const uint64_t window = uint64_t{1} << log_w;
+    std::vector<std::string> row{
+        "2^" + std::to_string(log_w),
+        TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0)};
+    for (index::IndexType type : AllIndexTypes()) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = window;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Fig. 7 — windowed partitioning: window size vs Q/s, "
+              "R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

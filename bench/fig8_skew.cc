@@ -1,0 +1,64 @@
+// Reproduces Fig. 8: query throughput under Zipf-skewed lookup keys
+// (exponents 0..1.75), windowed INLJ with a 32 MiB window, R = 100 GiB.
+//
+// Expected shape (paper Sec. 5.2.2): INLJ throughput *increases* for
+// exponents above 1.0 (hot keys hit the GPU caches); the hash join
+// degenerates — its multi-value insert chains grow quadratically and the
+// paper terminated the run after 10 hours (printed as DNF here).
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+constexpr double kDnfSeconds = 3600;  // report DNF beyond one hour
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
+
+  TablePrinter table({"zipf", "btree Q/s", "binary Q/s", "harmonia Q/s",
+                      "radix_spline Q/s", "hash_join Q/s"});
+
+  for (double zipf : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
+    std::vector<std::string> row{TablePrinter::Num(zipf, 2)};
+    sim::RunResult hj;
+    bool have_hj = false;
+    for (index::IndexType type : AllIndexTypes()) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.zipf_exponent = zipf;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;  // 32 MiB (Sec. 5.2.2)
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+      if (!have_hj) {
+        hj = (*exp)->RunHashJoin().value();
+        have_hj = true;
+      }
+    }
+    if (hj.seconds > kDnfSeconds) {
+      row.push_back("DNF (" +
+                    TablePrinter::Num(hj.seconds / 3600.0, 1) + " h)");
+    } else {
+      row.push_back(TablePrinter::Num(hj.qps(), 3));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Fig. 8 — Zipf-skewed lookup keys, windowed INLJ (32 MiB "
+              "window), R = 100 GiB\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

@@ -1,0 +1,101 @@
+// Reproduces Fig. 9: windowed-partitioning INLJ (RadixSpline and
+// Harmonia, the two fastest variants) vs the hash join on two platforms —
+// V100 + NVLink 2.0 and A100 + PCI-e 4.0 — scaling R, plus the derived
+// INLJ/hash-join crossover points.
+//
+// Expected shape (paper Sec. 5.2.3): the hash join is ~1.7x faster on the
+// A100 (faster GPU memory); the crossover moves from ~6.2 GiB (8.0%
+// selectivity) on NVLink to ~13.9 GiB (3.6%) on PCI-e, because PCI-e
+// handles cacheline gathers worse.
+
+#include "bench/bench_common.h"
+
+namespace gpujoin::bench {
+namespace {
+
+struct Series {
+  std::vector<double> r_gib;
+  std::vector<double> inlj_qps;   // best INLJ (RadixSpline)
+  std::vector<double> hj_qps;
+};
+
+// Linear interpolation of the R size where the two Q/s curves cross.
+double CrossoverGiB(const Series& s) {
+  for (size_t i = 1; i < s.r_gib.size(); ++i) {
+    const double d0 = s.inlj_qps[i - 1] - s.hj_qps[i - 1];
+    const double d1 = s.inlj_qps[i] - s.hj_qps[i];
+    if (d0 < 0 && d1 >= 0) {
+      const double t = d0 / (d0 - d1);
+      return s.r_gib[i - 1] + t * (s.r_gib[i] - s.r_gib[i - 1]);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const std::vector<sim::PlatformSpec> platforms = {sim::V100NvLink2(),
+                                                    sim::A100PciE4()};
+
+  for (const auto& platform : platforms) {
+    TablePrinter table({"R (GiB)", "selectivity", "radix_spline Q/s",
+                        "harmonia Q/s", "hash_join Q/s"});
+    Series series;
+    for (uint64_t r_tuples : PaperRSizes()) {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.platform = platform;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;  // 32 MiB (Sec. 5.2.3)
+
+      std::vector<std::string> row;
+      row.push_back(GiBStr(r_tuples));
+      const double sel = 100.0 * static_cast<double>(cfg.s_tuples) /
+                         static_cast<double>(r_tuples);
+      row.push_back(TablePrinter::Num(sel, 2) + "%");
+
+      double rs_qps = 0;
+      double hj_qps = 0;
+      for (index::IndexType type : {index::IndexType::kRadixSpline,
+                                    index::IndexType::kHarmonia}) {
+        cfg.index_type = type;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        const double qps = (*exp)->RunInlj().qps();
+        row.push_back(TablePrinter::Num(qps, 3));
+        if (type == index::IndexType::kRadixSpline) {
+          rs_qps = qps;
+          hj_qps = (*exp)->RunHashJoin().value().qps();
+        }
+      }
+      row.push_back(TablePrinter::Num(hj_qps, 3));
+      table.AddRow(std::move(row));
+
+      series.r_gib.push_back(static_cast<double>(r_tuples) * 8 /
+                             static_cast<double>(kGiB));
+      series.inlj_qps.push_back(rs_qps);
+      series.hj_qps.push_back(hj_qps);
+    }
+
+    std::printf("Fig. 9 — %s\n", platform.name.c_str());
+    PrintTable(table, flags);
+    const double cross = CrossoverGiB(series);
+    if (cross > 0) {
+      std::printf("INLJ (RadixSpline) overtakes the hash join at R ~ %.1f "
+                  "GiB (selectivity %.1f%%)\n\n",
+                  cross, 100.0 * 512.0 / 1024.0 / cross);
+    } else {
+      std::printf("no crossover in the measured range\n\n");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

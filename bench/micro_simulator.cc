@@ -1,0 +1,178 @@
+// Microbenchmarks (google-benchmark) of the simulator's own primitives:
+// how fast the host machine executes simulated cache/TLB accesses, warp
+// gathers, index lookups, partitioning and workload generation. These
+// bound how large a probe sample the figure benches can afford — they
+// measure the *simulator*, not the simulated GPU.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "index/binary_search.h"
+#include "index/btree.h"
+#include "index/harmonia.h"
+#include "index/radix_spline.h"
+#include "join/multi_value_hash_table.h"
+#include "mem/address_space.h"
+#include "partition/radix_partitioner.h"
+#include "sim/cache.h"
+#include "sim/gpu.h"
+#include "sim/tlb.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+#include "workload/zipf.h"
+
+namespace gpujoin {
+namespace {
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache(6 * kMiB, 128, 16);
+  Xoshiro256 rng(1);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += cache.Access(rng.NextBounded(1 << 20));
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TlbAccess(benchmark::State& state) {
+  sim::Tlb tlb(32 * kGiB, kGiB, 8);
+  Xoshiro256 rng(1);
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += tlb.Access(rng.NextBounded(128));
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_TlbAccess);
+
+void BM_WarpGather(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region region =
+      space.Reserve(uint64_t{64} * kGiB, mem::MemKind::kHost, "r");
+  sim::MemoryModel model(&space, sim::TeslaV100());
+  Xoshiro256 rng(1);
+  std::array<mem::VirtAddr, 32> addrs{};
+  for (auto _ : state) {
+    for (auto& a : addrs) {
+      a = region.base + rng.NextBounded(region.size - 8);
+    }
+    model.Gather(addrs.data(), ~0u, 8, sim::AccessType::kRead);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_WarpGather);
+
+void BM_ZipfSample(benchmark::State& state) {
+  workload::ZipfSampler zipf(uint64_t{1} << 34, state.range(0) / 100.0);
+  Xoshiro256 rng(1);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += zipf.Sample(rng);
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_ZipfSample)->Arg(0)->Arg(100)->Arg(175);
+
+template <typename MakeIndexFn>
+void IndexLookupBench(benchmark::State& state, MakeIndexFn make_index) {
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  workload::DenseKeyColumn column(&space, uint64_t{1} << 30);
+  auto index = make_index(&space, &column);
+
+  Xoshiro256 rng(1);
+  std::array<workload::Key, 32> keys{};
+  std::array<uint64_t, 32> pos{};
+  for (auto _ : state) {
+    for (auto& k : keys) {
+      k = column.key_at(rng.NextBounded(column.size()));
+    }
+    gpu.RunKernel("lookup", 32, [&](sim::Warp& warp) {
+      index->LookupWarp(warp, keys.data(), warp.full_mask(), pos.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+void BM_LookupBinarySearch(benchmark::State& state) {
+  IndexLookupBench(state, [](mem::AddressSpace*,
+                             const workload::KeyColumn* column) {
+    return std::make_unique<index::BinarySearchIndex>(column);
+  });
+}
+BENCHMARK(BM_LookupBinarySearch);
+
+void BM_LookupBTree(benchmark::State& state) {
+  IndexLookupBench(state, [](mem::AddressSpace* space,
+                             const workload::KeyColumn* column) {
+    return std::make_unique<index::BTreeIndex>(space, column);
+  });
+}
+BENCHMARK(BM_LookupBTree);
+
+void BM_LookupHarmonia(benchmark::State& state) {
+  IndexLookupBench(state, [](mem::AddressSpace* space,
+                             const workload::KeyColumn* column) {
+    return std::make_unique<index::HarmoniaIndex>(space, column);
+  });
+}
+BENCHMARK(BM_LookupHarmonia);
+
+void BM_LookupRadixSpline(benchmark::State& state) {
+  IndexLookupBench(state, [](mem::AddressSpace* space,
+                             const workload::KeyColumn* column) {
+    return index::RadixSplineIndex::Build(space, column);
+  });
+}
+BENCHMARK(BM_LookupRadixSpline);
+
+void BM_RadixPartition(benchmark::State& state) {
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  const uint64_t n = 1 << 16;
+  std::vector<workload::Key> keys(n);
+  Xoshiro256 rng(1);
+  for (auto& k : keys) {
+    k = static_cast<workload::Key>(rng.NextBounded(uint64_t{1} << 30));
+  }
+  mem::Region src = space.Reserve(n * 8, mem::MemKind::kHost, "src");
+  partition::RadixPartitioner partitioner(
+      partition::RadixPartitionSpec{.bits = 11, .shift = 19});
+  for (auto _ : state) {
+    auto out = partitioner.Partition(gpu, keys.data(), n, src.base, 0,
+                                     nullptr);
+    benchmark::DoNotOptimize(out.offsets.back());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RadixPartition);
+
+void BM_HashTableInsert(benchmark::State& state) {
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  join::MultiValueHashTable table(&space, uint64_t{1} << 22,
+                                  uint64_t{1} << 22);
+  Xoshiro256 rng(1);
+  std::array<workload::Key, 32> keys{};
+  std::array<uint64_t, 32> values{};
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      keys[i] = static_cast<workload::Key>(rng.Next() >> 16);
+      values[i] = i;
+    }
+    gpu.RunKernel("insert", 32, [&](sim::Warp& warp) {
+      table.InsertWarp(warp, keys.data(), values.data(), warp.full_mask());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_HashTableInsert);
+
+}  // namespace
+}  // namespace gpujoin
+
+BENCHMARK_MAIN();

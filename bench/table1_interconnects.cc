@@ -1,0 +1,42 @@
+// Reproduces Table 1: overview of interconnect receive bandwidth, plus the
+// achievable-rate model parameters this simulator derives from them.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/specs.h"
+
+namespace gpujoin::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+
+  const std::vector<std::pair<std::string, sim::InterconnectSpec>> rows = {
+      {"various", sim::PciE4()},
+      {"various", sim::PciE5()},
+      {"AMD MI250X", sim::InfinityFabric3()},
+      {"NVIDIA V100", sim::NvLink2()},
+      {"NVIDIA GH200", sim::NvLinkC2C()},
+  };
+
+  TablePrinter table({"GPU", "Interconnect", "Bandwidth (GB/s)",
+                      "model seq (GB/s)", "model random (GB/s)",
+                      "translation (us)"});
+  for (const auto& [gpu, ic] : rows) {
+    table.AddRow({gpu, ic.name, TablePrinter::Num(ic.peak_bandwidth / 1e9, 0),
+                  TablePrinter::Num(ic.seq_bandwidth / 1e9, 0),
+                  TablePrinter::Num(ic.random_bandwidth / 1e9, 0),
+                  TablePrinter::Num(ic.translation_latency * 1e6, 1)});
+  }
+
+  std::printf("Table 1 — interconnect receive bandwidth\n");
+  PrintTable(table, flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

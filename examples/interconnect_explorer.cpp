@@ -1,0 +1,57 @@
+// Scenario: the same selective join on three generations of hardware —
+// A100 over PCI-e 4.0, V100 over NVLink 2.0, and a GH200 with NVLink C2C
+// (Table 1). Shows how the interconnect's random-access capability, not
+// its headline bandwidth alone, determines whether out-of-core index
+// lookups are viable (the paper's Sec. 5.2.3 / Table 1 discussion).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+using namespace gpujoin;
+
+int main() {
+  const uint64_t r_tuples = uint64_t{1} << 33;  // 64 GiB
+
+  std::printf("workload: 2^26 probes into a 64 GiB RadixSpline-indexed "
+              "relation in CPU memory\n\n");
+
+  TablePrinter table({"platform", "interconnect", "peak GB/s", "INLJ Q/s",
+                      "hash join Q/s", "INLJ speedup"});
+
+  for (const sim::PlatformSpec& platform :
+       {sim::A100PciE4(), sim::V100NvLink2(), sim::GH200C2C()}) {
+    core::ExperimentConfig config;
+    config.platform = platform;
+    config.r_tuples = r_tuples;
+    config.s_sample = uint64_t{1} << 18;
+    config.index_type = index::IndexType::kRadixSpline;
+    config.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+    config.inlj.window_tuples = uint64_t{4} << 20;
+
+    auto experiment = core::Experiment::Create(config);
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
+      return 1;
+    }
+    sim::RunResult inlj = (*experiment)->RunInlj();
+    sim::RunResult hj = (*experiment)->RunHashJoin().value();
+
+    table.AddRow({platform.gpu.name, platform.interconnect.name,
+                  TablePrinter::Num(
+                      platform.interconnect.peak_bandwidth / 1e9, 0),
+                  TablePrinter::Num(inlj.qps(), 3),
+                  TablePrinter::Num(hj.qps(), 3),
+                  TablePrinter::Num(inlj.qps() / hj.qps(), 1) + "x"});
+  }
+
+  table.Print(stdout);
+  std::printf("\nFaster interconnects widen the index join's lead: "
+              "cacheline-granular\nlookups profit from random-access "
+              "bandwidth far more than the hash join's\nsequential scan "
+              "profits from peak bandwidth.\n");
+  return 0;
+}

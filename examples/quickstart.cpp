@@ -1,0 +1,85 @@
+// Quickstart: index an out-of-core relation on the simulated GPU platform
+// and run a windowed-partitioning index-nested-loop join against it.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Walks through the three layers of the library:
+//   1. the simulated platform (GPU + fast interconnect),
+//   2. the workload (a 64 GiB indexed relation R, probe keys S),
+//   3. the join (the paper's windowed-partitioning INLJ vs a hash join).
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "util/units.h"
+
+using namespace gpujoin;
+
+int main() {
+  // --- 1. Pick a platform: a V100 attached over NVLink 2.0 (the paper's
+  // machine). The platform defines interconnect bandwidths, cache sizes
+  // and the GPU TLB range — the quantities that decide whether indexing
+  // out-of-core data pays off.
+  core::ExperimentConfig config;
+  config.platform = sim::V100NvLink2();
+
+  // --- 2. Define the workload: R holds 2^33 sorted unique 8-byte keys
+  // (64 GiB — twice the GPU's TLB range) in CPU memory; S holds 2^26
+  // foreign keys into R. The simulator materializes a sample of S and
+  // extrapolates, so this runs in seconds on a laptop.
+  config.r_tuples = uint64_t{1} << 33;
+  config.s_tuples = uint64_t{1} << 26;
+  config.s_sample = uint64_t{1} << 18;
+
+  // --- 3. Choose the index and the join strategy: a RadixSpline over R,
+  // probed through the windowed-partitioning INLJ with the paper's 32 MiB
+  // tumbling windows.
+  config.index_type = index::IndexType::kRadixSpline;
+  config.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  config.inlj.window_tuples = uint64_t{4} << 20;
+
+  auto experiment = core::Experiment::Create(config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("platform : %s\n", config.platform.name.c_str());
+  std::printf("R        : %s of %s keys, indexed by %s (%s of index "
+              "state)\n",
+              FormatBytes(static_cast<double>(config.r_tuples * 8)).c_str(),
+              FormatCount(static_cast<double>(config.r_tuples)).c_str(),
+              (*experiment)->index().name().c_str(),
+              FormatBytes(static_cast<double>(
+                              (*experiment)->index().footprint_bytes()))
+                  .c_str());
+  std::printf("S        : %s probe keys (join selectivity %.2f%%)\n\n",
+              FormatCount(static_cast<double>(config.s_tuples)).c_str(),
+              100.0 * static_cast<double>(config.s_tuples) /
+                  static_cast<double>(config.r_tuples));
+
+  sim::RunResult inlj = (*experiment)->RunInlj();
+  sim::RunResult hash_join = (*experiment)->RunHashJoin().value();
+
+  auto report = [](const char* name, const sim::RunResult& res) {
+    std::printf("%-24s %8.3f Q/s   %10s over the interconnect   %s result "
+                "tuples\n",
+                name, res.qps(),
+                FormatBytes(static_cast<double>(
+                                res.counters.interconnect_bytes()))
+                    .c_str(),
+                FormatCount(static_cast<double>(res.result_tuples)).c_str());
+  };
+  report("windowed INLJ:", inlj);
+  report("hash join (baseline):", hash_join);
+
+  std::printf("\nThe index turns the join's full table scan into selective "
+              "lookups:\n%.1fx less data crosses the interconnect and the "
+              "query runs %.1fx faster.\n",
+              static_cast<double>(hash_join.counters.interconnect_bytes()) /
+                  static_cast<double>(inlj.counters.interconnect_bytes()),
+              inlj.qps() / hash_join.qps());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: a selective warehouse join, in the spirit of TPC-H Q4/Q12
+// (the queries that motivate the paper — a large input joined once, with
+// low join selectivity).
+//
+// An `orders`-like relation (the big, indexed side) is joined with a
+// filtered `lineitem`-like probe side whose size is what a selective
+// predicate would leave over. The example sweeps the predicate
+// selectivity and shows where the access-path decision flips between the
+// hash join's table scan and the windowed INLJ's index lookups — the
+// paper's crossover (Sec. 5.2.3 / Sec. 6: INLJ wins below ~8%
+// selectivity on NVLink).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+using namespace gpujoin;
+
+int main() {
+  // The big relation: 12 billion orders (~90 GiB of keys), indexed in CPU
+  // memory; the GPU reaches it across NVLink 2.0.
+  const uint64_t orders = uint64_t{12} << 30;
+
+  std::printf("orders : %s keys (%s), RadixSpline-indexed in CPU memory\n",
+              FormatCount(static_cast<double>(orders)).c_str(),
+              FormatBytes(static_cast<double>(orders * 8)).c_str());
+  std::printf("query  : SELECT ... FROM lineitem JOIN orders ON o_orderkey "
+              "WHERE <predicate>\n\n");
+
+  TablePrinter table({"predicate keeps", "probe tuples", "INLJ Q/s",
+                      "hash join Q/s", "winner"});
+
+  for (uint64_t probe_log : {20, 22, 24, 26, 28, 30}) {
+    const uint64_t probe_tuples = uint64_t{1} << probe_log;
+
+    core::ExperimentConfig config;
+    config.r_tuples = orders;
+    config.s_tuples = probe_tuples;
+    config.s_sample = std::min<uint64_t>(probe_tuples, uint64_t{1} << 18);
+    config.index_type = index::IndexType::kRadixSpline;
+    config.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+    config.inlj.window_tuples = uint64_t{4} << 20;
+
+    auto experiment = core::Experiment::Create(config);
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
+      return 1;
+    }
+    sim::RunResult inlj = (*experiment)->RunInlj();
+    Result<sim::RunResult> hj = (*experiment)->RunHashJoin();
+
+    std::string hj_cell;
+    std::string winner;
+    if (hj.ok()) {
+      hj_cell = TablePrinter::Num(hj->qps(), 3);
+      winner = inlj.qps() > hj->qps() ? "index join" : "hash join";
+    } else {
+      // Building on the "smaller" side no longer fits GPU memory — the
+      // hash join would need out-of-core state (Lutz et al. [30]).
+      hj_cell = "HT > GPU memory";
+      winner = "index join";
+    }
+    table.AddRow(
+        {TablePrinter::Num(100.0 * static_cast<double>(probe_tuples) /
+                               static_cast<double>(orders),
+                           3) + "%",
+         FormatCount(static_cast<double>(probe_tuples)),
+         TablePrinter::Num(inlj.qps(), 3), hj_cell, winner});
+  }
+
+  table.Print(stdout);
+  std::printf(
+      "\nAt high selectivity (few surviving probe tuples) the index join "
+      "skips\nalmost the entire orders relation; as the predicate widens, "
+      "the hash\njoin's sequential scan eventually wins — the access-path "
+      "choice the\npaper's Sec. 6 recommends making on selectivity.\n");
+  return 0;
+}

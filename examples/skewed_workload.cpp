@@ -1,0 +1,66 @@
+// Scenario: a power-law workload (Fig. 8). Event streams, social graphs
+// and retail orders all probe a dimension table with Zipf-distributed
+// foreign keys. This example shows the two failure/success modes the
+// paper demonstrates:
+//
+//   * the windowed INLJ *benefits* from skew — hot keys concentrate into
+//     hot cachelines on the GPU, so fewer bytes cross the interconnect;
+//   * the hash-join baseline *collapses* — its multi-value hash table
+//     degenerates into per-key chains whose tail-append walks grow
+//     quadratically (the paper aborted the run after ten hours).
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+using namespace gpujoin;
+
+int main() {
+  const uint64_t dimension_rows = uint64_t{100} * kGiB / 8;  // 100 GiB
+
+  std::printf("dimension : %s rows (100 GiB), Harmonia-indexed in CPU "
+              "memory\n",
+              FormatCount(static_cast<double>(dimension_rows)).c_str());
+  std::printf("probes    : 2^26 foreign keys, Zipf-distributed\n\n");
+
+  TablePrinter table({"zipf exponent", "INLJ Q/s", "INLJ transfer",
+                      "hash join"});
+
+  for (double exponent : {0.0, 0.5, 1.0, 1.5, 1.75}) {
+    core::ExperimentConfig config;
+    config.r_tuples = dimension_rows;
+    config.s_sample = uint64_t{1} << 18;
+    config.zipf_exponent = exponent;
+    config.index_type = index::IndexType::kHarmonia;
+    config.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+    config.inlj.window_tuples = uint64_t{4} << 20;
+
+    auto experiment = core::Experiment::Create(config);
+    if (!experiment.ok()) {
+      std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
+      return 1;
+    }
+    sim::RunResult inlj = (*experiment)->RunInlj();
+    sim::RunResult hj = (*experiment)->RunHashJoin().value();
+
+    std::string hj_cell;
+    if (hj.seconds > 3600) {
+      hj_cell = "DNF (" + TablePrinter::Num(hj.seconds / 3600, 1) +
+                " h — chain degeneration)";
+    } else {
+      hj_cell = TablePrinter::Num(hj.qps(), 3) + " Q/s";
+    }
+    table.AddRow(
+        {TablePrinter::Num(exponent, 2), TablePrinter::Num(inlj.qps(), 3),
+         FormatBytes(static_cast<double>(inlj.counters.interconnect_bytes())),
+         hj_cell});
+  }
+
+  table.Print(stdout);
+  std::printf("\nSkew helps the index join (hot keys stay in GPU caches) "
+              "and breaks the\nmulti-value hash join — choose the INLJ when "
+              "the key distribution is heavy-tailed.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "core/inlj.h"
+
+#include "core/join_kernel.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "partition/radix_partitioner.h"
+#include "util/bit_util.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpujoin::core {
+
+namespace {
+
+using partition::PartitionedKeys;
+using partition::RadixPartitioner;
+using workload::Key;
+
+}  // namespace
+
+const char* PartitionModeName(InljConfig::PartitionMode mode) {
+  switch (mode) {
+    case InljConfig::PartitionMode::kNone:
+      return "none";
+    case InljConfig::PartitionMode::kFull:
+      return "full";
+    case InljConfig::PartitionMode::kWindowed:
+      return "windowed";
+  }
+  return "unknown";
+}
+
+sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
+                                        const index::Index& index,
+                                        const workload::ProbeRelation& s,
+                                        const InljConfig& config) {
+  mem::AddressSpace& space = gpu.memory().space();
+  const double scale = s.scale();
+  const uint64_t sample = s.sample_size();
+
+  // Result buffer: GPU memory by default (Sec. 3.2), CPU memory when
+  // spilling (footnote 1).
+  const mem::Region result_region = space.Reserve(
+      sample * 16,
+      config.spill_results_to_host ? mem::MemKind::kHost
+                                   : mem::MemKind::kDevice,
+      "inlj.result");
+
+  sim::RunResult result;
+  result.label = std::string("inlj_") + index.name();
+  result.probe_tuples = s.full_size;
+  uint64_t matches = 0;
+
+  switch (config.mode) {
+    case InljConfig::PartitionMode::kNone: {
+      sim::KernelRun join = internal::RunJoinKernel(
+          gpu, index, s.keys.data().data(), nullptr, sample,
+          s.keys.addr_of(0), result_region.base,
+          config.probe_filter_selectivity, &matches);
+      join.counters = join.counters.Scaled(scale);
+      result.seconds = gpu.TimeOf(join);
+      result.counters = join.counters;
+      result.AddStage("join", result.seconds);
+      break;
+    }
+
+    case InljConfig::PartitionMode::kFull: {
+      const RadixPartitioner partitioner(partition::PlanPartitionBits(
+          index.column(), config.max_partition_bits, config.ignore_lsb));
+      sim::KernelRun part{"partition", {}};
+      PartitionedKeys parts = partitioner.Partition(
+          gpu, s.keys.data().data(), sample, s.keys.addr_of(0),
+          /*first_row_id=*/0, &part);
+      sim::KernelRun join = internal::RunJoinKernel(
+          gpu, index, parts.keys.data(), parts.row_ids.data(), sample,
+          parts.tuple_addr(0), result_region.base,
+          config.probe_filter_selectivity, &matches);
+      part.counters = part.counters.Scaled(scale);
+      join.counters = join.counters.Scaled(scale);
+      const double t_part = gpu.TimeOf(part);
+      const double t_join = gpu.TimeOf(join);
+      result.seconds = t_part + t_join;
+      result.counters = part.counters;
+      result.counters += join.counters;
+      result.AddStage("partition", t_part);
+      result.AddStage("join", t_join);
+      break;
+    }
+
+    case InljConfig::PartitionMode::kWindowed: {
+      GPUJOIN_CHECK(config.window_tuples > 0);
+      const RadixPartitioner partitioner(partition::PlanPartitionBits(
+          index.column(), config.max_partition_bits, config.ignore_lsb));
+
+      // Simulate windows over the sample. For range-restricted samples
+      // (full density over a 1/scale slice of R), a simulated window of
+      // W/scale tuples has exactly a real window's per-partition density;
+      // thinned samples fall back to sample-sized windows.
+      // A window never holds more than the whole probe relation.
+      const uint64_t w_full = std::min(config.window_tuples, s.full_size);
+      uint64_t w_sim = std::min(w_full, sample);
+      if (s.scheme == workload::SampleScheme::kRangeRestricted) {
+        w_sim = std::clamp<uint64_t>(
+            static_cast<uint64_t>(std::llround(
+                static_cast<double>(w_full) / scale)),
+            32, sample);
+      }
+      const double window_scale =
+          static_cast<double>(w_full) / static_cast<double>(w_sim);
+      const uint64_t n_sim = bits::CeilDiv(sample, w_sim);
+      const uint64_t n_full = bits::CeilDiv(s.full_size, w_full);
+
+      sim::CounterSet part_avg;
+      sim::CounterSet join_avg;
+      uint64_t simulated_tuples = 0;
+      for (uint64_t w = 0; w < n_sim; ++w) {
+        const uint64_t begin = w * w_sim;
+        const uint64_t count = std::min(w_sim, sample - begin);
+        simulated_tuples += count;
+        // A real window's churn evicts the previous window's cache lines;
+        // the sampled windows must not inherit each other's state.
+        if (w > 0) gpu.memory().FlushCaches();
+
+        sim::KernelRun part{"partition", {}};
+        PartitionedKeys parts = partitioner.Partition(
+            gpu, s.keys.data().data() + begin, count,
+            s.keys.addr_of(begin), begin, &part);
+        sim::KernelRun join = internal::RunJoinKernel(
+            gpu, index, parts.keys.data(), parts.row_ids.data(), count,
+            parts.tuple_addr(0), result_region.base,
+            config.probe_filter_selectivity, &matches);
+        part_avg += part.counters;
+        join_avg += join.counters;
+      }
+
+      // Average per-window counters, normalized to one full-size window.
+      const double to_one_window =
+          window_scale / static_cast<double>(n_sim);
+      part_avg = part_avg.Scaled(to_one_window);
+      join_avg = join_avg.Scaled(to_one_window);
+      // Keep per-window launch costs: each window launches one partition
+      // and one join kernel.
+      part_avg.kernel_launches = 1;
+      join_avg.kernel_launches = 1;
+
+      const double t_part = gpu.cost_model().Seconds(part_avg) +
+                            gpu.platform().gpu.stream_sync_overhead;
+      const double t_join = gpu.cost_model().Seconds(join_avg);
+      if (config.overlap && n_full > 1) {
+        // Two CUDA streams: window t's partition overlaps window t-1's
+        // join (Sec. 5.1).
+        result.seconds = t_part +
+                         static_cast<double>(n_full - 1) *
+                             std::max(t_part, t_join) +
+                         t_join;
+      } else {
+        result.seconds = static_cast<double>(n_full) * (t_part + t_join);
+      }
+      result.counters = part_avg.Scaled(static_cast<double>(n_full));
+      result.counters += join_avg.Scaled(static_cast<double>(n_full));
+      // Each window launches one partition and one join kernel.
+      result.counters.kernel_launches = 2 * n_full;
+      result.AddStage("partition/window", t_part);
+      result.AddStage("join/window", t_join);
+      break;
+    }
+  }
+
+  result.result_tuples = static_cast<uint64_t>(
+      std::llround(static_cast<double>(matches) * scale));
+  return result;
+}
+
+}  // namespace gpujoin::core

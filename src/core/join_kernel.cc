@@ -1,0 +1,66 @@
+#include "core/join_kernel.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "util/rng.h"
+
+namespace gpujoin::core::internal {
+
+using workload::Key;
+
+sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
+                             const Key* keys, const uint64_t* row_ids,
+                             uint64_t count, mem::VirtAddr keys_addr,
+                             mem::VirtAddr result_addr,
+                             double filter_selectivity,
+                             uint64_t* matches_out) {
+  const uint64_t tuple_bytes =
+      row_ids != nullptr ? sizeof(Key) + 8 : sizeof(Key);
+  const bool no_filter = filter_selectivity >= 1.0;
+  const uint64_t filter_threshold =
+      no_filter ? ~uint64_t{0}
+                : static_cast<uint64_t>(filter_selectivity * 0x1p64);
+  uint64_t matches = 0;
+  sim::KernelRun run = gpu.RunKernel("inlj", count, [&](sim::Warp& warp) {
+    const uint64_t base = warp.base_item();
+    const int lanes = warp.lane_count();
+    // Probe tuples arrive as a coalesced stream from wherever they live
+    // (CPU memory for the raw stream, GPU memory for partitioned windows).
+    warp.memory().Stream(keys_addr + base * tuple_bytes,
+                         lanes * tuple_bytes, sim::AccessType::kRead);
+
+    std::array<Key, sim::Warp::kWidth> probe{};
+    std::array<uint64_t, sim::Warp::kWidth> pos{};
+    // Apply the upstream filter: surviving lanes look up, the others idle
+    // alongside them (filter divergence — the warp is not compacted).
+    uint32_t lookup_mask = 0;
+    for (int lane = 0; lane < lanes; ++lane) {
+      probe[lane] = keys[base + lane];
+      const uint64_t row =
+          row_ids != nullptr ? row_ids[base + lane] : base + lane;
+      if (no_filter ||
+          SplitMix64(row * 0xc2b2ae3d27d4eb4fULL) <= filter_threshold) {
+        lookup_mask |= 1u << lane;
+      }
+    }
+    warp.AddSteps(1);  // predicate evaluation
+
+    const uint32_t found =
+        index.LookupWarp(warp, probe.data(), lookup_mask, pos.data());
+
+    const uint64_t n_found =
+        static_cast<uint64_t>(std::popcount(found));
+    if (n_found > 0) {
+      warp.memory().Stream(result_addr + matches * 16, n_found * 16,
+                           sim::AccessType::kWrite);
+      matches += n_found;
+    }
+  });
+  *matches_out += matches;
+  return run;
+}
+
+
+}  // namespace gpujoin::core::internal

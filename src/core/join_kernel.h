@@ -1,0 +1,30 @@
+#ifndef GPUJOIN_CORE_JOIN_KERNEL_H_
+#define GPUJOIN_CORE_JOIN_KERNEL_H_
+
+#include <cstdint>
+
+#include "index/index.h"
+#include "sim/gpu.h"
+
+namespace gpujoin::core::internal {
+
+// The INLJ probe kernel shared by the partitioning strategies: reads
+// `count` probe keys starting at `keys` (simulated location `keys_addr`),
+// looks each up in the index, and materializes (row_id, position) pairs
+// for matches into `result_addr`. Row ids are explicit for partitioned
+// inputs (`row_ids` non-null, 16-byte tuples) and implicit (scan
+// position) otherwise.
+//
+// `filter_selectivity` < 1 masks lanes out by a hash of their row id
+// *without* compacting the warp — filter divergence (paper Sec. 3.3.1).
+sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
+                             const workload::Key* keys,
+                             const uint64_t* row_ids, uint64_t count,
+                             mem::VirtAddr keys_addr,
+                             mem::VirtAddr result_addr,
+                             double filter_selectivity,
+                             uint64_t* matches_out);
+
+}  // namespace gpujoin::core::internal
+
+#endif  // GPUJOIN_CORE_JOIN_KERNEL_H_

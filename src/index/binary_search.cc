@@ -1,0 +1,73 @@
+#include "index/binary_search.h"
+
+#include <array>
+
+namespace gpujoin::index {
+
+uint32_t BinarySearchIndex::LookupWarp(sim::Warp& warp, const Key* keys,
+                                       uint32_t mask,
+                                       uint64_t* out_pos) const {
+  const workload::KeyColumn& col = *column_;
+  const uint64_t n = col.size();
+
+  std::array<uint64_t, sim::Warp::kWidth> lo{};
+  std::array<uint64_t, sim::Warp::kWidth> hi{};
+  std::array<mem::VirtAddr, sim::Warp::kWidth> addrs{};
+
+  for (int lane = 0; lane < sim::Warp::kWidth; ++lane) {
+    if (mask & (1u << lane)) {
+      lo[lane] = 0;
+      hi[lane] = n;
+    }
+  }
+
+  // Lock-step binary search: all active lanes issue their mid-probe in the
+  // same memory instruction, which the hardware coalesces.
+  uint32_t active = mask;
+  while (active != 0) {
+    uint32_t issue = 0;
+    std::array<uint64_t, sim::Warp::kWidth> mid{};
+    for (int lane = 0; lane < sim::Warp::kWidth; ++lane) {
+      if (!(active & (1u << lane))) continue;
+      if (lo[lane] >= hi[lane]) {
+        active &= ~(1u << lane);
+        continue;
+      }
+      mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
+      addrs[lane] = col.addr_of(mid[lane]);
+      issue |= 1u << lane;
+    }
+    if (issue == 0) break;
+    warp.Gather(addrs.data(), issue, sizeof(Key));
+    for (int lane = 0; lane < sim::Warp::kWidth; ++lane) {
+      if (!(issue & (1u << lane))) continue;
+      if (col.key_at(mid[lane]) < keys[lane]) {
+        lo[lane] = mid[lane] + 1;
+      } else {
+        hi[lane] = mid[lane];
+      }
+    }
+  }
+
+  // Verify the match by reading the found tuple (the INLJ needs it
+  // anyway); positions at end-of-column are misses.
+  uint32_t verify = 0;
+  for (int lane = 0; lane < sim::Warp::kWidth; ++lane) {
+    if (!(mask & (1u << lane))) continue;
+    out_pos[lane] = lo[lane];
+    if (lo[lane] < n) {
+      addrs[lane] = col.addr_of(lo[lane]);
+      verify |= 1u << lane;
+    }
+  }
+  if (verify != 0) warp.Gather(addrs.data(), verify, sizeof(Key));
+
+  uint32_t found = 0;
+  for (int lane = 0; lane < sim::Warp::kWidth; ++lane) {
+    if (!(verify & (1u << lane))) continue;
+    if (col.key_at(out_pos[lane]) == keys[lane]) found |= 1u << lane;
+  }
+  return found;
+}
+
+}  // namespace gpujoin::index

@@ -1,0 +1,32 @@
+#ifndef GPUJOIN_INDEX_BINARY_SEARCH_H_
+#define GPUJOIN_INDEX_BINARY_SEARCH_H_
+
+#include "index/index.h"
+
+namespace gpujoin::index {
+
+// Baseline "index": a SIMT binary search directly on the sorted column.
+// No persistent state; every traversal step is a data-dependent gather
+// into CPU memory. Each lane halves its own [lo, hi) range per step, so a
+// warp of random probe keys touches up to 32 distinct cachelines per step
+// — the worst case for the GPU TLB once the column outgrows the TLB range
+// (paper Sec. 3.3.2).
+class BinarySearchIndex : public Index {
+ public:
+  explicit BinarySearchIndex(const workload::KeyColumn* column)
+      : column_(column) {}
+
+  std::string name() const override { return "binary_search"; }
+  const workload::KeyColumn& column() const override { return *column_; }
+  uint64_t footprint_bytes() const override { return 0; }
+
+  uint32_t LookupWarp(sim::Warp& warp, const Key* keys, uint32_t mask,
+                      uint64_t* out_pos) const override;
+
+ private:
+  const workload::KeyColumn* column_;
+};
+
+}  // namespace gpujoin::index
+
+#endif  // GPUJOIN_INDEX_BINARY_SEARCH_H_

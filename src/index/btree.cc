@@ -1,0 +1,219 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/bit_util.h"
+#include "util/check.h"
+
+namespace gpujoin::index {
+
+BTreeIndex::BTreeIndex(mem::AddressSpace* space,
+                       const workload::KeyColumn* column)
+    : BTreeIndex(space, column, Options()) {}
+
+BTreeIndex::BTreeIndex(mem::AddressSpace* space,
+                       const workload::KeyColumn* column,
+                       const Options& options)
+    : column_(column), node_bytes_(options.node_bytes) {
+  GPUJOIN_CHECK(node_bytes_ >= 256) << "node too small";
+  GPUJOIN_CHECK(options.fill_factor > 0.1 && options.fill_factor <= 1.0);
+
+  // Leaf: header + keys (positions implicit). Inner: header + separator
+  // keys + child ids (one more child than separators).
+  const uint32_t leaf_capacity = (node_bytes_ - kHeaderBytes) / 8;
+  const uint32_t inner_capacity = (node_bytes_ - kHeaderBytes - 8) / 16;
+  keys_per_leaf_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(leaf_capacity * options.fill_factor));
+  const uint32_t inner_keys = std::max<uint32_t>(
+      2, static_cast<uint32_t>(inner_capacity * options.fill_factor));
+  fanout_ = inner_keys + 1;
+
+  const uint64_t n = column_->size();
+  level_counts_.push_back(bits::CeilDiv(n, keys_per_leaf_));
+  while (level_counts_.back() > 1) {
+    level_counts_.push_back(bits::CeilDiv(level_counts_.back(), fanout_));
+  }
+
+  leaves_per_node_.resize(level_counts_.size());
+  level_node_offset_.resize(level_counts_.size());
+  uint64_t offset = 0;
+  uint64_t leaves = 1;
+  for (size_t l = 0; l < level_counts_.size(); ++l) {
+    leaves_per_node_[l] = leaves;
+    leaves *= fanout_;
+    level_node_offset_[l] = offset;
+    offset += level_counts_[l];
+  }
+  total_nodes_ = offset;
+  region_ = space->Reserve(total_nodes_ * node_bytes_, mem::MemKind::kHost,
+                           "btree.nodes");
+}
+
+mem::VirtAddr BTreeIndex::NodeAddr(int level, uint64_t node) const {
+  GPUJOIN_DCHECK(level >= 0 && level < height());
+  GPUJOIN_DCHECK(node < level_counts_[level]);
+  return region_.base +
+         (level_node_offset_[level] + node) * uint64_t{node_bytes_};
+}
+
+mem::VirtAddr BTreeIndex::LeafKeySlotAddr(uint64_t leaf,
+                                          uint32_t slot) const {
+  return NodeAddr(0, leaf) + kHeaderBytes + uint64_t{slot} * 8;
+}
+
+mem::VirtAddr BTreeIndex::InnerKeySlotAddr(int level, uint64_t node,
+                                           uint32_t slot) const {
+  return NodeAddr(level, node) + kHeaderBytes + uint64_t{slot} * 8;
+}
+
+uint64_t BTreeIndex::FirstPosition(int level, uint64_t node) const {
+  return node * leaves_per_node_[level] * keys_per_leaf_;
+}
+
+uint32_t BTreeIndex::LeafKeyCount(uint64_t leaf) const {
+  const uint64_t n = column_->size();
+  const uint64_t first = leaf * keys_per_leaf_;
+  GPUJOIN_DCHECK(first < n);
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(keys_per_leaf_, n - first));
+}
+
+Key BTreeIndex::LeafKey(uint64_t leaf, uint32_t slot) const {
+  GPUJOIN_DCHECK(slot < LeafKeyCount(leaf));
+  return column_->key_at(leaf * keys_per_leaf_ + slot);
+}
+
+uint32_t BTreeIndex::InnerChildCount(int level, uint64_t node) const {
+  GPUJOIN_DCHECK(level >= 1);
+  const uint64_t below = level_counts_[level - 1];
+  const uint64_t first_child = node * fanout_;
+  GPUJOIN_DCHECK(first_child < below);
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(fanout_, below - first_child));
+}
+
+Key BTreeIndex::InnerSeparator(int level, uint64_t node, uint32_t sep) const {
+  // Separator `sep` is the first key of child sep+1's subtree.
+  GPUJOIN_DCHECK(sep + 1 < InnerChildCount(level, node));
+  const uint64_t child = node * fanout_ + sep + 1;
+  const uint64_t pos = FirstPosition(level - 1, child);
+  GPUJOIN_DCHECK(pos < column_->size());
+  return column_->key_at(pos);
+}
+
+uint32_t BTreeIndex::LookupWarp(sim::Warp& warp, const Key* keys,
+                                uint32_t mask, uint64_t* out_pos) const {
+  constexpr int kW = sim::Warp::kWidth;
+  std::array<uint64_t, kW> node{};
+  std::array<mem::VirtAddr, kW> addrs{};
+  std::array<uint32_t, kW> lo{};
+  std::array<uint32_t, kW> hi{};
+
+  // Descend inner levels in lock-step (all lanes share the tree height).
+  for (int level = height() - 1; level >= 1; --level) {
+    // Node header (key count).
+    for (int lane = 0; lane < kW; ++lane) {
+      if (mask & (1u << lane)) addrs[lane] = NodeAddr(level, node[lane]);
+    }
+    warp.Gather(addrs.data(), mask, kHeaderBytes);
+
+    // Lock-step binary search over the separators.
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      lo[lane] = 0;
+      hi[lane] = InnerChildCount(level, node[lane]) - 1;  // separator count
+    }
+    uint32_t active = mask;
+    while (active != 0) {
+      uint32_t issue = 0;
+      std::array<uint32_t, kW> mid{};
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(active & (1u << lane))) continue;
+        if (lo[lane] >= hi[lane]) {
+          active &= ~(1u << lane);
+          continue;
+        }
+        mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
+        addrs[lane] = InnerKeySlotAddr(level, node[lane], mid[lane]);
+        issue |= 1u << lane;
+      }
+      if (issue == 0) break;
+      warp.Gather(addrs.data(), issue, sizeof(Key));
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(issue & (1u << lane))) continue;
+        if (InnerSeparator(level, node[lane], mid[lane]) <= keys[lane]) {
+          lo[lane] = mid[lane] + 1;
+        } else {
+          hi[lane] = mid[lane];
+        }
+      }
+    }
+    // lo = number of separators <= key = child index. Read the child id
+    // slot (in a real node the child pointer sits after the keys; the
+    // implicit tree computes it, but the access still happens).
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      const uint32_t inner_keys = fanout_ - 1;
+      addrs[lane] = NodeAddr(level, node[lane]) + kHeaderBytes +
+                    uint64_t{inner_keys} * 8 + uint64_t{lo[lane]} * 8;
+      node[lane] = node[lane] * fanout_ + lo[lane];
+    }
+    warp.Gather(addrs.data(), mask, 8);
+  }
+
+  // Leaf level: header, binary search, value slot.
+  for (int lane = 0; lane < kW; ++lane) {
+    if (mask & (1u << lane)) addrs[lane] = NodeAddr(0, node[lane]);
+  }
+  warp.Gather(addrs.data(), mask, kHeaderBytes);
+
+  for (int lane = 0; lane < kW; ++lane) {
+    if (!(mask & (1u << lane))) continue;
+    lo[lane] = 0;
+    hi[lane] = LeafKeyCount(node[lane]);
+  }
+  uint32_t active = mask;
+  while (active != 0) {
+    uint32_t issue = 0;
+    std::array<uint32_t, kW> mid{};
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(active & (1u << lane))) continue;
+      if (lo[lane] >= hi[lane]) {
+        active &= ~(1u << lane);
+        continue;
+      }
+      mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
+      addrs[lane] = LeafKeySlotAddr(node[lane], mid[lane]);
+      issue |= 1u << lane;
+    }
+    if (issue == 0) break;
+    warp.Gather(addrs.data(), issue, sizeof(Key));
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(issue & (1u << lane))) continue;
+      if (LeafKey(node[lane], mid[lane]) < keys[lane]) {
+        lo[lane] = mid[lane] + 1;
+      } else {
+        hi[lane] = mid[lane];
+      }
+    }
+  }
+
+  const uint64_t n = column_->size();
+  uint32_t found = 0;
+  for (int lane = 0; lane < kW; ++lane) {
+    if (!(mask & (1u << lane))) continue;
+    // Positions are implicit in the bulk-loaded layout: leaf j covers
+    // column positions [j * keys_per_leaf, ...).
+    const uint64_t pos = node[lane] * keys_per_leaf_ + lo[lane];
+    out_pos[lane] = pos;
+    if (pos < n && lo[lane] < LeafKeyCount(node[lane]) &&
+        LeafKey(node[lane], lo[lane]) == keys[lane]) {
+      found |= 1u << lane;
+    }
+  }
+  return found;
+}
+
+}  // namespace gpujoin::index

@@ -1,0 +1,406 @@
+#include "index/dynamic_btree.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace gpujoin::index {
+
+namespace {
+constexpr uint32_t kHeaderBytes = 16;
+// Virtual node budget: in-core trees only, but the reservation costs
+// nothing real.
+constexpr uint64_t kMaxNodes = uint64_t{1} << 21;
+}  // namespace
+
+struct DynamicBTree::Node {
+  bool leaf;
+  uint64_t slot;  // index into the node region
+  std::vector<Key> keys;
+  std::vector<uint64_t> values;   // leaves: parallel to keys
+  std::vector<Node*> children;    // inner: keys.size() + 1 entries
+};
+
+DynamicBTree::DynamicBTree(mem::AddressSpace* space)
+    : DynamicBTree(space, Options()) {}
+
+DynamicBTree::DynamicBTree(mem::AddressSpace* space, const Options& options)
+    : space_(space), node_bytes_(options.node_bytes) {
+  GPUJOIN_CHECK(node_bytes_ >= 256);
+  leaf_capacity_ = (node_bytes_ - kHeaderBytes) / 16;
+  inner_capacity_ = (node_bytes_ - kHeaderBytes - 8) / 16;
+  region_ = space_->Reserve(kMaxNodes * node_bytes_, mem::MemKind::kHost,
+                            "dynamic_btree.nodes");
+  root_ = AllocateNode(/*leaf=*/true);
+}
+
+DynamicBTree::~DynamicBTree() { DestroySubtree(root_); }
+
+void DynamicBTree::DestroySubtree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->leaf) {
+    for (Node* child : node->children) DestroySubtree(child);
+  }
+  delete node;
+}
+
+DynamicBTree::Node* DynamicBTree::AllocateNode(bool leaf) {
+  uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    GPUJOIN_CHECK(next_node_slot_ < kMaxNodes) << "node budget exhausted";
+    slot = next_node_slot_++;
+  }
+  Node* node = new Node();
+  node->leaf = leaf;
+  node->slot = slot;
+  ++num_nodes_;
+  return node;
+}
+
+void DynamicBTree::FreeNode(Node* node) {
+  free_slots_.push_back(node->slot);
+  --num_nodes_;
+  delete node;
+}
+
+int DynamicBTree::height() const {
+  int h = 1;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children[0];
+    ++h;
+  }
+  return h;
+}
+
+// --- CPU-side maintenance -------------------------------------------------
+
+namespace {
+
+// Child to descend into: number of separators <= key.
+int PickChild(const std::vector<workload::Key>& separators,
+              workload::Key key) {
+  return static_cast<int>(
+      std::upper_bound(separators.begin(), separators.end(), key) -
+      separators.begin());
+}
+
+}  // namespace
+
+void DynamicBTree::SplitChild(Node* parent, int child_index) {
+  Node* child = parent->children[child_index];
+  Node* right = AllocateNode(child->leaf);
+
+  if (child->leaf) {
+    const size_t mid = child->keys.size() / 2;
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    // Leaf split: the separator is a copy of the right leaf's first key.
+    parent->keys.insert(parent->keys.begin() + child_index,
+                        right->keys.front());
+  } else {
+    const size_t mid = child->keys.size() / 2;
+    const Key separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    right->children.assign(child->children.begin() + mid + 1,
+                           child->children.end());
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + child_index, separator);
+  }
+  parent->children.insert(parent->children.begin() + child_index + 1, right);
+}
+
+void DynamicBTree::InsertNonFull(Node* node, Key key, uint64_t value) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = it - node->keys.begin();
+    if (it != node->keys.end() && *it == key) {
+      node->values[pos] = value;  // overwrite
+      return;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+    return;
+  }
+  int child_index = PickChild(node->keys, key);
+  Node* child = node->children[child_index];
+  const uint32_t capacity = child->leaf ? leaf_capacity_ : inner_capacity_;
+  if (child->keys.size() == capacity) {
+    SplitChild(node, child_index);
+    if (key >= node->keys[child_index]) ++child_index;
+  }
+  InsertNonFull(node->children[child_index], key, value);
+}
+
+void DynamicBTree::Insert(Key key, uint64_t value) {
+  const uint32_t root_capacity =
+      root_->leaf ? leaf_capacity_ : inner_capacity_;
+  if (root_->keys.size() == root_capacity) {
+    Node* new_root = AllocateNode(/*leaf=*/false);
+    new_root->children.push_back(root_);
+    root_ = new_root;
+    SplitChild(new_root, 0);
+  }
+  InsertNonFull(root_, key, value);
+}
+
+std::optional<uint64_t> DynamicBTree::Find(Key key) const {
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children[PickChild(node->keys, key)];
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it == node->keys.end() || *it != key) return std::nullopt;
+  return node->values[it - node->keys.begin()];
+}
+
+void DynamicBTree::FixUnderflow(Node* parent, int child_index) {
+  Node* child = parent->children[child_index];
+  const uint32_t capacity = child->leaf ? leaf_capacity_ : inner_capacity_;
+  const uint32_t min_fill = (capacity - 1) / 2;
+  if (child->keys.size() >= min_fill) return;
+
+  Node* left = child_index > 0 ? parent->children[child_index - 1] : nullptr;
+  Node* right = child_index + 1 < static_cast<int>(parent->children.size())
+                    ? parent->children[child_index + 1]
+                    : nullptr;
+
+  if (right != nullptr && right->keys.size() > min_fill) {
+    // Borrow the right sibling's first entry.
+    if (child->leaf) {
+      child->keys.push_back(right->keys.front());
+      child->values.push_back(right->values.front());
+      right->keys.erase(right->keys.begin());
+      right->values.erase(right->values.begin());
+      parent->keys[child_index] = right->keys.front();
+    } else {
+      child->keys.push_back(parent->keys[child_index]);
+      parent->keys[child_index] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(right->children.front());
+      right->children.erase(right->children.begin());
+    }
+    return;
+  }
+  if (left != nullptr && left->keys.size() > min_fill) {
+    // Borrow the left sibling's last entry.
+    if (child->leaf) {
+      child->keys.insert(child->keys.begin(), left->keys.back());
+      child->values.insert(child->values.begin(), left->values.back());
+      left->keys.pop_back();
+      left->values.pop_back();
+      parent->keys[child_index - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(),
+                         parent->keys[child_index - 1]);
+      parent->keys[child_index - 1] = left->keys.back();
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             left->children.back());
+      left->children.pop_back();
+    }
+    return;
+  }
+
+  // Merge with a sibling (the pair cannot exceed one node's capacity).
+  Node* a = left != nullptr ? left : child;
+  Node* b = left != nullptr ? child : right;
+  const int sep = left != nullptr ? child_index - 1 : child_index;
+  GPUJOIN_CHECK(b != nullptr);
+  if (a->leaf) {
+    a->keys.insert(a->keys.end(), b->keys.begin(), b->keys.end());
+    a->values.insert(a->values.end(), b->values.begin(), b->values.end());
+  } else {
+    a->keys.push_back(parent->keys[sep]);
+    a->keys.insert(a->keys.end(), b->keys.begin(), b->keys.end());
+    a->children.insert(a->children.end(), b->children.begin(),
+                       b->children.end());
+    b->children.clear();
+  }
+  parent->keys.erase(parent->keys.begin() + sep);
+  parent->children.erase(parent->children.begin() + sep + 1);
+  FreeNode(b);
+}
+
+bool DynamicBTree::EraseRecursive(Node* node, Key key) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key) return false;
+    node->values.erase(node->values.begin() + (it - node->keys.begin()));
+    node->keys.erase(it);
+    --size_;
+    return true;
+  }
+  const int child_index = PickChild(node->keys, key);
+  const bool erased = EraseRecursive(node->children[child_index], key);
+  if (erased) FixUnderflow(node, child_index);
+  return erased;
+}
+
+bool DynamicBTree::Erase(Key key) {
+  const bool erased = EraseRecursive(root_, key);
+  if (!root_->leaf && root_->keys.empty()) {
+    // Shrink the tree when the root has a single child left.
+    Node* old_root = root_;
+    root_ = root_->children[0];
+    old_root->children.clear();
+    FreeNode(old_root);
+  }
+  return erased;
+}
+
+// --- SIMT read path ---------------------------------------------------------
+
+uint32_t DynamicBTree::LookupWarp(sim::Warp& warp, const Key* keys,
+                                  uint32_t mask,
+                                  uint64_t* out_value) const {
+  constexpr int kW = sim::Warp::kWidth;
+  std::array<const Node*, kW> node{};
+  std::array<mem::VirtAddr, kW> addrs{};
+  for (int lane = 0; lane < kW; ++lane) {
+    if (mask & (1u << lane)) node[lane] = root_;
+  }
+
+  auto node_addr = [&](const Node* n) {
+    return region_.base + n->slot * uint64_t{node_bytes_};
+  };
+
+  // All leaves sit at the same depth, so the warp descends in lock-step.
+  const int levels = height();
+  for (int depth = 0; depth < levels; ++depth) {
+    // Node header.
+    for (int lane = 0; lane < kW; ++lane) {
+      if (mask & (1u << lane)) addrs[lane] = node_addr(node[lane]);
+    }
+    warp.Gather(addrs.data(), mask, kHeaderBytes);
+
+    // Lock-step binary search over the node's keys.
+    std::array<uint32_t, kW> lo{};
+    std::array<uint32_t, kW> hi{};
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(mask & (1u << lane))) continue;
+      lo[lane] = 0;
+      hi[lane] = static_cast<uint32_t>(node[lane]->keys.size());
+    }
+    uint32_t active = mask;
+    while (active != 0) {
+      uint32_t issue = 0;
+      std::array<uint32_t, kW> mid{};
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(active & (1u << lane))) continue;
+        if (lo[lane] >= hi[lane]) {
+          active &= ~(1u << lane);
+          continue;
+        }
+        mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
+        addrs[lane] =
+            node_addr(node[lane]) + kHeaderBytes + uint64_t{mid[lane]} * 8;
+        issue |= 1u << lane;
+      }
+      if (issue == 0) break;
+      warp.Gather(addrs.data(), issue, sizeof(Key));
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(issue & (1u << lane))) continue;
+        const Node* n = node[lane];
+        const Key probe = keys[lane];
+        const bool go_right = n->leaf ? n->keys[mid[lane]] < probe
+                                      : n->keys[mid[lane]] <= probe;
+        if (go_right) {
+          lo[lane] = mid[lane] + 1;
+        } else {
+          hi[lane] = mid[lane];
+        }
+      }
+    }
+
+    if (depth + 1 < levels) {
+      // Read the child pointer slot and descend.
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(mask & (1u << lane))) continue;
+        addrs[lane] = node_addr(node[lane]) + kHeaderBytes +
+                      uint64_t{inner_capacity_} * 8 + uint64_t{lo[lane]} * 8;
+        node[lane] = node[lane]->children[lo[lane]];
+      }
+      warp.Gather(addrs.data(), mask, 8);
+    } else {
+      // Leaf: read the value slot for matches.
+      uint32_t found = 0;
+      uint32_t value_mask = 0;
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(mask & (1u << lane))) continue;
+        const Node* n = node[lane];
+        if (lo[lane] < n->keys.size() && n->keys[lo[lane]] == keys[lane]) {
+          out_value[lane] = n->values[lo[lane]];
+          found |= 1u << lane;
+          addrs[lane] = node_addr(n) + kHeaderBytes +
+                        uint64_t{leaf_capacity_} * 8 + uint64_t{lo[lane]} * 8;
+          value_mask |= 1u << lane;
+        }
+      }
+      if (value_mask != 0) warp.Gather(addrs.data(), value_mask, 8);
+      return found;
+    }
+  }
+  return 0;  // unreachable: the loop returns at the leaf level
+}
+
+// --- Invariants --------------------------------------------------------------
+
+int DynamicBTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = node->children[0];
+    ++depth;
+  }
+  return depth;
+}
+
+void DynamicBTree::CheckSubtree(const Node* node, const Node* root,
+                                Key lower, bool has_lower, Key upper,
+                                bool has_upper, int depth,
+                                int leaf_depth) const {
+  const uint32_t capacity = node->leaf ? leaf_capacity_ : inner_capacity_;
+  GPUJOIN_CHECK(node->keys.size() <= capacity);
+  if (node != root) {
+    const uint32_t min_fill = (capacity - 1) / 2;
+    GPUJOIN_CHECK(node->keys.size() >= min_fill)
+        << "underfull node: " << node->keys.size() << " < " << min_fill;
+  }
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    GPUJOIN_CHECK(node->keys[i - 1] < node->keys[i]) << "key order";
+  }
+  if (!node->keys.empty()) {
+    if (has_lower) GPUJOIN_CHECK(node->keys.front() >= lower);
+    if (has_upper) GPUJOIN_CHECK(node->keys.back() < upper);
+  }
+  if (node->leaf) {
+    GPUJOIN_CHECK(depth == leaf_depth) << "leaves at non-uniform depth";
+    GPUJOIN_CHECK(node->values.size() == node->keys.size());
+    return;
+  }
+  GPUJOIN_CHECK(node->children.size() == node->keys.size() + 1);
+  for (size_t c = 0; c < node->children.size(); ++c) {
+    const bool child_has_lower = c > 0 || has_lower;
+    const Key child_lower = c > 0 ? node->keys[c - 1] : lower;
+    const bool child_has_upper = c < node->keys.size() || has_upper;
+    const Key child_upper = c < node->keys.size() ? node->keys[c] : upper;
+    CheckSubtree(node->children[c], root, child_lower, child_has_lower,
+                 child_upper, child_has_upper, depth + 1, leaf_depth);
+  }
+}
+
+void DynamicBTree::CheckInvariants() const {
+  CheckSubtree(root_, root_, 0, false, 0, false, 0, LeafDepth());
+}
+
+}  // namespace gpujoin::index

@@ -1,0 +1,110 @@
+#ifndef GPUJOIN_INDEX_DYNAMIC_BTREE_H_
+#define GPUJOIN_INDEX_DYNAMIC_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::index {
+
+// A mutable B+tree in simulated CPU memory, with the same SIMT read path
+// as the bulk-loaded BTreeIndex.
+//
+// The paper's evaluation uses read-only indexes ("we assume the index
+// already exists when the query is run", Sec. 3.2) and recommends
+// Harmonia/B+trees over learned indexes "if the index must support
+// inserts and updates" (Sec. 6). DynamicBTree covers that scenario: the
+// CPU maintains the tree between queries (Insert / Erase / Find), while
+// the GPU performs out-of-core lookups against it through LookupWarp,
+// charging the same coalesced cacheline traffic as the static indexes.
+//
+// Unlike the implicit bulk-loaded trees, nodes are materialized: each
+// node owns real key/value storage plus a reserved simulated address, so
+// arbitrary insert orders and splits/merges work.
+class DynamicBTree {
+ public:
+  struct Options {
+    uint32_t node_bytes = 4096;  // same node budget as the paper's B+tree
+  };
+
+  DynamicBTree(mem::AddressSpace* space, const Options& options);
+  DynamicBTree(mem::AddressSpace* space);
+
+  DynamicBTree(const DynamicBTree&) = delete;
+  DynamicBTree& operator=(const DynamicBTree&) = delete;
+  ~DynamicBTree();
+
+  using Key = workload::Key;
+
+  // CPU-side maintenance (no GPU traffic is charged).
+  // Inserts key -> value; overwrites the value if the key exists.
+  void Insert(Key key, uint64_t value);
+  // Removes the key; returns false if absent.
+  bool Erase(Key key);
+  // Functional point lookup (CPU side).
+  std::optional<uint64_t> Find(Key key) const;
+
+  uint64_t size() const { return size_; }
+  int height() const;
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t footprint_bytes() const { return num_nodes_ * node_bytes_; }
+
+  // SIMT lookup of up to 32 keys (GPU side, charges coalesced gathers).
+  // out_value[lane] receives the value for found lanes; returns the
+  // found-mask.
+  uint32_t LookupWarp(sim::Warp& warp, const Key* keys, uint32_t mask,
+                      uint64_t* out_value) const;
+
+  // Validates all tree invariants (key order, fill bounds, uniform leaf
+  // depth, parent/child key consistency); CHECK-fails on violation.
+  // Exposed for tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* AllocateNode(bool leaf);
+  void FreeNode(Node* node);
+  void DestroySubtree(Node* node);
+
+  // Returns the leaf that should contain `key`, charging nothing
+  // (CPU-side descent).
+  Node* DescendToLeaf(Key key) const;
+
+  // Splits `node` (which is full); `parent` receives the new separator.
+  // Root splits grow the tree.
+  void SplitChild(Node* parent, int child_index);
+
+  void InsertNonFull(Node* node, Key key, uint64_t value);
+
+  // Rebalances `node`'s child at `child_index` if it underflowed
+  // (borrow from a sibling or merge).
+  void FixUnderflow(Node* parent, int child_index);
+
+  bool EraseRecursive(Node* node, Key key);
+
+  void CheckSubtree(const Node* node, const Node* root, Key lower,
+                    bool has_lower, Key upper, bool has_upper,
+                    int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  mem::AddressSpace* space_;
+  uint32_t node_bytes_;
+  uint32_t leaf_capacity_;   // max keys per leaf
+  uint32_t inner_capacity_;  // max keys per inner node
+  mem::Region region_;
+  uint64_t next_node_slot_ = 0;
+  std::vector<uint64_t> free_slots_;
+  Node* root_ = nullptr;
+  uint64_t size_ = 0;
+  uint64_t num_nodes_ = 0;
+};
+
+}  // namespace gpujoin::index
+
+#endif  // GPUJOIN_INDEX_DYNAMIC_BTREE_H_

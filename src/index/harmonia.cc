@@ -1,0 +1,210 @@
+#include "index/harmonia.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/bit_util.h"
+#include "util/check.h"
+
+namespace gpujoin::index {
+
+HarmoniaIndex::HarmoniaIndex(mem::AddressSpace* space,
+                             const workload::KeyColumn* column)
+    : HarmoniaIndex(space, column, Options()) {}
+
+HarmoniaIndex::HarmoniaIndex(mem::AddressSpace* space,
+                             const workload::KeyColumn* column,
+                             const Options& options)
+    : column_(column),
+      keys_per_node_(options.keys_per_node),
+      sub_warp_width_(options.sub_warp_width) {
+  GPUJOIN_CHECK(keys_per_node_ >= 2);
+  GPUJOIN_CHECK(sub_warp_width_ >= 1 &&
+                sub_warp_width_ <= sim::Warp::kWidth);
+  GPUJOIN_CHECK(sim::Warp::kWidth % sub_warp_width_ == 0)
+      << "sub-warp width must divide the warp width";
+
+  const uint64_t n = column_->size();
+  level_counts_.push_back(bits::CeilDiv(n, keys_per_node_));
+  while (level_counts_.back() > 1) {
+    level_counts_.push_back(
+        bits::CeilDiv(level_counts_.back(), keys_per_node_));
+  }
+
+  leaves_per_node_.resize(level_counts_.size());
+  level_node_offset_.resize(level_counts_.size());
+  uint64_t offset = 0;
+  uint64_t leaves = 1;
+  for (size_t l = 0; l < level_counts_.size(); ++l) {
+    leaves_per_node_[l] = leaves;
+    leaves *= keys_per_node_;
+    level_node_offset_[l] = offset;
+    offset += level_counts_[l];
+  }
+  total_nodes_ = offset;
+
+  key_region_ = space->Reserve(total_nodes_ * node_key_bytes(),
+                               mem::MemKind::kHost, "harmonia.keys");
+  child_region_ = space->Reserve(total_nodes_ * 8, mem::MemKind::kHost,
+                                 "harmonia.children");
+}
+
+mem::VirtAddr HarmoniaIndex::KeySlotAddr(int level, uint64_t node,
+                                         uint32_t slot) const {
+  GPUJOIN_DCHECK(level >= 0 && level < height());
+  GPUJOIN_DCHECK(node < level_counts_[level]);
+  return key_region_.base +
+         (level_node_offset_[level] + node) * node_key_bytes() +
+         uint64_t{slot} * 8;
+}
+
+mem::VirtAddr HarmoniaIndex::ChildArrayAddr(int level, uint64_t node) const {
+  return child_region_.base + (level_node_offset_[level] + node) * 8;
+}
+
+uint64_t HarmoniaIndex::FirstPosition(int level, uint64_t node) const {
+  return node * leaves_per_node_[level] * keys_per_node_;
+}
+
+uint32_t HarmoniaIndex::NodeKeyCount(int level, uint64_t node) const {
+  if (level == 0) {
+    const uint64_t n = column_->size();
+    const uint64_t first = node * keys_per_node_;
+    GPUJOIN_DCHECK(first < n);
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(keys_per_node_, n - first));
+  }
+  const uint64_t below = level_counts_[level - 1];
+  const uint64_t first_child = node * keys_per_node_;
+  GPUJOIN_DCHECK(first_child < below);
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(keys_per_node_, below - first_child));
+}
+
+Key HarmoniaIndex::NodeKey(int level, uint64_t node, uint32_t slot) const {
+  GPUJOIN_DCHECK(slot < NodeKeyCount(level, node));
+  if (level == 0) {
+    return column_->key_at(node * keys_per_node_ + slot);
+  }
+  // Inner key `slot` is the first key of child `slot`'s subtree.
+  return column_->key_at(FirstPosition(level - 1,
+                                       node * keys_per_node_ + slot));
+}
+
+uint32_t HarmoniaIndex::LookupWarp(sim::Warp& warp, const Key* keys,
+                                   uint32_t mask, uint64_t* out_pos) const {
+  constexpr int kW = sim::Warp::kWidth;
+  const int w = sub_warp_width_;
+  const int num_sub_warps = kW / w;
+  const uint64_t n = column_->size();
+
+  // Gather the lanes with work; sub-warps then take the pending keys in
+  // rounds (the dynamic rescheduling of paper Sec. 3.3.1).
+  std::array<int, kW> pending{};
+  int num_pending = 0;
+  for (int lane = 0; lane < kW; ++lane) {
+    if (mask & (1u << lane)) pending[num_pending++] = lane;
+  }
+
+  uint32_t found = 0;
+  std::array<mem::VirtAddr, kW> addrs{};
+
+  for (int round_base = 0; round_base < num_pending;
+       round_base += num_sub_warps) {
+    const int round_keys =
+        std::min(num_sub_warps, num_pending - round_base);
+
+    std::array<uint64_t, kW> node{};  // per sub-warp, indexed 0..round_keys
+    for (int level = height() - 1; level >= 0; --level) {
+      // Cooperative node-key read: the sub-warp's w lanes sweep all of
+      // the node's keys in ceil(keys_per_node / w) rounds, touching every
+      // cacheline of the node exactly once (regardless of w — what the
+      // width changes is the number of comparison rounds and how many
+      // keys are in flight per warp). Line-distinct rounds are issued as
+      // gathers; the remaining rounds are pure comparisons.
+      const uint32_t line_bytes = warp.memory().line_bytes();
+      const uint32_t lines_per_node = std::max<uint32_t>(
+          1, static_cast<uint32_t>(node_key_bytes() / line_bytes));
+      const uint32_t slots_per_line = line_bytes / 8;
+      const int line_rounds =
+          static_cast<int>(bits::CeilDiv(lines_per_node, w));
+      for (int g = 0; g < line_rounds; ++g) {
+        uint32_t issue = 0;
+        for (int s = 0; s < round_keys; ++s) {
+          for (int j = 0; j < w; ++j) {
+            const uint32_t line = g * w + j;
+            if (line >= lines_per_node) break;
+            const uint32_t slot =
+                std::min(line * slots_per_line, keys_per_node_ - 1);
+            const int lane = s * w + j;
+            addrs[lane] = KeySlotAddr(level, node[s], slot);
+            issue |= 1u << lane;
+          }
+        }
+        warp.Gather(addrs.data(), issue, sizeof(Key));
+      }
+      // Comparison rounds beyond the line sweeps (redundant lane work for
+      // wide sub-warps, extra iterations for narrow ones).
+      const uint64_t total_rounds = bits::CeilDiv(keys_per_node_, w);
+      if (total_rounds > static_cast<uint64_t>(line_rounds)) {
+        warp.AddSteps(total_rounds - line_rounds);
+      }
+
+      if (level > 0) {
+        // Child = number of node keys <= probe, minus one (clamped):
+        // node key c is the first key of child c's subtree.
+        for (int s = 0; s < round_keys; ++s) {
+          const Key probe = keys[pending[round_base + s]];
+          const uint32_t count = NodeKeyCount(level, node[s]);
+          uint32_t lo = 0;
+          uint32_t hi = count;
+          while (lo < hi) {
+            const uint32_t mid = lo + (hi - lo) / 2;
+            if (NodeKey(level, node[s], mid) <= probe) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          const uint32_t child = lo > 0 ? lo - 1 : 0;
+          node[s] = node[s] * keys_per_node_ + child;
+        }
+        // Prefix-sum child array lookup: one lane per sub-warp.
+        uint32_t child_issue = 0;
+        for (int s = 0; s < round_keys; ++s) {
+          const int lane = s * w;
+          // Address of the *parent*'s child-array entry.
+          addrs[lane] =
+              ChildArrayAddr(level, node[s] / keys_per_node_);
+          child_issue |= 1u << lane;
+        }
+        warp.Gather(addrs.data(), child_issue, 8);
+      } else {
+        // Leaf: lower bound within the node.
+        for (int s = 0; s < round_keys; ++s) {
+          const int lane = pending[round_base + s];
+          const Key probe = keys[lane];
+          const uint32_t count = NodeKeyCount(0, node[s]);
+          uint32_t lo = 0;
+          uint32_t hi = count;
+          while (lo < hi) {
+            const uint32_t mid = lo + (hi - lo) / 2;
+            if (NodeKey(0, node[s], mid) < probe) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          const uint64_t pos = node[s] * keys_per_node_ + lo;
+          out_pos[lane] = pos;
+          if (pos < n && lo < count && NodeKey(0, node[s], lo) == probe) {
+            found |= 1u << lane;
+          }
+        }
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace gpujoin::index

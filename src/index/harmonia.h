@@ -1,0 +1,75 @@
+#ifndef GPUJOIN_INDEX_HARMONIA_H_
+#define GPUJOIN_INDEX_HARMONIA_H_
+
+#include <vector>
+
+#include "index/index.h"
+#include "mem/address_space.h"
+
+namespace gpujoin::index {
+
+// Harmonia (Yan et al., PPoPP'19): a GPU-optimized B+tree that stores all
+// node key regions in one contiguous array and replaces child pointers
+// with a prefix-sum child array. Lookups are performed cooperatively: the
+// warp is divided into sub-warps, each responsible for one probe key at a
+// time; the sub-warp's lanes compare the node's keys in parallel, so the
+// (at most two) cachelines of a node are fetched once per key rather than
+// once per comparison step.
+//
+// The paper configures Harmonia with 32 keys per node (Sec. 3.2). As with
+// BTreeIndex, the bulk-loaded structure is implicit: node contents are
+// computed from the sorted column, while the key-region and child-array
+// accesses are charged at the addresses a materialized Harmonia would use.
+class HarmoniaIndex : public Index {
+ public:
+  struct Options {
+    uint32_t keys_per_node = 32;  // paper Sec. 3.2
+    int sub_warp_width = 4;       // lanes cooperating per probe key
+  };
+
+  HarmoniaIndex(mem::AddressSpace* space, const workload::KeyColumn* column,
+                const Options& options);
+  HarmoniaIndex(mem::AddressSpace* space, const workload::KeyColumn* column);
+
+  std::string name() const override { return "harmonia"; }
+  const workload::KeyColumn& column() const override { return *column_; }
+  uint64_t footprint_bytes() const override {
+    // Key regions (a full copy of the keys, grouped into nodes) plus the
+    // prefix-sum child array: the "larger persistent state" that makes
+    // tree indexes hit the TLB range earlier (paper Sec. 4.3.2).
+    return total_nodes_ * node_key_bytes() + total_nodes_ * 8;
+  }
+
+  uint32_t LookupWarp(sim::Warp& warp, const Key* keys, uint32_t mask,
+                      uint64_t* out_pos) const override;
+
+  int height() const { return static_cast<int>(level_counts_.size()); }
+  uint32_t keys_per_node() const { return keys_per_node_; }
+  int sub_warp_width() const { return sub_warp_width_; }
+  uint64_t num_nodes(int level) const { return level_counts_[level]; }
+
+  // Functional node content, exposed for tests. `slot` must be < the
+  // node's key count. Level 0 = leaves.
+  Key NodeKey(int level, uint64_t node, uint32_t slot) const;
+  uint32_t NodeKeyCount(int level, uint64_t node) const;
+
+ private:
+  uint64_t node_key_bytes() const { return uint64_t{keys_per_node_} * 8; }
+  mem::VirtAddr KeySlotAddr(int level, uint64_t node, uint32_t slot) const;
+  mem::VirtAddr ChildArrayAddr(int level, uint64_t node) const;
+  uint64_t FirstPosition(int level, uint64_t node) const;
+
+  const workload::KeyColumn* column_;
+  uint32_t keys_per_node_;
+  int sub_warp_width_;
+  uint64_t total_nodes_ = 0;
+  std::vector<uint64_t> level_counts_;        // level 0 = leaves
+  std::vector<uint64_t> level_node_offset_;
+  std::vector<uint64_t> leaves_per_node_;
+  mem::Region key_region_;
+  mem::Region child_region_;
+};
+
+}  // namespace gpujoin::index
+
+#endif  // GPUJOIN_INDEX_HARMONIA_H_

@@ -1,0 +1,19 @@
+#include "index/index.h"
+
+namespace gpujoin::index {
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kBinarySearch:
+      return "binary_search";
+    case IndexType::kBTree:
+      return "btree";
+    case IndexType::kHarmonia:
+      return "harmonia";
+    case IndexType::kRadixSpline:
+      return "radix_spline";
+  }
+  return "unknown";
+}
+
+}  // namespace gpujoin::index

@@ -1,0 +1,124 @@
+#include "index/spline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace gpujoin::index {
+
+std::vector<SplinePoint> BuildGreedySplinePoints(
+    const workload::KeyColumn& column, uint64_t max_error) {
+  const uint64_t n = column.size();
+  GPUJOIN_CHECK(n > 0);
+  std::vector<SplinePoint> points;
+  points.push_back({column.key_at(0), 0});
+  if (n == 1) return points;
+
+  // Corridor state: last emitted knot, the previous CDF point, and the
+  // admissible slope interval.
+  SplinePoint base = points[0];
+  SplinePoint prev = base;
+  double slope_lo = 0;
+  double slope_hi = 0;
+  bool corridor_open = false;
+  const double err = static_cast<double>(max_error);
+
+  for (uint64_t i = 1; i < n; ++i) {
+    const SplinePoint cur{column.key_at(i), i};
+    const double dx = static_cast<double>(cur.key - base.key);
+    const double dy = static_cast<double>(cur.pos - base.pos);
+    GPUJOIN_DCHECK(dx > 0) << "keys must be strictly increasing";
+    const double slope = dy / dx;
+    const double lo_cand = (dy - err) / dx;
+    const double hi_cand = (dy + err) / dx;
+
+    if (!corridor_open) {
+      slope_lo = lo_cand;
+      slope_hi = hi_cand;
+      corridor_open = true;
+    } else if (slope < slope_lo || slope > slope_hi) {
+      // cur leaves the corridor: the previous point becomes a knot, and
+      // the corridor restarts from there towards cur.
+      points.push_back(prev);
+      base = prev;
+      const double ndx = static_cast<double>(cur.key - base.key);
+      const double ndy = static_cast<double>(cur.pos - base.pos);
+      slope_lo = (ndy - err) / ndx;
+      slope_hi = (ndy + err) / ndx;
+    } else {
+      slope_lo = std::max(slope_lo, lo_cand);
+      slope_hi = std::min(slope_hi, hi_cand);
+    }
+    prev = cur;
+  }
+  points.push_back({column.key_at(n - 1), n - 1});
+  return points;
+}
+
+GreedySpline::GreedySpline(mem::AddressSpace* space,
+                           const workload::KeyColumn& column,
+                           uint64_t max_error)
+    : max_error_(std::max<uint64_t>(1, max_error)) {
+  std::vector<SplinePoint> pts = BuildGreedySplinePoints(column, max_error_);
+  points_ = mem::SimArray<SplinePoint>(space, pts.size(),
+                                       mem::MemKind::kHost, "spline.points");
+  std::copy(pts.begin(), pts.end(), points_.begin());
+}
+
+UniformSpline::UniformSpline(mem::AddressSpace* space,
+                             const workload::KeyColumn* column,
+                             uint64_t interval)
+    : column_(column), interval_(interval) {
+  GPUJOIN_CHECK(interval >= 2);
+  const uint64_t n = column_->size();
+  GPUJOIN_CHECK(n >= 2) << "uniform spline needs at least two keys";
+  num_points_ = bits::CeilDiv(n - 1, interval_) + 1;
+  region_ = space->Reserve(num_points_ * sizeof(SplinePoint),
+                           mem::MemKind::kHost, "spline.points");
+  max_error_ = EstimateError();
+}
+
+uint64_t UniformSpline::point_pos(uint64_t i) const {
+  GPUJOIN_DCHECK(i < num_points_);
+  return std::min(i * interval_, column_->size() - 1);
+}
+
+uint64_t UniformSpline::EstimateError() const {
+  // Samples segments and interior positions, measuring the deviation of
+  // linear interpolation from the true position. The result only sizes
+  // the search window; correctness is independent of it.
+  Xoshiro256 rng(0xec0de);
+  uint64_t worst = 0;
+  const uint64_t segments = num_points_ - 1;
+  const int num_segment_samples =
+      static_cast<int>(std::min<uint64_t>(64, segments));
+  for (int s = 0; s < num_segment_samples; ++s) {
+    const uint64_t seg = rng.NextBounded(segments);
+    const uint64_t lo_pos = point_pos(seg);
+    const uint64_t hi_pos = point_pos(seg + 1);
+    const Key lo_key = column_->key_at(lo_pos);
+    const Key hi_key = column_->key_at(hi_pos);
+    const double slope = static_cast<double>(hi_pos - lo_pos) /
+                         static_cast<double>(hi_key - lo_key);
+    const int probes =
+        static_cast<int>(std::min<uint64_t>(16, hi_pos - lo_pos));
+    for (int p = 0; p < probes; ++p) {
+      const uint64_t pos = lo_pos + 1 + rng.NextBounded(hi_pos - lo_pos - 1 + 1);
+      const Key key = column_->key_at(std::min(pos, hi_pos));
+      const double est =
+          static_cast<double>(lo_pos) +
+          slope * static_cast<double>(key - lo_key);
+      const double diff =
+          std::fabs(est - static_cast<double>(std::min(pos, hi_pos)));
+      worst = std::max(worst, static_cast<uint64_t>(std::ceil(diff)));
+    }
+  }
+  // Safety margin: doubling covers unsampled segments; the lookup falls
+  // back to the full segment when the window misses.
+  return std::max<uint64_t>(1, 2 * worst);
+}
+
+}  // namespace gpujoin::index

@@ -1,0 +1,104 @@
+#ifndef GPUJOIN_INDEX_SPLINE_H_
+#define GPUJOIN_INDEX_SPLINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/sim_array.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::index {
+
+using workload::Key;
+
+// One spline knot: the CDF point (key, position).
+struct SplinePoint {
+  Key key;
+  uint64_t pos;
+};
+
+// Storage abstraction for the RadixSpline's knots. Two implementations:
+// a materialized spline built with the greedy corridor algorithm (the real
+// RadixSpline builder, used for in-core columns), and a procedural uniform
+// spline (knots at fixed position intervals) for the 100+ GiB procedural
+// columns that cannot be scanned at build time. Lookup code is identical;
+// only knot placement differs, and correctness never depends on the error
+// bound (the final search window is clamped to the bracketing segment).
+class SplineStorage {
+ public:
+  virtual ~SplineStorage() = default;
+
+  virtual uint64_t num_points() const = 0;
+  virtual Key point_key(uint64_t i) const = 0;
+  virtual uint64_t point_pos(uint64_t i) const = 0;
+  virtual mem::VirtAddr point_addr(uint64_t i) const = 0;
+  virtual uint64_t footprint_bytes() const = 0;
+
+  // Expected interpolation error in positions (search window radius).
+  virtual uint64_t max_error() const = 0;
+};
+
+// Spline built with the single-pass GreedySplineCorridor algorithm (Kipf
+// et al. [25]): emits a knot whenever the next CDF point would leave the
+// +-max_error corridor around the current linear segment.
+class GreedySpline : public SplineStorage {
+ public:
+  // Scans the whole column: only for materialized / in-core columns.
+  GreedySpline(mem::AddressSpace* space, const workload::KeyColumn& column,
+               uint64_t max_error);
+
+  uint64_t num_points() const override { return points_.size(); }
+  Key point_key(uint64_t i) const override { return points_[i].key; }
+  uint64_t point_pos(uint64_t i) const override { return points_[i].pos; }
+  mem::VirtAddr point_addr(uint64_t i) const override {
+    return points_.addr_of(i);
+  }
+  uint64_t footprint_bytes() const override {
+    return points_.size() * sizeof(SplinePoint);
+  }
+  uint64_t max_error() const override { return max_error_; }
+
+ private:
+  mem::SimArray<SplinePoint> points_;
+  uint64_t max_error_;
+};
+
+// Computes the greedy-corridor knots for a column (exposed for tests).
+std::vector<SplinePoint> BuildGreedySplinePoints(
+    const workload::KeyColumn& column, uint64_t max_error);
+
+// Procedural spline: knots every `interval` positions plus the last
+// element. The effective interpolation error is estimated by sampling
+// segments (exact for dense columns, ~1 for jittered ones).
+class UniformSpline : public SplineStorage {
+ public:
+  UniformSpline(mem::AddressSpace* space, const workload::KeyColumn* column,
+                uint64_t interval);
+
+  uint64_t num_points() const override { return num_points_; }
+  Key point_key(uint64_t i) const override {
+    return column_->key_at(point_pos(i));
+  }
+  uint64_t point_pos(uint64_t i) const override;
+  mem::VirtAddr point_addr(uint64_t i) const override {
+    return region_.base + i * sizeof(SplinePoint);
+  }
+  uint64_t footprint_bytes() const override {
+    return num_points_ * sizeof(SplinePoint);
+  }
+  uint64_t max_error() const override { return max_error_; }
+
+ private:
+  uint64_t EstimateError() const;
+
+  const workload::KeyColumn* column_;
+  uint64_t interval_;
+  uint64_t num_points_;
+  uint64_t max_error_;
+  mem::Region region_;
+};
+
+}  // namespace gpujoin::index
+
+#endif  // GPUJOIN_INDEX_SPLINE_H_

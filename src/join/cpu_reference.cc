@@ -1,0 +1,32 @@
+#include "join/cpu_reference.h"
+
+namespace gpujoin::join {
+
+std::vector<ReferenceMatch> CpuReferenceJoin(
+    const workload::KeyColumn& column,
+    const std::vector<workload::Key>& probe_keys) {
+  std::vector<ReferenceMatch> matches;
+  matches.reserve(probe_keys.size());
+  const uint64_t n = column.size();
+  for (uint64_t row = 0; row < probe_keys.size(); ++row) {
+    const uint64_t pos = column.LowerBound(probe_keys[row]);
+    if (pos < n && column.key_at(pos) == probe_keys[row]) {
+      matches.push_back({row, pos});
+    }
+  }
+  return matches;
+}
+
+uint64_t CpuReferenceJoinCount(
+    const workload::KeyColumn& column,
+    const std::vector<workload::Key>& probe_keys) {
+  uint64_t count = 0;
+  const uint64_t n = column.size();
+  for (const workload::Key key : probe_keys) {
+    const uint64_t pos = column.LowerBound(key);
+    if (pos < n && column.key_at(pos) == key) ++count;
+  }
+  return count;
+}
+
+}  // namespace gpujoin::join

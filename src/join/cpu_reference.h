@@ -1,0 +1,31 @@
+#ifndef GPUJOIN_JOIN_CPU_REFERENCE_H_
+#define GPUJOIN_JOIN_CPU_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/key_column.h"
+
+namespace gpujoin::join {
+
+// A single-threaded CPU join used as a correctness oracle in tests and
+// examples: joins probe keys against a sorted column by galloping /
+// binary search and returns exact (probe_row, column_position) matches.
+// No hardware accounting — this is ground truth, not a contender.
+struct ReferenceMatch {
+  uint64_t probe_row;
+  uint64_t position;
+};
+
+// Equi-join of `probe_keys` against the sorted unique `column`.
+std::vector<ReferenceMatch> CpuReferenceJoin(
+    const workload::KeyColumn& column,
+    const std::vector<workload::Key>& probe_keys);
+
+// Convenience: just the match count.
+uint64_t CpuReferenceJoinCount(const workload::KeyColumn& column,
+                               const std::vector<workload::Key>& probe_keys);
+
+}  // namespace gpujoin::join
+
+#endif  // GPUJOIN_JOIN_CPU_REFERENCE_H_

@@ -1,0 +1,51 @@
+#ifndef GPUJOIN_MEM_PAGE_TABLE_H_
+#define GPUJOIN_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/address_space.h"
+
+namespace gpujoin::mem {
+
+// Lazily-populated page table: maps virtual page numbers to physical frame
+// numbers. Frames are assigned in first-touch order, which is deterministic
+// given a deterministic access sequence, so experiment runs are exactly
+// reproducible.
+//
+// On the paper's system the translation for a host page is produced by the
+// CPU's I/O memory management unit in response to a GPU address translation
+// request; the simulator's TLB (sim/tlb.h) charges that cost and consults
+// this table for the mapping.
+class PageTable {
+ public:
+  explicit PageTable(const AddressSpace* space) : space_(space) {}
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Translates `addr` to a physical frame number, installing a mapping on
+  // first touch.
+  uint64_t Translate(VirtAddr addr, MemKind kind) {
+    const uint64_t vpn = space_->PageNumber(addr, kind);
+    auto [it, inserted] = frames_.try_emplace(Key(vpn, kind), next_frame_);
+    if (inserted) ++next_frame_;
+    return it->second;
+  }
+
+  // Number of distinct pages touched so far (across both kinds).
+  uint64_t mapped_pages() const { return frames_.size(); }
+
+ private:
+  static uint64_t Key(uint64_t vpn, MemKind kind) {
+    return (vpn << 1) | static_cast<uint64_t>(kind);
+  }
+
+  const AddressSpace* space_;
+  std::unordered_map<uint64_t, uint64_t> frames_;
+  uint64_t next_frame_ = 0;
+};
+
+}  // namespace gpujoin::mem
+
+#endif  // GPUJOIN_MEM_PAGE_TABLE_H_

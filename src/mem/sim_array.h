@@ -1,0 +1,75 @@
+#ifndef GPUJOIN_MEM_SIM_ARRAY_H_
+#define GPUJOIN_MEM_SIM_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "util/check.h"
+
+namespace gpujoin::mem {
+
+// A materialized typed array living at a simulated virtual address. Reads
+// and writes are real (the data is backed by std::vector) and callers pass
+// the corresponding virtual addresses to the hardware model to account for
+// the access.
+//
+// SimArray is the building block for everything that is physically
+// materialized in an experiment: probe-side keys, partition buffers, hash
+// tables, index nodes of in-core tests, join results. The multi-GiB base
+// relations of the large-scale experiments are *not* SimArrays — they are
+// procedural columns (workload/key_column.h) that occupy simulated address
+// space without real backing memory.
+template <typename T>
+class SimArray {
+ public:
+  SimArray() = default;
+
+  SimArray(AddressSpace* space, size_t n, MemKind kind, std::string name)
+      : region_(space->Reserve(n * sizeof(T), kind, std::move(name))),
+        data_(n) {}
+
+  SimArray(SimArray&&) noexcept = default;
+  SimArray& operator=(SimArray&&) noexcept = default;
+  SimArray(const SimArray&) = delete;
+  SimArray& operator=(const SimArray&) = delete;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator[](size_t i) {
+    GPUJOIN_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    GPUJOIN_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  // Virtual address of element i (valid for i == size() as an end address).
+  VirtAddr addr_of(size_t i) const {
+    GPUJOIN_DCHECK(i <= data_.size());
+    return region_.base + i * sizeof(T);
+  }
+
+  const Region& region() const { return region_; }
+
+  typename std::vector<T>::iterator begin() { return data_.begin(); }
+  typename std::vector<T>::iterator end() { return data_.end(); }
+  typename std::vector<T>::const_iterator begin() const {
+    return data_.begin();
+  }
+  typename std::vector<T>::const_iterator end() const { return data_.end(); }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+ private:
+  Region region_;
+  std::vector<T> data_;
+};
+
+}  // namespace gpujoin::mem
+
+#endif  // GPUJOIN_MEM_SIM_ARRAY_H_

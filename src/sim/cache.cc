@@ -1,0 +1,70 @@
+#include "sim/cache.h"
+
+namespace gpujoin::sim {
+
+Cache::Cache(uint64_t size_bytes, uint32_t line_bytes, int ways)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), ways_(ways) {
+  GPUJOIN_CHECK(bits::IsPowerOfTwo(line_bytes)) << line_bytes;
+  GPUJOIN_CHECK(ways > 0);
+  const uint64_t num_lines = size_bytes / line_bytes;
+  GPUJOIN_CHECK(num_lines > 0);
+  if (static_cast<uint64_t>(ways_) > num_lines) {
+    ways_ = static_cast<int>(num_lines);
+  }
+  // Indexing needs a power-of-two set count; capacities that are not
+  // (sets * ways) exact (e.g. the V100's 6 MiB L2) fold the remainder
+  // into the associativity so the modeled capacity stays faithful.
+  num_sets_ = uint64_t{1} << bits::Log2Floor(num_lines / ways_);
+  ways_ = static_cast<int>(num_lines / num_sets_);
+  set_mask_ = num_sets_ - 1;
+  ways_storage_.assign(num_sets_ * ways_, Way{});
+}
+
+bool Cache::Access(uint64_t line_id) {
+  const uint64_t set = line_id & set_mask_;
+  Way* base = &ways_storage_[set * ways_];
+  ++tick_;
+  int lru = 0;
+  uint64_t lru_use = ~uint64_t{0};
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line_id) {
+      base[w].last_use = tick_;
+      ++base[w].touches;
+      return true;
+    }
+    if (base[w].last_use < lru_use) {
+      lru_use = base[w].last_use;
+      lru = w;
+    }
+  }
+  base[lru].tag = line_id;
+  base[lru].last_use = tick_;
+  base[lru].touches = 1;
+  return false;
+}
+
+bool Cache::Contains(uint64_t line_id) const {
+  const uint64_t set = line_id & set_mask_;
+  const Way* base = &ways_storage_[set * ways_];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line_id) return true;
+  }
+  return false;
+}
+
+void Cache::Clear() {
+  ways_storage_.assign(ways_storage_.size(), Way{});
+  tick_ = 0;
+}
+
+void Cache::FlushCold(uint64_t min_touches) {
+  for (Way& way : ways_storage_) {
+    if (way.touches < min_touches) {
+      way = Way{};
+    } else {
+      way.touches = 0;
+    }
+  }
+}
+
+}  // namespace gpujoin::sim

@@ -1,0 +1,65 @@
+#ifndef GPUJOIN_SIM_CACHE_H_
+#define GPUJOIN_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_util.h"
+#include "util/check.h"
+
+namespace gpujoin::sim {
+
+// Set-associative cache model with LRU replacement, tracked at cacheline
+// granularity. Used for the simulated GPU L1 and L2 caches. The model only
+// tracks presence (tags), not contents — functional data lives in the data
+// structures themselves.
+class Cache {
+ public:
+  // `size_bytes` and `line_bytes` must be powers of two; associativity is
+  // clamped so that there is at least one set.
+  Cache(uint64_t size_bytes, uint32_t line_bytes, int ways);
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  // Touches the line containing `line_id` (an already line-aligned
+  // identifier, e.g. addr / line_bytes). Returns true on hit; on miss the
+  // line is installed, evicting the set's LRU line.
+  bool Access(uint64_t line_id);
+
+  // Probes without installing or updating recency.
+  bool Contains(uint64_t line_id) const;
+
+  // Drops all cached lines (e.g. between independent experiment runs).
+  void Clear();
+
+  // Drops lines touched fewer than `min_touches` times since they were
+  // installed (or since the last flush). Models heavy churn that evicts
+  // everything except constantly re-touched hot lines; touch counts reset.
+  void FlushCold(uint64_t min_touches);
+
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint32_t line_bytes() const { return line_bytes_; }
+  int ways() const { return ways_; }
+  uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    uint64_t tag = kInvalidTag;
+    uint64_t last_use = 0;
+    uint64_t touches = 0;
+  };
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
+  uint64_t size_bytes_;
+  uint32_t line_bytes_;
+  int ways_;
+  uint64_t num_sets_;
+  uint64_t set_mask_;
+  uint64_t tick_ = 0;
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_CACHE_H_

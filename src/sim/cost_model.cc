@@ -1,0 +1,42 @@
+#include "sim/cost_model.h"
+
+#include <sstream>
+
+#include "util/units.h"
+
+namespace gpujoin::sim {
+
+std::string TimeBreakdown::ToString() const {
+  std::ostringstream os;
+  os << "total=" << FormatSeconds(total())
+     << " (transfer=" << FormatSeconds(transfer)
+     << ", translation=" << FormatSeconds(translation)
+     << ", hbm=" << FormatSeconds(hbm)
+     << ", compute=" << FormatSeconds(compute)
+     << ", serial=" << FormatSeconds(serial)
+     << ", launch=" << FormatSeconds(launch) << ")";
+  return os.str();
+}
+
+TimeBreakdown CostModel::Breakdown(const CounterSet& c) const {
+  const GpuSpec& gpu = platform_.gpu;
+  const InterconnectSpec& ic = platform_.interconnect;
+
+  TimeBreakdown b;
+  b.transfer =
+      static_cast<double>(c.host_random_read_bytes) / ic.random_bandwidth +
+      static_cast<double>(c.host_seq_read_bytes) / ic.seq_bandwidth +
+      static_cast<double>(c.host_write_bytes) / ic.seq_bandwidth;
+  b.translation = static_cast<double>(c.translation_requests) /
+                  ic.translation_throughput();
+  b.hbm = static_cast<double>(c.hbm_bytes()) / gpu.hbm_bandwidth;
+  b.compute =
+      static_cast<double>(c.warp_steps) / gpu.warp_step_throughput;
+  b.serial = static_cast<double>(c.serial_dependent_loads) *
+             gpu.dependent_load_latency;
+  b.launch = static_cast<double>(c.kernel_launches) *
+             gpu.kernel_launch_overhead;
+  return b;
+}
+
+}  // namespace gpujoin::sim

@@ -1,0 +1,55 @@
+#ifndef GPUJOIN_SIM_COST_MODEL_H_
+#define GPUJOIN_SIM_COST_MODEL_H_
+
+#include <string>
+
+#include "sim/counters.h"
+#include "sim/specs.h"
+
+namespace gpujoin::sim {
+
+// Per-kernel time broken down by bound resource. The paper's workloads are
+// bandwidth- or translation-bound; compute is a coarse proxy.
+struct TimeBreakdown {
+  double transfer = 0;     // interconnect traffic
+  double translation = 0;  // address translation requests
+  double hbm = 0;          // device memory traffic
+  double compute = 0;      // warp instruction throughput
+  double serial = 0;       // dependent-load chains (latency-bound)
+  double launch = 0;       // kernel launch overhead
+
+  // GPU kernels overlap transfer, translation and compute across the many
+  // resident warps, so a kernel is as slow as its most contended resource,
+  // plus fixed launch costs.
+  double total() const {
+    double t = transfer;
+    if (translation > t) t = translation;
+    if (hbm > t) t = hbm;
+    if (compute > t) t = compute;
+    if (serial > t) t = serial;
+    return t + launch;
+  }
+
+  std::string ToString() const;
+};
+
+// Converts hardware counters into simulated seconds for a given platform.
+class CostModel {
+ public:
+  explicit CostModel(const PlatformSpec& platform) : platform_(platform) {}
+
+  TimeBreakdown Breakdown(const CounterSet& counters) const;
+
+  double Seconds(const CounterSet& counters) const {
+    return Breakdown(counters).total();
+  }
+
+  const PlatformSpec& platform() const { return platform_; }
+
+ private:
+  PlatformSpec platform_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_COST_MODEL_H_

@@ -1,0 +1,89 @@
+#include "sim/counters.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/units.h"
+
+namespace gpujoin::sim {
+
+namespace {
+uint64_t ScaleCounter(uint64_t v, double f) {
+  return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
+}
+}  // namespace
+
+CounterSet& CounterSet::operator+=(const CounterSet& o) {
+  host_random_read_bytes += o.host_random_read_bytes;
+  host_seq_read_bytes += o.host_seq_read_bytes;
+  host_write_bytes += o.host_write_bytes;
+  translation_requests += o.translation_requests;
+  tlb_hits += o.tlb_hits;
+  hbm_read_bytes += o.hbm_read_bytes;
+  hbm_write_bytes += o.hbm_write_bytes;
+  l1_hits += o.l1_hits;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  warp_steps += o.warp_steps;
+  memory_transactions += o.memory_transactions;
+  kernel_launches += o.kernel_launches;
+  serial_dependent_loads += o.serial_dependent_loads;
+  return *this;
+}
+
+CounterSet CounterSet::operator-(const CounterSet& o) const {
+  CounterSet r = *this;
+  r.host_random_read_bytes -= o.host_random_read_bytes;
+  r.host_seq_read_bytes -= o.host_seq_read_bytes;
+  r.host_write_bytes -= o.host_write_bytes;
+  r.translation_requests -= o.translation_requests;
+  r.tlb_hits -= o.tlb_hits;
+  r.hbm_read_bytes -= o.hbm_read_bytes;
+  r.hbm_write_bytes -= o.hbm_write_bytes;
+  r.l1_hits -= o.l1_hits;
+  r.l2_hits -= o.l2_hits;
+  r.l2_misses -= o.l2_misses;
+  r.warp_steps -= o.warp_steps;
+  r.memory_transactions -= o.memory_transactions;
+  r.kernel_launches -= o.kernel_launches;
+  r.serial_dependent_loads -= o.serial_dependent_loads;
+  return r;
+}
+
+CounterSet CounterSet::Scaled(double f) const {
+  CounterSet r;
+  r.host_random_read_bytes = ScaleCounter(host_random_read_bytes, f);
+  r.host_seq_read_bytes = ScaleCounter(host_seq_read_bytes, f);
+  r.host_write_bytes = ScaleCounter(host_write_bytes, f);
+  r.translation_requests = ScaleCounter(translation_requests, f);
+  r.tlb_hits = ScaleCounter(tlb_hits, f);
+  r.hbm_read_bytes = ScaleCounter(hbm_read_bytes, f);
+  r.hbm_write_bytes = ScaleCounter(hbm_write_bytes, f);
+  r.l1_hits = ScaleCounter(l1_hits, f);
+  r.l2_hits = ScaleCounter(l2_hits, f);
+  r.l2_misses = ScaleCounter(l2_misses, f);
+  r.warp_steps = ScaleCounter(warp_steps, f);
+  r.memory_transactions = ScaleCounter(memory_transactions, f);
+  // Launches are per-kernel fixed costs, not per-tuple work: keep as-is.
+  r.kernel_launches = kernel_launches;
+  r.serial_dependent_loads = ScaleCounter(serial_dependent_loads, f);
+  return r;
+}
+
+std::string CounterSet::ToString() const {
+  std::ostringstream os;
+  os << "host_rd_random=" << FormatBytes(host_random_read_bytes)
+     << " host_rd_seq=" << FormatBytes(host_seq_read_bytes)
+     << " host_wr=" << FormatBytes(host_write_bytes)
+     << " translations=" << FormatCount(translation_requests)
+     << " hbm_rd=" << FormatBytes(hbm_read_bytes)
+     << " hbm_wr=" << FormatBytes(hbm_write_bytes)
+     << " l1_hits=" << FormatCount(l1_hits)
+     << " l2_hits=" << FormatCount(l2_hits)
+     << " l2_misses=" << FormatCount(l2_misses)
+     << " warp_steps=" << FormatCount(warp_steps)
+     << " launches=" << kernel_launches;
+  return os.str();
+}
+
+}  // namespace gpujoin::sim

@@ -1,0 +1,211 @@
+#include "sim/memory_model.h"
+
+#include <algorithm>
+#include <array>
+
+namespace gpujoin::sim {
+
+MemoryModel::MemoryModel(mem::AddressSpace* space, const GpuSpec& gpu)
+    : space_(space),
+      gpu_(gpu),
+      page_table_(space),
+      l1_(gpu.l1_size, gpu.cacheline_bytes, gpu.l1_ways),
+      l2_(gpu.l2_size, gpu.cacheline_bytes, gpu.l2_ways),
+      tlb_(gpu.tlb_coverage, space->page_size(mem::MemKind::kHost),
+           gpu.tlb_ways) {}
+
+void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
+  ++counters_.memory_transactions;
+  const mem::VirtAddr addr =
+      line_id * static_cast<uint64_t>(gpu_.cacheline_bytes);
+  const bool is_write = type == AccessType::kWrite;
+  if (l1_.Access(line_id)) {
+    ++counters_.l1_hits;
+    if (observer_ != nullptr) {
+      observer_->OnTransaction(addr, ServiceLevel::kL1, is_write);
+    }
+    return;
+  }
+  if (l2_.Access(line_id)) {
+    ++counters_.l2_hits;
+    if (observer_ != nullptr) {
+      observer_->OnTransaction(addr, ServiceLevel::kL2, is_write);
+    }
+    return;
+  }
+  ++counters_.l2_misses;
+
+  const mem::MemKind kind = space_->KindOf(addr);
+  const uint64_t line = gpu_.cacheline_bytes;
+  if (observer_ != nullptr) {
+    observer_->OnTransaction(addr,
+                             kind == mem::MemKind::kDevice
+                                 ? ServiceLevel::kHbm
+                                 : ServiceLevel::kInterconnect,
+                             is_write);
+  }
+  if (kind == mem::MemKind::kDevice) {
+    if (type == AccessType::kRead) {
+      counters_.hbm_read_bytes += line;
+    } else {
+      counters_.hbm_write_bytes += line;
+    }
+    return;
+  }
+
+  // Host-bound transaction: translate, then cross the interconnect.
+  const uint64_t vpn = space_->PageNumber(addr, mem::MemKind::kHost);
+  if (TlbLookup(vpn)) {
+    ++counters_.tlb_hits;
+  } else {
+    ++counters_.translation_requests;
+    page_table_.Translate(addr, mem::MemKind::kHost);
+  }
+  if (type == AccessType::kRead) {
+    if (random) {
+      counters_.host_random_read_bytes += line;
+    } else {
+      counters_.host_seq_read_bytes += line;
+    }
+  } else {
+    counters_.host_write_bytes += line;
+  }
+}
+
+bool MemoryModel::TlbLookup(uint64_t vpn) {
+  // Track the recent page working set: a ring of the last 4 * entries
+  // page touches, with a distinct count.
+  if (vpn != last_touched_page_) {
+    last_touched_page_ = vpn;
+    ++page_touch_counter_;
+    recent_ring_.push_back(vpn);
+    ++recent_counts_[vpn];
+    // The window must approximate the pages ALL co-resident warps keep
+    // touching, not just this one's: scale it by the warp count.
+    const size_t window =
+        tlb_.entries() *
+        std::max<size_t>(4, static_cast<size_t>(gpu_.tlb_co_resident_warps));
+    if (recent_ring_.size() > window) {
+      const uint64_t old = recent_ring_.front();
+      recent_ring_.pop_front();
+      auto it = recent_counts_.find(old);
+      if (--it->second == 0) recent_counts_.erase(it);
+    }
+  }
+
+  const bool resident = tlb_.Access(vpn);
+  const uint64_t prev_stamp =
+      resident ? page_stamp_[vpn] : page_touch_counter_;
+  page_stamp_[vpn] = page_touch_counter_;
+  if (!resident) return false;
+
+  // Co-resident-warp interference: between this warp's two touches of the
+  // page, other warps touched ~co_resident times as many pages. If the
+  // recent working set fits the TLB, that churn re-touches resident pages
+  // and evicts nothing; otherwise the entry survives only a short
+  // interval.
+  const int co_resident = gpu_.tlb_co_resident_warps;
+  if (co_resident <= 0) return true;
+  if (recent_counts_.size() <= tlb_.entries()) return true;
+  const uint64_t elapsed = page_touch_counter_ - prev_stamp;
+  return elapsed * static_cast<uint64_t>(co_resident) <= tlb_.entries();
+}
+
+void MemoryModel::Gather(const mem::VirtAddr* addrs, uint32_t mask,
+                         uint32_t bytes_per_lane, AccessType type) {
+  ++counters_.warp_steps;
+  if (mask == 0) return;
+
+  // Collect the distinct lines touched by the active lanes. A lane access
+  // can straddle a line boundary, so reserve two slots per lane.
+  std::array<uint64_t, 2 * kWarpWidth> lines;
+  int n = 0;
+  const uint64_t line_bytes = gpu_.cacheline_bytes;
+  for (int lane = 0; lane < kWarpWidth; ++lane) {
+    if (!(mask & (1u << lane))) continue;
+    const mem::VirtAddr addr = addrs[lane];
+    const uint64_t first = addr / line_bytes;
+    const uint64_t last = (addr + bytes_per_lane - 1) / line_bytes;
+    lines[n++] = first;
+    if (last != first) lines[n++] = last;
+  }
+  std::sort(lines.begin(), lines.begin() + n);
+  uint64_t prev = ~uint64_t{0};
+  for (int i = 0; i < n; ++i) {
+    if (lines[i] == prev) continue;
+    prev = lines[i];
+    TouchLine(lines[i], type, /*random=*/true);
+  }
+}
+
+void MemoryModel::Stream(mem::VirtAddr base, uint64_t bytes,
+                         AccessType type) {
+  if (bytes == 0) return;
+  if (observer_ != nullptr) {
+    observer_->OnStream(base, bytes, type == AccessType::kWrite);
+  }
+  const uint64_t line = gpu_.cacheline_bytes;
+  const uint64_t first_line = base / line;
+  const uint64_t last_line = (base + bytes - 1) / line;
+  const uint64_t line_bytes_total = (last_line - first_line + 1) * line;
+
+  const mem::MemKind kind = space_->KindOf(base);
+  counters_.memory_transactions += last_line - first_line + 1;
+  if (kind == mem::MemKind::kDevice) {
+    if (type == AccessType::kRead) {
+      counters_.hbm_read_bytes += line_bytes_total;
+    } else {
+      counters_.hbm_write_bytes += line_bytes_total;
+    }
+    return;
+  }
+
+  // Host stream: touch each covered page in the TLB (a scan touches few
+  // pages and is not subject to frequent TLB misses — paper Sec. 4.3.1).
+  const uint64_t page = space_->page_size(mem::MemKind::kHost);
+  const uint64_t first_page = base / page;
+  const uint64_t last_page = (base + bytes - 1) / page;
+  for (uint64_t vpn = first_page; vpn <= last_page; ++vpn) {
+    if (TlbLookup(vpn)) {
+      ++counters_.tlb_hits;
+    } else {
+      ++counters_.translation_requests;
+      page_table_.Translate(vpn * page, mem::MemKind::kHost);
+    }
+  }
+  if (type == AccessType::kRead) {
+    counters_.host_seq_read_bytes += line_bytes_total;
+  } else {
+    counters_.host_write_bytes += line_bytes_total;
+  }
+}
+
+void MemoryModel::SerialChain(mem::VirtAddr representative_addr,
+                              uint64_t n_loads, AccessType type) {
+  if (n_loads == 0) return;
+  counters_.serial_dependent_loads += n_loads;
+  const uint64_t line = gpu_.cacheline_bytes;
+  const mem::MemKind kind = space_->KindOf(representative_addr);
+  if (kind == mem::MemKind::kDevice) {
+    if (type == AccessType::kRead) {
+      counters_.hbm_read_bytes += n_loads * line;
+    } else {
+      counters_.hbm_write_bytes += n_loads * line;
+    }
+  } else {
+    counters_.host_random_read_bytes += n_loads * line;
+  }
+}
+
+void MemoryModel::ClearHardwareState() {
+  l1_.Clear();
+  l2_.Clear();
+  tlb_.Clear();
+  page_touch_counter_ = 0;
+  last_touched_page_ = ~uint64_t{0};
+  recent_ring_.clear();
+  recent_counts_.clear();
+  page_stamp_.clear();
+}
+
+}  // namespace gpujoin::sim

@@ -1,0 +1,142 @@
+#ifndef GPUJOIN_SIM_MEMORY_MODEL_H_
+#define GPUJOIN_SIM_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mem/address_space.h"
+#include "mem/page_table.h"
+#include "sim/cache.h"
+#include "sim/counters.h"
+#include "sim/specs.h"
+#include "sim/tlb.h"
+#include "sim/trace.h"
+
+namespace gpujoin::sim {
+
+enum class AccessType : uint8_t { kRead, kWrite };
+
+// The GPU's view of memory: an L1/L2 cache hierarchy in front of device
+// memory (HBM) and, across the interconnect, CPU memory. Every simulated
+// memory operation flows through here and updates the CounterSet that the
+// cost model later converts into time.
+//
+// Modeling decisions (see DESIGN.md Sec. 2):
+//  * Transactions are cacheline-granular, like NVLink remote accesses.
+//  * The GPU TLB is consulted for host-bound transactions that miss the
+//    caches (the hardware translates at the memory-partition level);
+//    a TLB miss is one "address translation request" to the CPU IOMMU —
+//    the event the paper measures in Fig. 4.
+//  * Gather() models one SIMT memory instruction: the active lanes'
+//    addresses are coalesced, and each distinct line is one transaction.
+//  * Stream() models bulk sequential transfers (table scans, result
+//    materialization). Streams bypass the caches (they would only thrash
+//    them) but do touch the TLB for host pages.
+class MemoryModel {
+ public:
+  static constexpr int kWarpWidth = 32;
+
+  MemoryModel(mem::AddressSpace* space, const GpuSpec& gpu);
+
+  MemoryModel(const MemoryModel&) = delete;
+  MemoryModel& operator=(const MemoryModel&) = delete;
+
+  // One coalesced SIMT memory instruction. `mask` bit i set means lane i
+  // accesses `bytes_per_lane` bytes at addrs[i]. Gathers are charged at
+  // the interconnect's random-access rate when they leave the GPU.
+  void Gather(const mem::VirtAddr* addrs, uint32_t mask,
+              uint32_t bytes_per_lane, AccessType type);
+
+  // Single-lane convenience wrapper around Gather().
+  void Access(mem::VirtAddr addr, uint32_t bytes, AccessType type) {
+    Gather(&addr, 1u, bytes, type);
+  }
+
+  // Bulk sequential transfer of [base, base+bytes).
+  void Stream(mem::VirtAddr base, uint64_t bytes, AccessType type);
+
+  // A chain of `n_loads` serially dependent loads by a single thread
+  // (e.g. walking a bucket list end to end). Charged latency-bound in the
+  // cost model on top of the line traffic.
+  void SerialChain(mem::VirtAddr representative_addr, uint64_t n_loads,
+                   AccessType type);
+
+  // Compute accounting: `n` simulated warp instructions.
+  void AddWarpSteps(uint64_t n) { counters_.warp_steps += n; }
+
+  void AddKernelLaunch() { ++counters_.kernel_launches; }
+
+  // Attaches an access observer (e.g. a TraceRecorder) that sees every
+  // transaction; pass nullptr to detach. Not owned.
+  void SetObserver(AccessObserver* observer) { observer_ = observer; }
+
+  // Analytic traffic accounting, for components modeled in closed form
+  // (e.g. SWWC partition passes that are perfectly bandwidth-bound).
+  void AddHbmTraffic(uint64_t read_bytes, uint64_t write_bytes) {
+    counters_.hbm_read_bytes += read_bytes;
+    counters_.hbm_write_bytes += write_bytes;
+  }
+
+  const CounterSet& counters() const { return counters_; }
+  CounterSet TakeSnapshot() const { return counters_; }
+
+  // Drops cache and TLB state (not counters): use between independent
+  // experiment repetitions.
+  void ClearHardwareState();
+
+  // Evicts cold L1/L2 contents. The windowed INLJ uses this at window
+  // boundaries: a real window's churn (millions of line touches) evicts
+  // everything a previous window loaded except constantly re-touched hot
+  // lines (radix table, index top levels), which the sampled simulation
+  // would otherwise understate.
+  void FlushCaches() {
+    l1_.FlushCold(kHotLineTouches);
+    l2_.FlushCold(kHotLineTouches);
+  }
+
+  Cache& l1() { return l1_; }
+  Cache& l2() { return l2_; }
+  Tlb& tlb() { return tlb_; }
+  mem::AddressSpace& space() { return *space_; }
+  const GpuSpec& gpu_spec() const { return gpu_; }
+  uint32_t line_bytes() const { return gpu_.cacheline_bytes; }
+
+ private:
+  // Lines touched at least this often within a window survive the
+  // window-boundary flush.
+  static constexpr uint64_t kHotLineTouches = 2;
+
+  // Processes one line-granular transaction; returns the level it was
+  // served from (0 = L1, 1 = L2, 2 = memory).
+  void TouchLine(uint64_t line_id, AccessType type, bool random);
+
+  // Consults the TLB for host page `vpn`, applying the co-resident-warp
+  // interference model (see GpuSpec::tlb_co_resident_warps): a resident
+  // translation only survives between two touches if the churn other
+  // warps generate in that interval fits the TLB — unless the recent
+  // page working set fits entirely, in which case the churn re-touches
+  // the same resident pages and evicts nothing.
+  bool TlbLookup(uint64_t vpn);
+
+  mem::AddressSpace* space_;
+  GpuSpec gpu_;
+  mem::PageTable page_table_;
+  Cache l1_;
+  Cache l2_;
+  Tlb tlb_;
+  CounterSet counters_;
+  AccessObserver* observer_ = nullptr;
+
+  // Interference state: a ring of recent host-page touches (distinct
+  // count approximates the recent working set) and per-page touch stamps.
+  uint64_t page_touch_counter_ = 0;
+  uint64_t last_touched_page_ = ~uint64_t{0};
+  std::deque<uint64_t> recent_ring_;
+  std::unordered_map<uint64_t, int> recent_counts_;
+  std::unordered_map<uint64_t, uint64_t> page_stamp_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_MEMORY_MODEL_H_

@@ -1,0 +1,44 @@
+#ifndef GPUJOIN_SIM_RUN_RESULT_H_
+#define GPUJOIN_SIM_RUN_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/counters.h"
+
+namespace gpujoin::sim {
+
+// The outcome of one simulated end-to-end operator run (a full "query" in
+// the paper's sense), extrapolated to the full workload size. Both the
+// hash join baseline and the INLJ variants report this shape, so the
+// bench binaries can print the paper's figures uniformly.
+struct RunResult {
+  std::string label;
+  double seconds = 0;
+  CounterSet counters;        // full-scale hardware events
+  uint64_t probe_tuples = 0;  // logical probe-side size (|S| or |R|)
+  uint64_t result_tuples = 0;
+
+  // Queries per second — the paper's throughput metric (Sec. 3.2).
+  double qps() const { return seconds > 0 ? 1.0 / seconds : 0; }
+
+  // Fig. 4's metric: address translation requests per lookup key.
+  double translations_per_key() const {
+    return probe_tuples > 0 ? static_cast<double>(
+                                  counters.translation_requests) /
+                                  static_cast<double>(probe_tuples)
+                            : 0;
+  }
+
+  // Named stage times (build/partition/join/...), for breakdowns.
+  std::vector<std::pair<std::string, double>> stages;
+
+  void AddStage(std::string name, double t) {
+    stages.emplace_back(std::move(name), t);
+  }
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_RUN_RESULT_H_

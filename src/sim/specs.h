@@ -1,0 +1,110 @@
+#ifndef GPUJOIN_SIM_SPECS_H_
+#define GPUJOIN_SIM_SPECS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace gpujoin::sim {
+
+// Interconnect model parameters (paper Table 1 + Lutz et al. [29, 30]).
+//
+// Peak receive bandwidth is the marketing number from Table 1;
+// `seq_bandwidth` is the achievable rate for streaming (coalesced) reads
+// and `random_bandwidth` the achievable rate for cacheline-granular
+// gathers, which is where fast interconnects differ most from PCI-e.
+struct InterconnectSpec {
+  std::string name;
+  double peak_bandwidth = 0;    // bytes/s, Table 1 "receive bandwidth"
+  double seq_bandwidth = 0;     // bytes/s achievable on streaming reads
+  double random_bandwidth = 0;  // bytes/s achievable on 128 B gathers
+  double latency = 0;           // seconds, one cacheline round trip
+
+  // Address translation service: a GPU TLB miss issues a translation
+  // request to the CPU IOMMU (~3 us on POWER9 + NVLink 2.0, Lutz et al.).
+  double translation_latency = 3e-6;  // seconds per request
+  // Maximum concurrently outstanding translation requests; translation
+  // throughput = concurrency / latency.
+  double translation_concurrency = 96;
+
+  double translation_throughput() const {
+    return translation_concurrency / translation_latency;
+  }
+};
+
+// GPU device model parameters.
+struct GpuSpec {
+  std::string name;
+  int num_sms = 0;
+  double clock_hz = 0;
+
+  // Memory hierarchy.
+  uint64_t l1_size = 0;        // simulated unified L1 working set
+  uint64_t l2_size = 0;        // shared L2
+  uint32_t cacheline_bytes = 128;  // remote fetch granularity over NVLink
+  int l1_ways = 8;
+  int l2_ways = 16;
+  double hbm_bandwidth = 0;    // bytes/s device memory bandwidth
+  uint64_t hbm_capacity = 0;   // bytes of device memory
+  // Latency of one load in a serially dependent chain (cache miss to HBM
+  // including queueing); bounds pathological pointer chases (Fig. 8's
+  // degenerate hash-join probe chains).
+  double dependent_load_latency = 5e-7;
+
+  // GPU last-level TLB: total address range it can cover. The paper's
+  // V100 covers 32 GiB (Lutz et al. [30]); the number of entries follows
+  // from the host page size (sim keeps coverage constant across page
+  // sizes, matching the paper's observation that 2 MiB and 1 GiB pages
+  // perform approximately equally).
+  uint64_t tlb_coverage = 32 * kGiB;
+  int tlb_ways = 8;
+  // TLB interference: the simulator executes warps sequentially, but on
+  // hardware ~10s of warps share the last-level TLB, so a page a warp
+  // touched is churned out between its own steps whenever the recent page
+  // working set exceeds the TLB range. This models the number of
+  // co-resident warps generating that churn (0 disables interference).
+  int tlb_co_resident_warps = 64;
+
+  // Compute proxy: how many simulated warp-steps the device retires per
+  // second when a kernel is compute-bound. One simulated warp-step stands
+  // for the handful of real instructions between two memory operations.
+  double warp_step_throughput = 0;
+
+  // Fixed cost to launch one kernel (driver + scheduling).
+  double kernel_launch_overhead = 8e-6;
+  // Per-window stream synchronization cost in the windowed pipeline
+  // (event wait + scheduling between the partition and join streams).
+  double stream_sync_overhead = 25e-6;
+};
+
+// A full platform: GPU + interconnect to CPU memory.
+struct PlatformSpec {
+  std::string name;
+  GpuSpec gpu;
+  InterconnectSpec interconnect;
+};
+
+// Named presets. Values follow the paper's hardware (Table 1, Sec. 3.2 and
+// 5.2.3) and the measurements in Lutz et al.; they are simulation
+// parameters, not claims about exact hardware behaviour.
+InterconnectSpec NvLink2();
+InterconnectSpec PciE4();
+InterconnectSpec PciE5();
+InterconnectSpec InfinityFabric3();
+InterconnectSpec NvLinkC2C();
+
+GpuSpec TeslaV100();
+GpuSpec A100();
+GpuSpec GH200Gpu();
+
+// The paper's main platform: V100 + NVLink 2.0 (Sec. 3.2).
+PlatformSpec V100NvLink2();
+// The comparison platform of Fig. 9: A100 + PCI-e 4.0.
+PlatformSpec A100PciE4();
+// Forward-looking platform from Table 1: GH200 + NVLink C2C.
+PlatformSpec GH200C2C();
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_SPECS_H_

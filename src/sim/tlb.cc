@@ -1,0 +1,30 @@
+#include "sim/tlb.h"
+
+#include "util/check.h"
+
+namespace gpujoin::sim {
+
+namespace {
+
+uint64_t ComputeEntries(uint64_t coverage_bytes, uint64_t page_size) {
+  GPUJOIN_CHECK(page_size > 0 && bits::IsPowerOfTwo(page_size));
+  GPUJOIN_CHECK(coverage_bytes >= page_size)
+      << "TLB coverage smaller than one page";
+  uint64_t entries = coverage_bytes / page_size;
+  // Cache geometry wants a power of two; round down so we never overstate
+  // the coverage.
+  if (!bits::IsPowerOfTwo(entries)) {
+    entries = uint64_t{1} << bits::Log2Floor(entries);
+  }
+  return entries;
+}
+
+}  // namespace
+
+Tlb::Tlb(uint64_t coverage_bytes, uint64_t page_size, int ways)
+    : page_size_(page_size),
+      entries_(ComputeEntries(coverage_bytes, page_size)),
+      // Reuse Cache with size = entries, "line size" 1.
+      cache_(entries_, 1, ways) {}
+
+}  // namespace gpujoin::sim

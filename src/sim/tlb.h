@@ -1,0 +1,56 @@
+#ifndef GPUJOIN_SIM_TLB_H_
+#define GPUJOIN_SIM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.h"
+#include "util/bit_util.h"
+
+namespace gpujoin::sim {
+
+// Model of the GPU's last-level TLB for host memory accesses.
+//
+// On the paper's V100, the GPU can translate addresses within a 32 GiB
+// range before it must issue address translation requests to the CPU's
+// IOMMU, each costing ~3 us (Lutz et al. [30]). We model the TLB as a
+// set-associative translation cache whose entry count is derived from the
+// covered range and the host page size:
+//
+//     entries = coverage / page_size.
+//
+// This keeps the coverage constant across page sizes, matching the paper's
+// observation (Sec. 3.2) that 2 MiB and 1 GiB huge pages perform
+// approximately equally. With the default 1 GiB pages, the V100 model has
+// 32 entries.
+class Tlb {
+ public:
+  // `ways` is clamped to the entry count (small TLBs are fully
+  // associative).
+  Tlb(uint64_t coverage_bytes, uint64_t page_size, int ways);
+
+  Tlb(const Tlb&) = delete;
+  Tlb& operator=(const Tlb&) = delete;
+
+  // Looks up the translation for virtual page `vpn`. Returns true on hit.
+  // On miss the translation is installed (the caller charges the
+  // translation-request cost).
+  bool Access(uint64_t vpn) { return cache_.Access(vpn); }
+
+  void Clear() { cache_.Clear(); }
+
+  uint64_t entries() const { return entries_; }
+  uint64_t page_size() const { return page_size_; }
+  uint64_t coverage_bytes() const { return entries_ * page_size_; }
+
+ private:
+  uint64_t page_size_;
+  uint64_t entries_;
+  // Reuse the cache machinery: "line id" = virtual page number. The Cache
+  // ctor needs power-of-two geometry; entries are rounded accordingly.
+  Cache cache_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_TLB_H_

@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/units.h"
+
+namespace gpujoin::sim {
+
+const char* ServiceLevelName(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kL1:
+      return "L1";
+    case ServiceLevel::kL2:
+      return "L2";
+    case ServiceLevel::kHbm:
+      return "HBM";
+    case ServiceLevel::kInterconnect:
+      return "interconnect";
+  }
+  return "?";
+}
+
+TraceRecorder::RegionStats& TraceRecorder::Resolve(mem::VirtAddr addr) {
+  const mem::Region* region = space_->FindRegion(addr);
+  return by_region_[region != nullptr ? region->name : std::string()];
+}
+
+void TraceRecorder::OnTransaction(mem::VirtAddr addr, ServiceLevel level,
+                                  bool is_write) {
+  RegionStats& stats = Resolve(addr);
+  ++stats.transactions;
+  switch (level) {
+    case ServiceLevel::kL1:
+      ++stats.l1_hits;
+      break;
+    case ServiceLevel::kL2:
+      ++stats.l2_hits;
+      break;
+    case ServiceLevel::kHbm:
+    case ServiceLevel::kInterconnect:
+      ++stats.memory_transactions;
+      break;
+  }
+  if (is_write) ++stats.writes;
+}
+
+void TraceRecorder::OnStream(mem::VirtAddr addr, uint64_t bytes,
+                             bool is_write) {
+  RegionStats& stats = Resolve(addr);
+  stats.stream_bytes += bytes;
+  if (is_write) ++stats.writes;
+}
+
+const TraceRecorder::RegionStats& TraceRecorder::ForRegion(
+    const std::string& name) const {
+  static const RegionStats kEmpty;
+  auto it = by_region_.find(name);
+  return it != by_region_.end() ? it->second : kEmpty;
+}
+
+std::string TraceRecorder::Summary() const {
+  std::vector<std::pair<std::string, const RegionStats*>> rows;
+  rows.reserve(by_region_.size());
+  for (const auto& [name, stats] : by_region_) {
+    rows.emplace_back(name, &stats);
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second->transactions + a.second->stream_bytes >
+           b.second->transactions + b.second->stream_bytes;
+  });
+
+  std::ostringstream os;
+  for (const auto& [name, stats] : rows) {
+    os << (name.empty() ? "<unmapped>" : name) << ": "
+       << FormatCount(static_cast<double>(stats->transactions))
+       << " transactions (L1 "
+       << FormatCount(static_cast<double>(stats->l1_hits)) << ", L2 "
+       << FormatCount(static_cast<double>(stats->l2_hits)) << ", mem "
+       << FormatCount(static_cast<double>(stats->memory_transactions))
+       << "), streams "
+       << FormatBytes(static_cast<double>(stats->stream_bytes)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gpujoin::sim

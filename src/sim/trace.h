@@ -1,0 +1,80 @@
+#ifndef GPUJOIN_SIM_TRACE_H_
+#define GPUJOIN_SIM_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+
+namespace gpujoin::sim {
+
+// Where a transaction was served from.
+enum class ServiceLevel : uint8_t {
+  kL1 = 0,
+  kL2 = 1,
+  kHbm = 2,
+  kInterconnect = 3,
+};
+
+const char* ServiceLevelName(ServiceLevel level);
+
+// Observer interface for memory transactions. Attach to a MemoryModel to
+// see every line-granular transaction (gathers) and bulk stream as it
+// happens. Observing costs one branch per transaction when attached.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  // One line-granular transaction at `addr`, served from `level`.
+  virtual void OnTransaction(mem::VirtAddr addr, ServiceLevel level,
+                             bool is_write) = 0;
+
+  // One bulk stream of `bytes` starting at `addr`.
+  virtual void OnStream(mem::VirtAddr addr, uint64_t bytes,
+                        bool is_write) = 0;
+};
+
+// Aggregates transactions per named address-space region — the "which
+// data structure causes which traffic" view used to debug and explain
+// experiment results (e.g. how much of an INLJ's remote traffic is index
+// nodes vs base data vs probe stream).
+class TraceRecorder : public AccessObserver {
+ public:
+  struct RegionStats {
+    uint64_t transactions = 0;
+    uint64_t l1_hits = 0;
+    uint64_t l2_hits = 0;
+    uint64_t memory_transactions = 0;  // served by HBM or interconnect
+    uint64_t stream_bytes = 0;
+    uint64_t writes = 0;
+  };
+
+  explicit TraceRecorder(const mem::AddressSpace* space) : space_(space) {}
+
+  void OnTransaction(mem::VirtAddr addr, ServiceLevel level,
+                     bool is_write) override;
+  void OnStream(mem::VirtAddr addr, uint64_t bytes, bool is_write) override;
+
+  // Stats for a region by name ("" aggregates unknown addresses).
+  const RegionStats& ForRegion(const std::string& name) const;
+  const std::map<std::string, RegionStats>& by_region() const {
+    return by_region_;
+  }
+
+  // Human-readable summary, one line per region, sorted by traffic.
+  std::string Summary() const;
+
+  void Reset() { by_region_.clear(); }
+
+ private:
+  RegionStats& Resolve(mem::VirtAddr addr);
+
+  const mem::AddressSpace* space_;
+  std::map<std::string, RegionStats> by_region_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_TRACE_H_

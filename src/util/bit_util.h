@@ -1,0 +1,49 @@
+#ifndef GPUJOIN_UTIL_BIT_UTIL_H_
+#define GPUJOIN_UTIL_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace gpujoin::bits {
+
+// True iff v is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Floor of log2(v). Precondition: v > 0.
+constexpr int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+// Ceiling of log2(v). Precondition: v > 0.
+constexpr int Log2Ceil(uint64_t v) {
+  return IsPowerOfTwo(v) ? Log2Floor(v) : Log2Floor(v) + 1;
+}
+
+// Smallest power of two >= v. Precondition: v > 0 and result representable.
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  return uint64_t{1} << Log2Ceil(v);
+}
+
+// Rounds v up to the next multiple of `multiple` (a power of two).
+constexpr uint64_t RoundUpPow2(uint64_t v, uint64_t multiple) {
+  return (v + multiple - 1) & ~(multiple - 1);
+}
+
+// Rounds v down to a multiple of `multiple` (a power of two).
+constexpr uint64_t RoundDownPow2(uint64_t v, uint64_t multiple) {
+  return v & ~(multiple - 1);
+}
+
+// Ceil division for non-negative integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Extracts `count` bits of `value` starting at bit `lo` (LSB = bit 0).
+constexpr uint64_t ExtractBits(uint64_t value, int lo, int count) {
+  if (count <= 0) return 0;
+  if (count >= 64) return value >> lo;
+  return (value >> lo) & ((uint64_t{1} << count) - 1);
+}
+
+}  // namespace gpujoin::bits
+
+#endif  // GPUJOIN_UTIL_BIT_UTIL_H_

@@ -1,0 +1,58 @@
+#ifndef GPUJOIN_UTIL_CHECK_H_
+#define GPUJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gpujoin::internal_check {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream-style message collector for CHECK(...) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gpujoin::internal_check
+
+// CHECK aborts the process when the condition is false. Used for invariants
+// and programming errors; recoverable errors use Status instead.
+#define GPUJOIN_CHECK(cond)                                            \
+  while (!(cond))                                                      \
+  ::gpujoin::internal_check::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define GPUJOIN_CHECK_OK(status_expr)                                       \
+  do {                                                                      \
+    const auto& gpujoin_check_status = (status_expr);                       \
+    GPUJOIN_CHECK(gpujoin_check_status.ok()) << gpujoin_check_status.ToString(); \
+  } while (0)
+
+#ifdef NDEBUG
+#define GPUJOIN_DCHECK(cond) \
+  while (false) ::gpujoin::internal_check::CheckMessageBuilder("", 0, "")
+#else
+#define GPUJOIN_DCHECK(cond) GPUJOIN_CHECK(cond)
+#endif
+
+#endif  // GPUJOIN_UTIL_CHECK_H_

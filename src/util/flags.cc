@@ -1,0 +1,175 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace gpujoin {
+
+void Flags::DefineInt64(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  FlagDef def;
+  def.type = Type::kInt64;
+  def.help = help;
+  def.int_value = default_value;
+  defs_[name] = std::move(def);
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  FlagDef def;
+  def.type = Type::kDouble;
+  def.help = help;
+  def.double_value = default_value;
+  defs_[name] = std::move(def);
+}
+
+void Flags::DefineString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  FlagDef def;
+  def.type = Type::kString;
+  def.help = help;
+  def.string_value = default_value;
+  defs_[name] = std::move(def);
+}
+
+void Flags::DefineBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  FlagDef def;
+  def.type = Type::kBool;
+  def.help = help;
+  def.bool_value = default_value;
+  defs_[name] = std::move(def);
+}
+
+Status Flags::SetFromString(FlagDef& def, const std::string& name,
+                            const std::string& value) {
+  char* end = nullptr;
+  switch (def.type) {
+    case Type::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      def.int_value = v;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      def.double_value = v;
+      return Status::Ok();
+    }
+    case Type::kString:
+      def.string_value = value;
+      return Status::Ok();
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        def.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        def.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp(argv[0]);
+      return Status::NotFound("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      auto it = defs_.find(name);
+      if (it != defs_.end() && it->second.type == Type::kBool) {
+        value = "true";  // "--flag" toggles booleans on
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name + " missing value");
+        }
+        value = argv[++i];
+      }
+    }
+    auto it = defs_.find(name);
+    if (it == defs_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Status s = SetFromString(it->second, name, value);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+int64_t Flags::GetInt64(const std::string& name) const {
+  auto it = defs_.find(name);
+  GPUJOIN_CHECK(it != defs_.end() && it->second.type == Type::kInt64) << name;
+  return it->second.int_value;
+}
+
+double Flags::GetDouble(const std::string& name) const {
+  auto it = defs_.find(name);
+  GPUJOIN_CHECK(it != defs_.end() && it->second.type == Type::kDouble) << name;
+  return it->second.double_value;
+}
+
+const std::string& Flags::GetString(const std::string& name) const {
+  auto it = defs_.find(name);
+  GPUJOIN_CHECK(it != defs_.end() && it->second.type == Type::kString) << name;
+  return it->second.string_value;
+}
+
+bool Flags::GetBool(const std::string& name) const {
+  auto it = defs_.find(name);
+  GPUJOIN_CHECK(it != defs_.end() && it->second.type == Type::kBool) << name;
+  return it->second.bool_value;
+}
+
+void Flags::PrintHelp(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program.c_str());
+  for (const auto& [name, def] : defs_) {
+    std::string default_str;
+    switch (def.type) {
+      case Type::kInt64:
+        default_str = std::to_string(def.int_value);
+        break;
+      case Type::kDouble:
+        default_str = std::to_string(def.double_value);
+        break;
+      case Type::kString:
+        default_str = def.string_value;
+        break;
+      case Type::kBool:
+        default_str = def.bool_value ? "true" : "false";
+        break;
+    }
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 def.help.c_str(), default_str.c_str());
+  }
+}
+
+}  // namespace gpujoin

@@ -1,0 +1,58 @@
+#ifndef GPUJOIN_UTIL_FLAGS_H_
+#define GPUJOIN_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.h"
+
+namespace gpujoin {
+
+// Minimal --key=value command-line parser for the bench and example
+// binaries. Unknown flags are rejected so typos surface immediately.
+class Flags {
+ public:
+  // Registers a flag with a default value and help text. Must be called
+  // before Parse.
+  void DefineInt64(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  // Parses argv; accepts "--name=value" and "--name value" forms.
+  // "--help" prints usage and returns a NotFound status the caller should
+  // treat as "exit 0".
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  void PrintHelp(const std::string& program) const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct FlagDef {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(FlagDef& def, const std::string& name,
+                       const std::string& value);
+
+  std::map<std::string, FlagDef> defs_;
+};
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_UTIL_FLAGS_H_

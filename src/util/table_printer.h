@@ -1,0 +1,37 @@
+#ifndef GPUJOIN_UTIL_TABLE_PRINTER_H_
+#define GPUJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpujoin {
+
+// Collects rows of string cells and prints them as an aligned text table
+// (for the bench binaries that regenerate the paper's figures) or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row. Missing trailing cells print as empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  // Aligned human-readable table.
+  void Print(std::FILE* out = stdout) const;
+
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void PrintCsv(std::FILE* out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_UTIL_TABLE_PRINTER_H_

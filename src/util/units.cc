@@ -1,0 +1,56 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpujoin {
+
+namespace {
+
+std::string FormatWithSuffix(double value, const char* const* suffixes,
+                             int num_suffixes, double base) {
+  int idx = 0;
+  double v = value;
+  while (std::fabs(v) >= base && idx + 1 < num_suffixes) {
+    v /= base;
+    ++idx;
+  }
+  char buf[64];
+  if (v == 0 || std::fabs(v) >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffixes[idx]);
+  } else if (std::fabs(v) >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(double bytes) {
+  static const char* const kSuffixes[] = {"B",   "KiB", "MiB",
+                                          "GiB", "TiB", "PiB"};
+  return FormatWithSuffix(bytes, kSuffixes, 6, 1024.0);
+}
+
+std::string FormatCount(double count) {
+  static const char* const kSuffixes[] = {"", "K", "M", "G", "T"};
+  return FormatWithSuffix(count, kSuffixes, 5, 1000.0);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace gpujoin

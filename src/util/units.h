@@ -1,0 +1,24 @@
+#ifndef GPUJOIN_UTIL_UNITS_H_
+#define GPUJOIN_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gpujoin {
+
+inline constexpr uint64_t kKiB = uint64_t{1} << 10;
+inline constexpr uint64_t kMiB = uint64_t{1} << 20;
+inline constexpr uint64_t kGiB = uint64_t{1} << 30;
+
+// Formats a byte count with a binary suffix, e.g. "1.5 GiB".
+std::string FormatBytes(double bytes);
+
+// Formats a plain quantity with SI suffix, e.g. "67.1M".
+std::string FormatCount(double count);
+
+// Formats seconds adaptively, e.g. "3.2 ms".
+std::string FormatSeconds(double seconds);
+
+}  // namespace gpujoin
+
+#endif  // GPUJOIN_UTIL_UNITS_H_

@@ -1,0 +1,68 @@
+#include "workload/key_column.h"
+
+#include "util/check.h"
+
+namespace gpujoin::workload {
+
+uint64_t KeyColumn::LowerBound(Key key) const {
+  uint64_t lo = 0;
+  uint64_t hi = size();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (key_at(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+DenseKeyColumn::DenseKeyColumn(mem::AddressSpace* space, uint64_t n,
+                               Key first_key, Key stride)
+    : region_(space->Reserve(n * sizeof(Key), mem::MemKind::kHost,
+                             "R.dense_keys")),
+      n_(n),
+      first_key_(first_key),
+      stride_(stride) {
+  GPUJOIN_CHECK(n > 0);
+  GPUJOIN_CHECK(stride > 0);
+}
+
+JitteredKeyColumn::JitteredKeyColumn(mem::AddressSpace* space, uint64_t n,
+                                     Key stride, uint64_t seed)
+    : region_(space->Reserve(n * sizeof(Key), mem::MemKind::kHost,
+                             "R.jittered_keys")),
+      n_(n),
+      stride_(stride),
+      seed_(seed) {
+  GPUJOIN_CHECK(n > 0);
+  GPUJOIN_CHECK(stride > 1) << "jitter requires stride > 1";
+}
+
+MaterializedKeyColumn::MaterializedKeyColumn(mem::AddressSpace* space,
+                                             std::vector<Key> keys)
+    : keys_(space, keys.size(), mem::MemKind::kHost, "R.keys") {
+  GPUJOIN_CHECK(!keys.empty());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    GPUJOIN_CHECK(keys[i - 1] < keys[i])
+        << "keys must be strictly increasing at position " << i;
+  }
+  keys_.data() = std::move(keys);
+}
+
+std::vector<Key> GenerateSortedUniqueKeys(uint64_t n, uint64_t seed,
+                                          Key max_gap) {
+  GPUJOIN_CHECK(max_gap >= 1);
+  std::vector<Key> keys(n);
+  Xoshiro256 rng(seed);
+  Key current = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    current += 1 + static_cast<Key>(
+                       rng.NextBounded(static_cast<uint64_t>(max_gap)));
+    keys[i] = current;
+  }
+  return keys;
+}
+
+}  // namespace gpujoin::workload

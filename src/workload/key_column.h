@@ -1,0 +1,132 @@
+#ifndef GPUJOIN_WORKLOAD_KEY_COLUMN_H_
+#define GPUJOIN_WORKLOAD_KEY_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/sim_array.h"
+#include "util/rng.h"
+
+namespace gpujoin::workload {
+
+// Join keys are single 8-byte integer attributes (paper Sec. 3.2).
+using Key = int64_t;
+
+// A sorted column of unique keys — the indexed base relation R.
+//
+// The large-scale experiments index up to 120 GiB of keys, which cannot be
+// materialized on the simulation host. KeyColumn therefore abstracts over
+// two implementations:
+//  * MaterializedKeyColumn — real std::vector storage (tests, examples,
+//    small relations);
+//  * procedural columns (DenseKeyColumn, JitteredKeyColumn) — key(i) is a
+//    pure function of i, so a 120 GiB relation occupies only simulated
+//    address space. Procedural columns are what make the out-of-core
+//    sweeps possible on a laptop-class machine.
+//
+// Every column reserves a region in the simulated address space so that
+// the hardware model sees the same addresses the real system would.
+class KeyColumn {
+ public:
+  virtual ~KeyColumn() = default;
+
+  virtual uint64_t size() const = 0;
+
+  // Key at position i. Keys are strictly increasing in i.
+  virtual Key key_at(uint64_t i) const = 0;
+
+  // Simulated virtual address of element i.
+  virtual mem::VirtAddr addr_of(uint64_t i) const = 0;
+
+  virtual std::string name() const = 0;
+
+  Key min_key() const { return key_at(0); }
+  Key max_key() const { return key_at(size() - 1); }
+  uint64_t size_bytes() const { return size() * sizeof(Key); }
+
+  // Lower bound: smallest position p with key_at(p) >= key, or size() if
+  // none. Functional only (no hardware accounting) — used for ground truth
+  // and by procedural index construction.
+  uint64_t LowerBound(Key key) const;
+};
+
+// key(i) = first_key + i * stride. Dense sorted keys (stride 1) are the
+// common primary-key layout.
+class DenseKeyColumn : public KeyColumn {
+ public:
+  DenseKeyColumn(mem::AddressSpace* space, uint64_t n, Key first_key = 0,
+                 Key stride = 1);
+
+  uint64_t size() const override { return n_; }
+  Key key_at(uint64_t i) const override {
+    return first_key_ + static_cast<Key>(i) * stride_;
+  }
+  mem::VirtAddr addr_of(uint64_t i) const override {
+    return region_.base + i * sizeof(Key);
+  }
+  std::string name() const override { return "dense"; }
+
+  Key stride() const { return stride_; }
+
+ private:
+  mem::Region region_;
+  uint64_t n_;
+  Key first_key_;
+  Key stride_;
+};
+
+// key(i) = i * stride + hash(i) % stride: strictly increasing, unique,
+// locally irregular. Exercises non-trivial interpolation error in learned
+// indexes while staying procedural.
+class JitteredKeyColumn : public KeyColumn {
+ public:
+  JitteredKeyColumn(mem::AddressSpace* space, uint64_t n, Key stride = 16,
+                    uint64_t seed = 42);
+
+  uint64_t size() const override { return n_; }
+  Key key_at(uint64_t i) const override {
+    return static_cast<Key>(i) * stride_ +
+           static_cast<Key>(SplitMix64(i ^ seed_) % static_cast<uint64_t>(stride_));
+  }
+  mem::VirtAddr addr_of(uint64_t i) const override {
+    return region_.base + i * sizeof(Key);
+  }
+  std::string name() const override { return "jittered"; }
+
+  Key stride() const { return stride_; }
+
+ private:
+  mem::Region region_;
+  uint64_t n_;
+  Key stride_;
+  uint64_t seed_;
+};
+
+// Fully materialized sorted unique keys.
+class MaterializedKeyColumn : public KeyColumn {
+ public:
+  // `keys` must be strictly increasing; CHECK-enforced.
+  MaterializedKeyColumn(mem::AddressSpace* space, std::vector<Key> keys);
+
+  uint64_t size() const override { return keys_.size(); }
+  Key key_at(uint64_t i) const override { return keys_[i]; }
+  mem::VirtAddr addr_of(uint64_t i) const override {
+    return keys_.addr_of(i);
+  }
+  std::string name() const override { return "materialized"; }
+
+ private:
+  mem::SimArray<Key> keys_;
+};
+
+// Generates n sorted unique pseudo-random keys (gaps uniform in
+// [1, max_gap]).
+std::vector<Key> GenerateSortedUniqueKeys(uint64_t n, uint64_t seed,
+                                          Key max_gap = 8);
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_KEY_COLUMN_H_

@@ -1,0 +1,56 @@
+#include "workload/relation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "workload/zipf.h"
+
+namespace gpujoin::workload {
+
+ProbeRelation MakeProbeRelation(mem::AddressSpace* space, const KeyColumn& r,
+                                const ProbeConfig& config) {
+  GPUJOIN_CHECK(config.sample_size > 0);
+  GPUJOIN_CHECK(config.sample_size <= config.full_size);
+
+  ProbeRelation probe;
+  probe.keys = mem::SimArray<Key>(space, config.sample_size,
+                                  mem::MemKind::kHost, "S.keys");
+  probe.true_positions.resize(config.sample_size);
+  probe.full_size = config.full_size;
+  probe.scheme = config.scheme;
+
+  Xoshiro256 rng(config.seed);
+  uint64_t n = r.size();
+  uint64_t base_pos = 0;
+  if (config.scheme == SampleScheme::kRangeRestricted) {
+    // Full-density sampling over a contiguous 1/scale slice of R.
+    const uint64_t span = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(n) *
+                                 static_cast<double>(config.sample_size) /
+                                 static_cast<double>(config.full_size)));
+    base_pos = span < n ? SplitMix64(config.seed * 31) % (n - span + 1) : 0;
+    n = span;
+  }
+  if (config.zipf_exponent <= 0) {
+    for (uint64_t i = 0; i < config.sample_size; ++i) {
+      const uint64_t pos = base_pos + rng.NextBounded(n);
+      probe.keys[i] = r.key_at(pos);
+      probe.true_positions[i] = pos;
+    }
+  } else {
+    // Zipf over ranks; ranks are scattered across R with a hash
+    // permutation so hot keys are not clustered at the front of R.
+    ZipfSampler zipf(n, config.zipf_exponent);
+    for (uint64_t i = 0; i < config.sample_size; ++i) {
+      const uint64_t rank = zipf.Sample(rng);
+      const uint64_t pos =
+          base_pos +
+          SplitMix64(rank ^ (config.seed * 0x5851f42d4c957f2dULL)) % n;
+      probe.keys[i] = r.key_at(pos);
+      probe.true_positions[i] = pos;
+    }
+  }
+  return probe;
+}
+
+}  // namespace gpujoin::workload

@@ -1,0 +1,59 @@
+#ifndef GPUJOIN_WORKLOAD_RELATION_H_
+#define GPUJOIN_WORKLOAD_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "mem/sim_array.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::workload {
+
+// The probe-side relation S: foreign keys into R, drawn uniformly (or
+// Zipf-skewed, Fig. 8) from R. The paper fixes |S| = 2^26 tuples
+// (512 MiB); the simulator materializes a sample of `sample_size` tuples
+// and extrapolates counters to `full_size` (see DESIGN.md Sec. 2).
+// How the probe sample represents the full |S| (see DESIGN.md Sec. 2).
+//
+//  * kThinned — sample_size independent draws over ALL of R. The sampled
+//    stream has the same per-key locality as the full one, but 1/scale of
+//    its density: right for the *unpartitioned* INLJ, whose behaviour is
+//    driven by the random working set.
+//  * kRangeRestricted — full-density draws restricted to a contiguous
+//    1/scale slice of R's key range. Partition populations, cache sharing
+//    within a partition, and per-window densities then match the full
+//    query exactly: right for the partitioned/windowed INLJ, whose
+//    behaviour is driven by per-partition key density.
+enum class SampleScheme { kThinned, kRangeRestricted };
+
+struct ProbeRelation {
+  mem::SimArray<Key> keys;  // host memory, the sampled probe keys
+  // Ground-truth position in R of each sampled key (for validation).
+  std::vector<uint64_t> true_positions;
+  uint64_t full_size = 0;
+  SampleScheme scheme = SampleScheme::kThinned;
+
+  uint64_t sample_size() const { return keys.size(); }
+  double scale() const {
+    return static_cast<double>(full_size) / static_cast<double>(keys.size());
+  }
+};
+
+struct ProbeConfig {
+  uint64_t full_size = uint64_t{1} << 26;  // |S| (paper Sec. 3.2)
+  uint64_t sample_size = uint64_t{1} << 20;
+  SampleScheme scheme = SampleScheme::kThinned;
+  // 0 = uniform; > 0 = Zipf-distributed ranks scattered over R (Fig. 8).
+  double zipf_exponent = 0;
+  uint64_t seed = 1;
+};
+
+// Draws S from R per the paper's workload: every S key exists in R.
+ProbeRelation MakeProbeRelation(mem::AddressSpace* space, const KeyColumn& r,
+                                const ProbeConfig& config);
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_RELATION_H_

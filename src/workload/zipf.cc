@@ -1,0 +1,65 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gpujoin::workload {
+
+namespace {
+
+// log1p(x)/x, continuous at 0.
+double Helper1(double x) { return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2 + x * x / 3; }
+
+// expm1(x)/x, continuous at 0.
+double Helper2(double x) { return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2 + x * x / 6; }
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  GPUJOIN_CHECK(n >= 1);
+  GPUJOIN_CHECK(exponent >= 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - Pmf(2.0));
+}
+
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) t = -1.0;
+  return std::exp(Helper1(t) * x);
+}
+
+double ZipfSampler::Pmf(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+uint64_t ZipfSampler::Sample(Xoshiro256& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - Pmf(kd)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfSampler::HottestProbability() const {
+  // The rejection-inversion integral from 0.5 to n+0.5 approximates the
+  // generalized harmonic number well for all n we use.
+  const double sum = h_n_ - H(0.5);
+  return 1.0 / sum;
+}
+
+}  // namespace gpujoin::workload

@@ -1,0 +1,45 @@
+#ifndef GPUJOIN_WORKLOAD_ZIPF_H_
+#define GPUJOIN_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace gpujoin::workload {
+
+// Zipf-distributed rank sampler over {0, ..., n-1} using Hörmann's
+// rejection-inversion method (as in Apache Commons RNG). O(1) per sample
+// with no per-element tables, which matters because the paper's skew
+// experiment (Fig. 8) draws from up to 2^33.9 ranks.
+//
+// exponent == 0 degenerates to the uniform distribution; the paper sweeps
+// exponents 0–1.75.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  // Draws a rank in [0, n). Rank 0 is the most frequent.
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+  // Expected probability of the most frequent rank (used by the hash-join
+  // skew model to size the hottest duplicate chain analytically).
+  double HottestProbability() const;
+
+ private:
+  double H(double x) const;           // integral of x^-s
+  double HInverse(double x) const;
+  double Pmf(double x) const;         // x^-s
+
+  uint64_t n_;
+  double exponent_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace gpujoin::workload
+
+#endif  // GPUJOIN_WORKLOAD_ZIPF_H_

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/inlj.h"
+#include "index/binary_search.h"
+#include "index/radix_spline.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "util/units.h"
+#include "workload/key_column.h"
+#include "workload/relation.h"
+
+namespace gpujoin::core {
+namespace {
+
+using workload::DenseKeyColumn;
+
+InljConfig ModeConfig(InljConfig::PartitionMode mode) {
+  InljConfig cfg;
+  cfg.mode = mode;
+  cfg.window_tuples = 1 << 12;
+  return cfg;
+}
+
+class InljTest : public ::testing::Test {
+ protected:
+  InljTest() : gpu_(&space_, sim::V100NvLink2()), r_(&space_, 1 << 22) {
+    workload::ProbeConfig pc;
+    pc.full_size = 1 << 20;
+    pc.sample_size = 1 << 14;
+    s_ = workload::MakeProbeRelation(&space_, r_, pc);
+    index_ = std::make_unique<index::BinarySearchIndex>(&r_);
+  }
+
+  mem::AddressSpace space_;
+  sim::Gpu gpu_;
+  DenseKeyColumn r_;
+  workload::ProbeRelation s_;
+  std::unique_ptr<index::Index> index_;
+};
+
+TEST_F(InljTest, AllProbeKeysMatch) {
+  // Every S key exists in R, so the join result equals |S|.
+  for (auto mode : {InljConfig::PartitionMode::kNone,
+                    InljConfig::PartitionMode::kFull,
+                    InljConfig::PartitionMode::kWindowed}) {
+    sim::RunResult res =
+        IndexNestedLoopJoin::Run(gpu_, *index_, s_, ModeConfig(mode));
+    EXPECT_EQ(res.result_tuples, s_.full_size)
+        << PartitionModeName(mode);
+    EXPECT_GT(res.seconds, 0);
+  }
+}
+
+TEST_F(InljTest, StagesMatchMode) {
+  auto none = IndexNestedLoopJoin::Run(
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone));
+  EXPECT_EQ(none.stages.size(), 1u);
+  auto full = IndexNestedLoopJoin::Run(
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kFull));
+  EXPECT_EQ(full.stages.size(), 2u);
+}
+
+TEST_F(InljTest, CountersScaleToFullProbeSize) {
+  sim::RunResult res = IndexNestedLoopJoin::Run(
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone));
+  // The probe stream alone is |S| * 8 bytes over the interconnect.
+  EXPECT_GE(res.counters.host_seq_read_bytes, s_.full_size * 8);
+}
+
+TEST_F(InljTest, OverlapNeverSlower) {
+  InljConfig with = ModeConfig(InljConfig::PartitionMode::kWindowed);
+  with.overlap = true;
+  InljConfig without = with;
+  without.overlap = false;
+  gpu_.memory().ClearHardwareState();
+  auto a = IndexNestedLoopJoin::Run(gpu_, *index_, s_, with);
+  gpu_.memory().ClearHardwareState();
+  auto b = IndexNestedLoopJoin::Run(gpu_, *index_, s_, without);
+  EXPECT_LE(a.seconds, b.seconds * 1.0001);
+}
+
+TEST_F(InljTest, WindowLargerThanSampleStillWorks) {
+  InljConfig cfg = ModeConfig(InljConfig::PartitionMode::kWindowed);
+  cfg.window_tuples = uint64_t{1} << 22;  // bigger than the 2^14 sample
+  sim::RunResult res = IndexNestedLoopJoin::Run(gpu_, *index_, s_, cfg);
+  EXPECT_EQ(res.result_tuples, s_.full_size);
+}
+
+// --- The paper's core phenomenon, end to end ----------------------------
+
+TEST(TlbCliff, NaiveInljThrashesBeyondCoverageAndPartitioningFixesIt) {
+  // R = 64 GiB of dense keys: twice the V100 TLB range. The naive INLJ
+  // must incur many translation requests per key (Fig. 4); partitioned
+  // lookups must eliminate nearly all of them (Fig. 6).
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 33;  // 64 GiB
+  cfg.s_tuples = uint64_t{1} << 26;
+  cfg.s_sample = uint64_t{1} << 14;
+  cfg.index_type = index::IndexType::kBinarySearch;
+  cfg.inlj.mode = InljConfig::PartitionMode::kNone;
+
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+  sim::RunResult naive = (*exp)->RunInlj();
+  EXPECT_GT(naive.translations_per_key(), 10.0);
+
+  cfg.inlj.mode = InljConfig::PartitionMode::kFull;
+  auto exp2 = Experiment::Create(cfg);
+  ASSERT_TRUE(exp2.ok());
+  sim::RunResult partitioned = (*exp2)->RunInlj();
+  EXPECT_LT(partitioned.translations_per_key(),
+            naive.translations_per_key() / 20);
+  EXPECT_GT(partitioned.qps(), naive.qps());
+}
+
+TEST(TlbCliff, NoThrashBelowCoverage) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 30;  // 8 GiB << 32 GiB coverage
+  cfg.s_sample = uint64_t{1} << 14;
+  cfg.index_type = index::IndexType::kBinarySearch;
+  cfg.inlj.mode = InljConfig::PartitionMode::kNone;
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok());
+  sim::RunResult res = (*exp)->RunInlj();
+  EXPECT_LT(res.translations_per_key(), 0.1);
+}
+
+// --- Experiment driver ---------------------------------------------------
+
+TEST(Experiment, RejectsOversizedWorkingSet) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{30} << 30;  // 240 GiB of keys
+  cfg.index_type = index::IndexType::kHarmonia;  // + a full key copy
+  cfg.host_capacity = uint64_t{256} * kGiB;
+  auto exp = Experiment::Create(cfg);
+  ASSERT_FALSE(exp.ok());
+  EXPECT_EQ(exp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Experiment, BinarySearchFitsWhereTreesDoNot) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{28} << 30;  // 224 GiB of keys, no extra state
+  cfg.index_type = index::IndexType::kBinarySearch;
+  cfg.s_sample = 1 << 10;
+  auto exp = Experiment::Create(cfg);
+  EXPECT_TRUE(exp.ok()) << exp.status().ToString();
+}
+
+TEST(Experiment, InljAndHashJoinAgreeOnResultSize) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = 1 << 22;
+  cfg.s_tuples = 1 << 18;
+  cfg.s_sample = 1 << 13;
+  cfg.index_type = index::IndexType::kRadixSpline;
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok());
+  sim::RunResult inlj = (*exp)->RunInlj();
+  sim::RunResult hj = (*exp)->RunHashJoin().value();
+  EXPECT_EQ(inlj.result_tuples, hj.result_tuples);
+}
+
+TEST(Experiment, SelectiveJoinTransfersLessThanScan) {
+  // Discussion Sec. 6: the index reduces the transfer volume (up to 12x).
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 33;  // 64 GiB
+  cfg.s_sample = 1 << 17;
+  cfg.index_type = index::IndexType::kRadixSpline;
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok());
+  sim::RunResult inlj = (*exp)->RunInlj();
+  sim::RunResult hj = (*exp)->RunHashJoin().value();
+  EXPECT_LT(inlj.counters.interconnect_bytes(),
+            hj.counters.interconnect_bytes() / 2.4);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = 1 << 24;
+  cfg.s_sample = 1 << 12;
+  cfg.index_type = index::IndexType::kHarmonia;
+  auto a = Experiment::Create(cfg);
+  auto b = Experiment::Create(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  sim::RunResult ra = (*a)->RunInlj();
+  sim::RunResult rb = (*b)->RunInlj();
+  EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+  EXPECT_EQ(ra.counters.translation_requests,
+            rb.counters.translation_requests);
+}
+
+}  // namespace
+}  // namespace gpujoin::core

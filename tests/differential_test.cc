@@ -1,0 +1,196 @@
+// Differential tests: random workloads pushed through every join strategy
+// must agree with the CPU reference oracle — across seeds, relation
+// shapes, key distributions and strategies. These are the repository's
+// last line of defence against silent functional drift.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/best_effort.h"
+#include "core/experiment.h"
+#include "core/inlj.h"
+#include "index/binary_search.h"
+#include "index/btree.h"
+#include "index/harmonia.h"
+#include "index/radix_spline.h"
+#include "join/cpu_reference.h"
+#include "join/multi_value_hash_table.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+#include "workload/relation.h"
+
+namespace gpujoin {
+namespace {
+
+using workload::Key;
+
+// One fuzz iteration: a random materialized column, a random probe mix of
+// hits and misses, checked through all four indexes against the oracle.
+void FuzzIndexesOnce(uint64_t seed) {
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  Xoshiro256 rng(seed);
+
+  const uint64_t n = 100 + rng.NextBounded(20000);
+  const Key max_gap = 1 + static_cast<Key>(rng.NextBounded(100));
+  workload::MaterializedKeyColumn col(
+      &space, workload::GenerateSortedUniqueKeys(n, seed * 3 + 1, max_gap));
+
+  std::vector<Key> probes;
+  const int n_probes = 64 + static_cast<int>(rng.NextBounded(512));
+  for (int i = 0; i < n_probes; ++i) {
+    if (rng.NextBounded(2) == 0) {
+      probes.push_back(col.key_at(rng.NextBounded(n)));
+    } else {
+      probes.push_back(static_cast<Key>(
+          rng.NextBounded(static_cast<uint64_t>(col.max_key()) + 16)));
+    }
+  }
+  const auto oracle = join::CpuReferenceJoin(col, probes);
+
+  std::vector<std::unique_ptr<index::Index>> indexes;
+  indexes.push_back(std::make_unique<index::BinarySearchIndex>(&col));
+  indexes.push_back(std::make_unique<index::BTreeIndex>(&space, &col));
+  indexes.push_back(std::make_unique<index::HarmoniaIndex>(&space, &col));
+  indexes.push_back(index::RadixSplineIndex::Build(&space, &col));
+
+  for (const auto& index : indexes) {
+    std::vector<join::ReferenceMatch> found;
+    gpu.RunKernel("fuzz", probes.size(), [&](sim::Warp& warp) {
+      std::array<Key, 32> keys{};
+      std::array<uint64_t, 32> pos{};
+      const uint64_t base = warp.base_item();
+      for (int lane = 0; lane < warp.lane_count(); ++lane) {
+        keys[lane] = probes[base + lane];
+      }
+      const uint32_t mask =
+          index->LookupWarp(warp, keys.data(), warp.full_mask(), pos.data());
+      for (int lane = 0; lane < warp.lane_count(); ++lane) {
+        if (mask & (1u << lane)) {
+          found.push_back({base + lane, pos[lane]});
+        }
+      }
+    });
+    ASSERT_EQ(found.size(), oracle.size())
+        << index->name() << " seed " << seed;
+    for (size_t i = 0; i < found.size(); ++i) {
+      ASSERT_EQ(found[i].probe_row, oracle[i].probe_row)
+          << index->name() << " seed " << seed;
+      ASSERT_EQ(found[i].position, oracle[i].position)
+          << index->name() << " seed " << seed;
+    }
+  }
+}
+
+class IndexFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexFuzzTest, AllIndexesMatchOracle) { FuzzIndexesOnce(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Hash table vs a std::multimap oracle under a random insert mix.
+class HashTableFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashTableFuzzTest, MatchesMultimapOracle) {
+  const uint64_t seed = GetParam();
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  Xoshiro256 rng(seed);
+
+  join::MultiValueHashTable::Options opts;
+  opts.max_bucket_size = 2 + static_cast<uint32_t>(rng.NextBounded(64));
+  join::MultiValueHashTable table(&space, 4096, 1 << 16, opts);
+  std::multimap<Key, uint64_t> oracle;
+
+  const int n = 2000 + static_cast<int>(rng.NextBounded(4000));
+  std::vector<Key> keys(n);
+  std::vector<uint64_t> values(n);
+  for (int i = 0; i < n; ++i) {
+    keys[i] = static_cast<Key>(rng.NextBounded(300));  // heavy duplication
+    values[i] = rng.Next();
+    oracle.emplace(keys[i], values[i]);
+  }
+  gpu.RunKernel("insert", n, [&](sim::Warp& warp) {
+    std::array<Key, 32> k{};
+    std::array<uint64_t, 32> v{};
+    for (int lane = 0; lane < warp.lane_count(); ++lane) {
+      k[lane] = keys[warp.base_item() + lane];
+      v[lane] = values[warp.base_item() + lane];
+    }
+    table.InsertWarp(warp, k.data(), v.data(), warp.full_mask());
+  });
+
+  for (Key probe = 0; probe < 300; ++probe) {
+    std::vector<uint64_t> got;
+    gpu.RunKernel("probe", 1, [&](sim::Warp& warp) {
+      table.RetrieveWarp(warp, &probe, 1u,
+                         [&](int, uint64_t v) { got.push_back(v); });
+    });
+    auto [lo, hi] = oracle.equal_range(probe);
+    std::vector<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    ASSERT_EQ(got, expected) << "key " << probe << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashTableFuzzTest,
+                         ::testing::Range(uint64_t{100}, uint64_t{106}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// End-to-end: every join strategy on the same experiment produces |S|
+// result tuples, across random relation sizes.
+class StrategyAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyAgreementTest, AllStrategiesAgree) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = (uint64_t{1} << 20) + rng.NextBounded(uint64_t{1} << 22);
+  cfg.s_tuples = uint64_t{1} << 18;
+  cfg.s_sample = uint64_t{1} << 13;
+  cfg.seed = seed;
+  cfg.index_type = static_cast<index::IndexType>(rng.NextBounded(4));
+  cfg.inlj.window_tuples = uint64_t{1} << (10 + rng.NextBounded(6));
+
+  for (auto mode : {core::InljConfig::PartitionMode::kNone,
+                    core::InljConfig::PartitionMode::kFull,
+                    core::InljConfig::PartitionMode::kWindowed}) {
+    cfg.inlj.mode = mode;
+    auto exp = core::Experiment::Create(cfg);
+    ASSERT_TRUE(exp.ok());
+    EXPECT_EQ((*exp)->RunInlj().result_tuples, cfg.s_tuples)
+        << PartitionModeName(mode) << " seed " << seed;
+  }
+
+  // Best-effort partitioning and the hash join agree too.
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  auto exp = core::Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok());
+  core::BestEffortConfig bep;
+  bep.bucket_tuples = 64 + static_cast<uint32_t>(rng.NextBounded(2048));
+  EXPECT_EQ(core::BestEffortInlj::Run((*exp)->gpu(), (*exp)->index(),
+                                      (*exp)->s(), bep)
+                .result_tuples,
+            cfg.s_tuples);
+  EXPECT_EQ((*exp)->RunHashJoin().value().result_tuples, cfg.s_tuples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyAgreementTest,
+                         ::testing::Range(uint64_t{200}, uint64_t{206}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gpujoin

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "index/dynamic_btree.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "util/rng.h"
+
+namespace gpujoin::index {
+namespace {
+
+using workload::Key;
+
+class DynamicBTreeTest : public ::testing::Test {
+ protected:
+  DynamicBTreeTest() : gpu_(&space_, sim::V100NvLink2()) {}
+
+  // Small nodes force deep trees and frequent splits/merges.
+  DynamicBTree MakeSmallNodeTree() {
+    DynamicBTree::Options opts;
+    opts.node_bytes = 256;
+    return DynamicBTree(&space_, opts);
+  }
+
+  mem::AddressSpace space_;
+  sim::Gpu gpu_;
+};
+
+TEST_F(DynamicBTreeTest, EmptyTree) {
+  DynamicBTree tree(&space_);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.Find(42).has_value());
+  tree.CheckInvariants();
+}
+
+TEST_F(DynamicBTreeTest, InsertAndFind) {
+  DynamicBTree tree(&space_);
+  for (Key k = 0; k < 1000; ++k) tree.Insert(k * 3, k);
+  EXPECT_EQ(tree.size(), 1000u);
+  for (Key k = 0; k < 1000; ++k) {
+    auto v = tree.Find(k * 3);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, static_cast<uint64_t>(k));
+    EXPECT_FALSE(tree.Find(k * 3 + 1).has_value());
+  }
+  tree.CheckInvariants();
+}
+
+TEST_F(DynamicBTreeTest, InsertOverwrites) {
+  DynamicBTree tree(&space_);
+  tree.Insert(5, 1);
+  tree.Insert(5, 2);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(5), 2u);
+}
+
+TEST_F(DynamicBTreeTest, SplitsGrowTheTree) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  for (Key k = 0; k < 10000; ++k) {
+    tree.Insert(k, static_cast<uint64_t>(k));
+  }
+  EXPECT_GE(tree.height(), 3);
+  tree.CheckInvariants();
+  for (Key k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(tree.Find(k).has_value()) << k;
+  }
+}
+
+TEST_F(DynamicBTreeTest, ReverseAndRandomInsertOrders) {
+  for (int order = 0; order < 2; ++order) {
+    DynamicBTree tree = MakeSmallNodeTree();
+    std::vector<Key> keys(5000);
+    for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<Key>(i);
+    if (order == 0) {
+      std::reverse(keys.begin(), keys.end());
+    } else {
+      Xoshiro256 rng(9);
+      for (size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+      }
+    }
+    for (Key k : keys) tree.Insert(k, static_cast<uint64_t>(k) + 7);
+    tree.CheckInvariants();
+    EXPECT_EQ(tree.size(), keys.size());
+    for (Key k : keys) EXPECT_EQ(*tree.Find(k), static_cast<uint64_t>(k) + 7);
+  }
+}
+
+TEST_F(DynamicBTreeTest, EraseLeavesValidTree) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  const int n = 4000;
+  for (Key k = 0; k < n; ++k) tree.Insert(k, static_cast<uint64_t>(k));
+  // Erase every other key.
+  for (Key k = 0; k < n; k += 2) {
+    ASSERT_TRUE(tree.Erase(k)) << k;
+    if (k % 512 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), static_cast<uint64_t>(n) / 2);
+  for (Key k = 0; k < n; ++k) {
+    EXPECT_EQ(tree.Find(k).has_value(), k % 2 == 1) << k;
+  }
+}
+
+TEST_F(DynamicBTreeTest, EraseMissingReturnsFalse) {
+  DynamicBTree tree(&space_);
+  tree.Insert(1, 1);
+  EXPECT_FALSE(tree.Erase(2));
+  EXPECT_TRUE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST_F(DynamicBTreeTest, EraseEverythingShrinksToRoot) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  for (Key k = 0; k < 3000; ++k) tree.Insert(k, 0);
+  EXPECT_GT(tree.height(), 1);
+  for (Key k = 0; k < 3000; ++k) ASSERT_TRUE(tree.Erase(k));
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST_F(DynamicBTreeTest, MixedWorkloadMatchesReferenceMap) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  std::map<Key, uint64_t> reference;
+  Xoshiro256 rng(77);
+  for (int op = 0; op < 30000; ++op) {
+    const Key key = static_cast<Key>(rng.NextBounded(2000));
+    if (rng.NextBounded(3) != 0) {
+      const uint64_t value = rng.Next();
+      tree.Insert(key, value);
+      reference[key] = value;
+    } else {
+      const bool erased = tree.Erase(key);
+      EXPECT_EQ(erased, reference.erase(key) > 0);
+    }
+    if (op % 4096 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto found = tree.Find(key);
+    ASSERT_TRUE(found.has_value()) << key;
+    EXPECT_EQ(*found, value);
+  }
+}
+
+TEST_F(DynamicBTreeTest, WarpLookupMatchesFind) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  for (Key k = 0; k < 8000; ++k) tree.Insert(k * 2, static_cast<uint64_t>(k));
+
+  std::vector<Key> probes;
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 512; ++i) {
+    probes.push_back(static_cast<Key>(rng.NextBounded(16005)));
+  }
+  std::vector<uint64_t> values(probes.size());
+  std::vector<bool> found(probes.size());
+  gpu_.RunKernel("lookup", probes.size(), [&](sim::Warp& warp) {
+    std::array<Key, 32> k{};
+    std::array<uint64_t, 32> v{};
+    const uint64_t base = warp.base_item();
+    for (int lane = 0; lane < warp.lane_count(); ++lane) {
+      k[lane] = probes[base + lane];
+    }
+    const uint32_t f =
+        tree.LookupWarp(warp, k.data(), warp.full_mask(), v.data());
+    for (int lane = 0; lane < warp.lane_count(); ++lane) {
+      values[base + lane] = v[lane];
+      found[base + lane] = (f >> lane) & 1;
+    }
+  });
+  for (size_t i = 0; i < probes.size(); ++i) {
+    auto expected = tree.Find(probes[i]);
+    ASSERT_EQ(found[i], expected.has_value()) << probes[i];
+    if (expected.has_value()) {
+      EXPECT_EQ(values[i], *expected);
+    }
+  }
+  // The lookups must have charged simulated traffic.
+  EXPECT_GT(gpu_.memory().counters().memory_transactions, 0u);
+}
+
+TEST_F(DynamicBTreeTest, LookupAfterHeavyChurnStillCorrect) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  std::set<Key> live;
+  Xoshiro256 rng(5);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      const Key k = static_cast<Key>(rng.NextBounded(10000));
+      tree.Insert(k, static_cast<uint64_t>(k));
+      live.insert(k);
+    }
+    for (int i = 0; i < 1500; ++i) {
+      const Key k = static_cast<Key>(rng.NextBounded(10000));
+      tree.Erase(k);
+      live.erase(k);
+    }
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  for (Key k = 0; k < 10000; k += 17) {
+    EXPECT_EQ(tree.Find(k).has_value(), live.count(k) > 0) << k;
+  }
+}
+
+TEST_F(DynamicBTreeTest, NodeRecyclingBoundsFootprint) {
+  DynamicBTree tree = MakeSmallNodeTree();
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 0; k < 3000; ++k) tree.Insert(k, 0);
+    for (Key k = 0; k < 3000; ++k) tree.Erase(k);
+  }
+  // Freed nodes are recycled, not leaked.
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace gpujoin::index

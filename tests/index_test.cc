@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "index/binary_search.h"
+#include "index/btree.h"
+#include "index/harmonia.h"
+#include "index/index.h"
+#include "index/radix_spline.h"
+#include "index/spline.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::index {
+namespace {
+
+using workload::DenseKeyColumn;
+using workload::GenerateSortedUniqueKeys;
+using workload::JitteredKeyColumn;
+using workload::Key;
+using workload::KeyColumn;
+using workload::MaterializedKeyColumn;
+
+// Runs LookupWarp over a batch of probes and returns (positions, found).
+std::pair<std::vector<uint64_t>, std::vector<bool>> LookupBatch(
+    sim::Gpu& gpu, const Index& index, const std::vector<Key>& probes) {
+  std::vector<uint64_t> pos(probes.size());
+  std::vector<bool> found(probes.size());
+  gpu.RunKernel("lookup", probes.size(), [&](sim::Warp& warp) {
+    std::array<Key, sim::Warp::kWidth> keys{};
+    std::array<uint64_t, sim::Warp::kWidth> out{};
+    const uint64_t base = warp.base_item();
+    for (int lane = 0; lane < warp.lane_count(); ++lane) {
+      keys[lane] = probes[base + lane];
+    }
+    const uint32_t f =
+        index.LookupWarp(warp, keys.data(), warp.full_mask(), out.data());
+    for (int lane = 0; lane < warp.lane_count(); ++lane) {
+      pos[base + lane] = out[lane];
+      found[base + lane] = (f >> lane) & 1;
+    }
+  });
+  return {pos, found};
+}
+
+enum class ColumnKind { kDense, kJittered, kMaterialized };
+
+const char* ColumnKindName(ColumnKind k) {
+  switch (k) {
+    case ColumnKind::kDense:
+      return "dense";
+    case ColumnKind::kJittered:
+      return "jittered";
+    case ColumnKind::kMaterialized:
+      return "materialized";
+  }
+  return "?";
+}
+
+std::unique_ptr<KeyColumn> MakeColumn(mem::AddressSpace* space,
+                                      ColumnKind kind, uint64_t n) {
+  switch (kind) {
+    case ColumnKind::kDense:
+      return std::make_unique<DenseKeyColumn>(space, n);
+    case ColumnKind::kJittered:
+      return std::make_unique<JitteredKeyColumn>(space, n, 16, 99);
+    case ColumnKind::kMaterialized:
+      return std::make_unique<MaterializedKeyColumn>(
+          space, GenerateSortedUniqueKeys(n, 1234));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Index> MakeIndex(mem::AddressSpace* space,
+                                 const KeyColumn* column, IndexType type) {
+  switch (type) {
+    case IndexType::kBinarySearch:
+      return std::make_unique<BinarySearchIndex>(column);
+    case IndexType::kBTree: {
+      BTreeIndex::Options opts;
+      opts.node_bytes = 4096;
+      return std::make_unique<BTreeIndex>(space, column, opts);
+    }
+    case IndexType::kHarmonia:
+      return std::make_unique<HarmoniaIndex>(space, column);
+    case IndexType::kRadixSpline:
+      return RadixSplineIndex::Build(space, column);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: every index returns the reference lower bound, on every
+// column kind, across sizes (including sizes that stress partial nodes).
+// ---------------------------------------------------------------------
+
+class IndexLowerBoundTest
+    : public ::testing::TestWithParam<
+          std::tuple<IndexType, ColumnKind, uint64_t>> {};
+
+TEST_P(IndexLowerBoundTest, MatchesReference) {
+  const auto [type, kind, n] = GetParam();
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  auto column = MakeColumn(&space, kind, n);
+  auto index = MakeIndex(&space, column.get(), type);
+
+  // Probes: all-present sample + absent keys + domain edges.
+  std::vector<Key> probes;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back(column->key_at(rng.NextBounded(n)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    probes.push_back(static_cast<Key>(
+        rng.NextBounded(static_cast<uint64_t>(column->max_key()) + 3)));
+  }
+  probes.push_back(column->min_key());
+  probes.push_back(column->max_key());
+  probes.push_back(column->min_key() - 1);
+  probes.push_back(column->max_key() + 1);
+  // First and last element of every "edge" position.
+  probes.push_back(column->key_at(n - 1));
+  probes.push_back(column->key_at(n / 2));
+
+  auto [pos, found] = LookupBatch(gpu, *index, probes);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (probes[i] < column->min_key()) continue;  // negative-domain probe
+    const uint64_t expected = column->LowerBound(probes[i]);
+    ASSERT_EQ(pos[i], expected)
+        << index->name() << " on " << ColumnKindName(kind) << " n=" << n
+        << " probe=" << probes[i];
+    const bool expect_found =
+        expected < n && column->key_at(expected) == probes[i];
+    ASSERT_EQ(found[i], expect_found) << index->name() << " probe "
+                                      << probes[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexesAllColumns, IndexLowerBoundTest,
+    ::testing::Combine(
+        ::testing::Values(IndexType::kBinarySearch, IndexType::kBTree,
+                          IndexType::kHarmonia, IndexType::kRadixSpline),
+        ::testing::Values(ColumnKind::kDense, ColumnKind::kJittered,
+                          ColumnKind::kMaterialized),
+        // Sizes chosen to cover single-node trees, partial tail nodes and
+        // multi-level trees.
+        ::testing::Values(uint64_t{2}, uint64_t{31}, uint64_t{32},
+                          uint64_t{33}, uint64_t{1000}, uint64_t{32768},
+                          uint64_t{100000})),
+    [](const auto& info) {
+      return std::string(IndexTypeName(std::get<0>(info.param))) + "_" +
+             ColumnKindName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Structure-specific tests.
+// ---------------------------------------------------------------------
+
+TEST(BinarySearch, HasNoState) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 100);
+  BinarySearchIndex idx(&col);
+  EXPECT_EQ(idx.footprint_bytes(), 0u);
+}
+
+TEST(BTree, GeometryMatchesPaperConfig) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 10'000'000);
+  BTreeIndex::Options opts;
+  opts.node_bytes = 4096;  // paper Sec. 3.2
+  opts.fill_factor = 0.9;
+  BTreeIndex idx(&space, &col, opts);
+  // 510-key leaves at fill 0.9 -> 459 keys/leaf.
+  EXPECT_EQ(idx.keys_per_leaf(), 459u);
+  EXPECT_GE(idx.height(), 3);
+  EXPECT_EQ(idx.num_nodes(idx.height() - 1), 1u);  // single root
+  // Footprint covers all nodes.
+  uint64_t nodes = 0;
+  for (int l = 0; l < idx.height(); ++l) nodes += idx.num_nodes(l);
+  EXPECT_EQ(idx.footprint_bytes(), nodes * 4096);
+}
+
+TEST(BTree, SeparatorsAreSubtreeFirstKeys) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 100000);
+  BTreeIndex idx(&space, &col);
+  ASSERT_GE(idx.height(), 2);
+  const int level = 1;
+  for (uint64_t node = 0; node < std::min<uint64_t>(idx.num_nodes(level), 5);
+       ++node) {
+    const uint32_t children = idx.InnerChildCount(level, node);
+    Key prev = std::numeric_limits<Key>::min();
+    for (uint32_t s = 0; s + 1 < children; ++s) {
+      const Key sep = idx.InnerSeparator(level, node, s);
+      EXPECT_GT(sep, prev);
+      prev = sep;
+    }
+  }
+}
+
+TEST(BTree, LeafKeysPartitionTheColumn) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 1000);
+  BTreeIndex idx(&space, &col);
+  uint64_t covered = 0;
+  for (uint64_t leaf = 0; leaf < idx.num_nodes(0); ++leaf) {
+    const uint32_t cnt = idx.LeafKeyCount(leaf);
+    for (uint32_t s = 0; s < cnt; ++s) {
+      EXPECT_EQ(idx.LeafKey(leaf, s), col.key_at(covered + s));
+    }
+    covered += cnt;
+  }
+  EXPECT_EQ(covered, col.size());
+}
+
+TEST(Harmonia, GeometryFanout32) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 1'000'000);
+  HarmoniaIndex idx(&space, &col);
+  EXPECT_EQ(idx.keys_per_node(), 32u);
+  // 1e6 keys / 32 per leaf = 31250 leaves -> 977 -> 31 -> 1: height 4.
+  EXPECT_EQ(idx.num_nodes(0), 31250u);
+  EXPECT_EQ(idx.height(), 4);
+}
+
+TEST(Harmonia, FootprintIncludesKeyCopyAndChildArray) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 1'000'000);
+  HarmoniaIndex idx(&space, &col);
+  // Persistent state is at least one full key copy.
+  EXPECT_GT(idx.footprint_bytes(), col.size_bytes());
+}
+
+TEST(Harmonia, SubWarpWidthsAllCorrect) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 50000);
+  for (int w : {1, 2, 4, 8, 16, 32}) {
+    HarmoniaIndex::Options opts;
+    opts.sub_warp_width = w;
+    HarmoniaIndex idx(&space, &col, opts);
+    sim::Gpu gpu(&space, sim::V100NvLink2());
+    std::vector<Key> probes;
+    Xoshiro256 rng(w);
+    for (int i = 0; i < 200; ++i) {
+      probes.push_back(col.key_at(rng.NextBounded(col.size())));
+    }
+    auto [pos, found] = LookupBatch(gpu, idx, probes);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(pos[i], static_cast<uint64_t>(probes[i])) << "w=" << w;
+      ASSERT_TRUE(found[i]);
+    }
+  }
+}
+
+// --- Spline ------------------------------------------------------------
+
+TEST(GreedySpline, CorridorErrorBoundHolds) {
+  mem::AddressSpace space;
+  auto keys = GenerateSortedUniqueKeys(20000, 77);
+  MaterializedKeyColumn col(&space, keys);
+  const uint64_t max_error = 16;
+  auto points = BuildGreedySplinePoints(col, max_error);
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_EQ(points.front().pos, 0u);
+  EXPECT_EQ(points.back().pos, col.size() - 1);
+
+  // Interpolating any data key within its segment stays within the
+  // corridor (allow +1 for floating-point rounding).
+  size_t seg = 0;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    const Key k = col.key_at(i);
+    while (points[seg + 1].key < k) ++seg;
+    const auto& a = points[seg];
+    const auto& b = points[seg + 1];
+    const double slope = static_cast<double>(b.pos - a.pos) /
+                         static_cast<double>(b.key - a.key);
+    const double est =
+        static_cast<double>(a.pos) + slope * static_cast<double>(k - a.key);
+    EXPECT_LE(std::abs(est - static_cast<double>(i)),
+              static_cast<double>(max_error) + 1.0)
+        << "at " << i;
+  }
+}
+
+TEST(GreedySpline, TighterErrorMorePoints) {
+  mem::AddressSpace space;
+  auto keys = GenerateSortedUniqueKeys(20000, 78);
+  MaterializedKeyColumn col(&space, keys);
+  const auto coarse = BuildGreedySplinePoints(col, 256);
+  const auto fine = BuildGreedySplinePoints(col, 4);
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(GreedySpline, PerfectlyLinearDataNeedsTwoPoints) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 10000);
+  auto points = BuildGreedySplinePoints(col, 8);
+  EXPECT_EQ(points.size(), 2u);
+}
+
+TEST(UniformSpline, CoversColumn) {
+  mem::AddressSpace space;
+  JitteredKeyColumn col(&space, 100000, 16, 5);
+  UniformSpline spline(&space, &col, 1024);
+  EXPECT_EQ(spline.point_pos(0), 0u);
+  EXPECT_EQ(spline.point_pos(spline.num_points() - 1), col.size() - 1);
+  // Jittered keys are near-linear: the estimated error is small.
+  EXPECT_LE(spline.max_error(), 16u);
+  for (uint64_t i = 1; i < spline.num_points(); ++i) {
+    ASSERT_LT(spline.point_key(i - 1), spline.point_key(i));
+  }
+}
+
+TEST(RadixSpline, UsesUniformSplineForHugeColumns) {
+  mem::AddressSpace space;
+  // Procedural 2^28-tuple column (2 GiB simulated, no real memory).
+  DenseKeyColumn col(&space, uint64_t{1} << 28);
+  auto idx = RadixSplineIndex::Build(&space, &col);
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  std::vector<Key> probes;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    probes.push_back(col.key_at(rng.NextBounded(col.size())));
+  }
+  auto [pos, found] = LookupBatch(gpu, *idx, probes);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(pos[i], static_cast<uint64_t>(probes[i]));
+    ASSERT_TRUE(found[i]);
+  }
+}
+
+TEST(RadixSpline, FootprintIsSmall) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, uint64_t{1} << 28);
+  auto idx = RadixSplineIndex::Build(&space, &col);
+  // Radix table + spline points are tiny compared to the data.
+  EXPECT_LT(idx->footprint_bytes(), col.size_bytes() / 16);
+}
+
+}  // namespace
+}  // namespace gpujoin::index

@@ -1,0 +1,179 @@
+// Tests for the TLB co-resident-warp interference model and the
+// frequency-aware cache flush — the two simulator mechanisms that stand
+// in for real inter-warp contention (DESIGN.md Sec. 2).
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "sim/cache.h"
+#include "sim/gpu.h"
+#include "sim/memory_model.h"
+#include "sim/run_result.h"
+#include "sim/specs.h"
+#include "util/units.h"
+
+namespace gpujoin::sim {
+namespace {
+
+class InterferenceTest : public ::testing::Test {
+ protected:
+  InterferenceTest()
+      : host_(space_.Reserve(uint64_t{128} * kGiB, mem::MemKind::kHost,
+                             "h")) {}
+
+  MemoryModel MakeModel(int co_resident_warps) {
+    GpuSpec gpu = TeslaV100();
+    gpu.tlb_co_resident_warps = co_resident_warps;
+    // Shrink the caches so every access reaches the TLB.
+    gpu.l1_size = 2 * kKiB;
+    gpu.l2_size = 2 * kKiB;
+    return MemoryModel(&space_, gpu);
+  }
+
+  mem::AddressSpace space_;
+  mem::Region host_;
+};
+
+TEST_F(InterferenceTest, SmallWorkingSetIsImmune) {
+  MemoryModel model = MakeModel(64);
+  // 16 pages (< 32 TLB entries): even with interference, repeated access
+  // only pays the 16 first-touch translations.
+  for (int round = 0; round < 8; ++round) {
+    for (uint64_t p = 0; p < 16; ++p) {
+      model.Access(host_.base + p * kGiB + round * 1024, 8,
+                   AccessType::kRead);
+    }
+  }
+  EXPECT_EQ(model.counters().translation_requests, 16u);
+}
+
+TEST_F(InterferenceTest, WideWorkingSetThrashesEvenOnResidentPages) {
+  MemoryModel model = MakeModel(64);
+  // 48 pages round-robin: > 32 entries. With interference, nearly every
+  // access misses (a page cannot survive 47 intervening page touches
+  // times 64 co-resident warps).
+  const int rounds = 6;
+  for (int round = 0; round < rounds; ++round) {
+    for (uint64_t p = 0; p < 48; ++p) {
+      model.Access(host_.base + p * kGiB + round * 1024, 8,
+                   AccessType::kRead);
+    }
+  }
+  EXPECT_EQ(model.counters().translation_requests,
+            static_cast<uint64_t>(rounds) * 48);
+}
+
+TEST_F(InterferenceTest, ZeroWarpsDisablesInterference) {
+  MemoryModel model = MakeModel(0);
+  // Without interference, a 20-page working set enjoys plain LRU hits
+  // even though other state churns around it.
+  for (int round = 0; round < 8; ++round) {
+    for (uint64_t p = 0; p < 20; ++p) {
+      model.Access(host_.base + p * kGiB + round * 1024, 8,
+                   AccessType::kRead);
+    }
+  }
+  EXPECT_EQ(model.counters().translation_requests, 20u);
+}
+
+TEST_F(InterferenceTest, InterferenceIsHarshOncePastCoverage) {
+  MemoryModel model = MakeModel(64);
+  // A wide working set (40 pages + page 0 on every other access): with
+  // 64 co-resident warps, even page 0's entry is churned out between its
+  // touches (one intervening distinct page times 64 warps exceeds the 32
+  // entries). Both streams miss nearly always — translation pressure is
+  // all-or-nothing at the coverage boundary, which is exactly the cliff
+  // shape of Fig. 3/4.
+  const uint64_t before = model.counters().translation_requests;
+  for (int i = 0; i < 400; ++i) {
+    model.Access(host_.base + i * 1024, 8, AccessType::kRead);  // page 0
+    const uint64_t p = 1 + (i % 40);
+    model.Access(host_.base + p * kGiB + i * 1024, 8, AccessType::kRead);
+  }
+  const uint64_t total = model.counters().translation_requests - before;
+  EXPECT_GE(total, 700u);
+  EXPECT_LE(total, 800u);
+}
+
+TEST_F(InterferenceTest, BackToBackTouchesStillHit) {
+  MemoryModel model = MakeModel(64);
+  // Warm a wide working set so interference is active.
+  for (uint64_t p = 0; p < 48; ++p) {
+    model.Access(host_.base + p * kGiB, 8, AccessType::kRead);
+  }
+  const uint64_t before = model.counters().translation_requests;
+  // Consecutive touches of one page (as within a single warp instruction
+  // or a tight partition) do not advance the distinct-page clock.
+  for (int i = 1; i <= 64; ++i) {
+    model.Access(host_.base + 5 * kGiB + i * 256, 8, AccessType::kRead);
+  }
+  // One miss to re-install the page; the rest hit.
+  EXPECT_LE(model.counters().translation_requests - before, 1u);
+}
+
+TEST(FlushCold, EvictsColdKeepsHot) {
+  Cache cache(1024, 64, 4);
+  for (int i = 0; i < 4; ++i) cache.Access(100);  // hot line
+  cache.Access(200);                              // cold line
+  cache.FlushCold(2);
+  EXPECT_TRUE(cache.Contains(100));
+  EXPECT_FALSE(cache.Contains(200));
+}
+
+TEST(FlushCold, ResetsTouchCounts) {
+  Cache cache(1024, 64, 4);
+  for (int i = 0; i < 4; ++i) cache.Access(100);
+  cache.FlushCold(2);
+  // After the flush the line must re-earn its hotness.
+  cache.FlushCold(2);
+  EXPECT_FALSE(cache.Contains(100));
+}
+
+TEST(RunResultHelpers, QpsAndTranslationsPerKey) {
+  RunResult res;
+  res.seconds = 0.5;
+  res.probe_tuples = 1000;
+  res.counters.translation_requests = 1500;
+  EXPECT_DOUBLE_EQ(res.qps(), 2.0);
+  EXPECT_DOUBLE_EQ(res.translations_per_key(), 1.5);
+  res.AddStage("a", 0.1);
+  res.AddStage("b", 0.4);
+  EXPECT_EQ(res.stages.size(), 2u);
+}
+
+TEST(KernelRunHelpers, ScaledAndMerge) {
+  KernelRun a{"a", {}};
+  a.counters.hbm_read_bytes = 100;
+  a.counters.kernel_launches = 1;
+  KernelRun scaled = a.Scaled(3.0);
+  EXPECT_EQ(scaled.counters.hbm_read_bytes, 300u);
+  EXPECT_EQ(scaled.counters.kernel_launches, 1u);
+
+  KernelRun b{"b", {}};
+  b.counters.hbm_read_bytes = 11;
+  a.Merge(b);
+  EXPECT_EQ(a.counters.hbm_read_bytes, 111u);
+}
+
+TEST(CountersToString, MentionsKeyFields) {
+  CounterSet c;
+  c.translation_requests = 42;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("translations=42"), std::string::npos);
+  EXPECT_NE(s.find("host_rd_random"), std::string::npos);
+}
+
+TEST(TimeBreakdown, TotalIsMaxPlusLaunch) {
+  TimeBreakdown b;
+  b.transfer = 0.5;
+  b.translation = 0.2;
+  b.hbm = 0.7;
+  b.compute = 0.1;
+  b.serial = 0.0;
+  b.launch = 0.05;
+  EXPECT_DOUBLE_EQ(b.total(), 0.75);
+  EXPECT_NE(b.ToString().find("total="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpujoin::sim

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "mem/page_table.h"
+#include "mem/sim_array.h"
+#include "util/units.h"
+
+namespace gpujoin::mem {
+namespace {
+
+TEST(AddressSpace, ReservationsAreDisjoint) {
+  AddressSpace space;
+  Region a = space.Reserve(1000, MemKind::kHost, "a");
+  Region b = space.Reserve(1000, MemKind::kHost, "b");
+  EXPECT_GE(b.base, a.end());
+}
+
+TEST(AddressSpace, HostAndDeviceDisjoint) {
+  AddressSpace space;
+  Region h = space.Reserve(kGiB, MemKind::kHost, "h");
+  Region d = space.Reserve(kGiB, MemKind::kDevice, "d");
+  EXPECT_TRUE(h.end() <= d.base || d.end() <= h.base);
+}
+
+TEST(AddressSpace, RegionsArePageAligned) {
+  AddressSpace::Options opts;
+  opts.host_page_size = 2 * kMiB;
+  AddressSpace space(opts);
+  Region a = space.Reserve(100, MemKind::kHost, "a");
+  Region b = space.Reserve(100, MemKind::kHost, "b");
+  EXPECT_EQ(a.base % (2 * kMiB), 0u);
+  EXPECT_EQ(b.base % (2 * kMiB), 0u);
+}
+
+TEST(AddressSpace, FindRegion) {
+  AddressSpace space;
+  Region a = space.Reserve(4096, MemKind::kHost, "a");
+  const Region* found = space.FindRegion(a.base + 100);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "a");
+  EXPECT_EQ(space.FindRegion(a.base + a.size + (uint64_t{10} * kGiB)),
+            nullptr);
+}
+
+TEST(AddressSpace, KindOf) {
+  AddressSpace space;
+  Region h = space.Reserve(4096, MemKind::kHost, "h");
+  Region d = space.Reserve(4096, MemKind::kDevice, "d");
+  EXPECT_EQ(space.KindOf(h.base), MemKind::kHost);
+  EXPECT_EQ(space.KindOf(d.base + 4095), MemKind::kDevice);
+}
+
+TEST(AddressSpace, TracksReservedBytes) {
+  AddressSpace space;
+  space.Reserve(1000, MemKind::kHost, "a");
+  space.Reserve(2000, MemKind::kHost, "b");
+  space.Reserve(500, MemKind::kDevice, "c");
+  EXPECT_EQ(space.reserved_bytes(MemKind::kHost), 3000u);
+  EXPECT_EQ(space.reserved_bytes(MemKind::kDevice), 500u);
+}
+
+TEST(AddressSpace, CanReserveOutOfCoreSizes) {
+  AddressSpace space;
+  // 120 GiB virtual reservation must not allocate real memory.
+  Region big = space.Reserve(uint64_t{120} * kGiB, MemKind::kHost, "R");
+  EXPECT_EQ(big.size, uint64_t{120} * kGiB);
+  EXPECT_EQ(space.KindOf(big.base + 100 * kGiB), MemKind::kHost);
+}
+
+TEST(PageTable, FirstTouchAssignsFrames) {
+  AddressSpace space;
+  Region r = space.Reserve(uint64_t{4} * kGiB, MemKind::kHost, "r");
+  PageTable pt(&space);
+  const uint64_t f0 = pt.Translate(r.base, MemKind::kHost);
+  const uint64_t f1 = pt.Translate(r.base + 2 * kGiB, MemKind::kHost);
+  EXPECT_NE(f0, f1);
+  // Same page translates to the same frame.
+  EXPECT_EQ(pt.Translate(r.base + 100, MemKind::kHost), f0);
+  EXPECT_EQ(pt.mapped_pages(), 2u);
+}
+
+TEST(SimArray, ReadWriteRoundTrip) {
+  AddressSpace space;
+  SimArray<int64_t> arr(&space, 100, MemKind::kDevice, "arr");
+  for (size_t i = 0; i < arr.size(); ++i) arr[i] = static_cast<int64_t>(i * i);
+  for (size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i], static_cast<int64_t>(i * i));
+  }
+}
+
+TEST(SimArray, AddressesAreContiguous) {
+  AddressSpace space;
+  SimArray<int64_t> arr(&space, 10, MemKind::kHost, "arr");
+  EXPECT_EQ(arr.addr_of(3) - arr.addr_of(0), 24u);
+  EXPECT_EQ(arr.addr_of(0), arr.region().base);
+}
+
+TEST(SimArray, MoveTransfersOwnership) {
+  AddressSpace space;
+  SimArray<int64_t> a(&space, 10, MemKind::kHost, "a");
+  a[0] = 7;
+  SimArray<int64_t> b = std::move(a);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+}  // namespace
+}  // namespace gpujoin::mem

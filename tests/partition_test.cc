@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "partition/radix_partitioner.h"
+#include "sim/gpu.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::partition {
+namespace {
+
+using workload::DenseKeyColumn;
+using workload::Key;
+
+TEST(PlanPartitionBits, PaperDefaultIs2048Partitions) {
+  mem::AddressSpace space;
+  // 2^30 dense keys: key bits = 30 -> 11 partition bits at shift 19.
+  DenseKeyColumn col(&space, uint64_t{1} << 30);
+  RadixPartitionSpec spec = PlanPartitionBits(col);
+  EXPECT_EQ(spec.num_partitions(), 2048u);
+  EXPECT_EQ(spec.shift, 30 - 11);
+}
+
+TEST(PlanPartitionBits, SmallDomainsIgnoreLsb) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 256);  // key bits = 8
+  RadixPartitionSpec spec = PlanPartitionBits(col, 11, 4);
+  EXPECT_EQ(spec.bits, 4);  // 8 - 4 LSBs
+  EXPECT_EQ(spec.shift, 4);
+}
+
+TEST(PartitionOf, ExtractsConfiguredBits) {
+  RadixPartitionSpec spec{.bits = 3, .shift = 4};
+  EXPECT_EQ(spec.PartitionOf(0), 0u);
+  EXPECT_EQ(spec.PartitionOf(0b1010000), 0b101u);
+  EXPECT_EQ(spec.PartitionOf(0b1011111), 0b101u);
+}
+
+class RadixPartitionerTest : public ::testing::Test {
+ protected:
+  RadixPartitionerTest() : gpu_(&space_, sim::V100NvLink2()) {}
+
+  mem::AddressSpace space_;
+  sim::Gpu gpu_;
+};
+
+TEST_F(RadixPartitionerTest, OutputIsPartitionOrderedAndStable) {
+  const RadixPartitionSpec spec{.bits = 4, .shift = 3};
+  RadixPartitioner partitioner(spec);
+
+  std::vector<Key> keys(5000);
+  Xoshiro256 rng(3);
+  for (auto& k : keys) k = static_cast<Key>(rng.NextBounded(1 << 7));
+  mem::Region src =
+      space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "src");
+
+  sim::KernelRun run{"p", {}};
+  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
+                                              src.base, 100, &run);
+
+  ASSERT_EQ(out.keys.size(), keys.size());
+  ASSERT_EQ(out.offsets.size(), spec.num_partitions() + 1u);
+  EXPECT_EQ(out.offsets.front(), 0u);
+  EXPECT_EQ(out.offsets.back(), keys.size());
+
+  // Each partition range contains exactly the keys of that partition, in
+  // original (stable) order.
+  for (uint32_t p = 0; p < spec.num_partitions(); ++p) {
+    uint64_t prev_row = 0;
+    bool first = true;
+    for (uint64_t i = out.offsets[p]; i < out.offsets[p + 1]; ++i) {
+      ASSERT_EQ(spec.PartitionOf(out.keys[i]), p);
+      const uint64_t row = out.row_ids[i];
+      ASSERT_GE(row, 100u);  // first_row_id offset applied
+      ASSERT_EQ(keys[row - 100], out.keys[i]);
+      if (!first) {
+        ASSERT_GT(row, prev_row) << "stability violated";
+      }
+      prev_row = row;
+      first = false;
+    }
+  }
+}
+
+TEST_F(RadixPartitionerTest, PreservesMultiset) {
+  const RadixPartitionSpec spec{.bits = 6, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys(3000);
+  Xoshiro256 rng(8);
+  for (auto& k : keys) k = static_cast<Key>(rng.NextBounded(1 << 6));
+  mem::Region src =
+      space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "src");
+  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
+                                              src.base, 0, nullptr);
+  std::vector<Key> a = keys;
+  std::vector<Key> b(out.keys.begin(), out.keys.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RadixPartitionerTest, ChargesStageInForHostSources) {
+  const RadixPartitionSpec spec{.bits = 4, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys(1024, 5);
+  mem::Region host_src =
+      space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "hs");
+  mem::Region dev_src =
+      space_.Reserve(keys.size() * 8, mem::MemKind::kDevice, "ds");
+
+  sim::KernelRun host_run{"h", {}};
+  partitioner.Partition(gpu_, keys.data(), keys.size(), host_src.base, 0,
+                        &host_run);
+  sim::KernelRun dev_run{"d", {}};
+  partitioner.Partition(gpu_, keys.data(), keys.size(), dev_src.base, 0,
+                        &dev_run);
+
+  EXPECT_EQ(host_run.counters.host_seq_read_bytes, keys.size() * 8);
+  EXPECT_EQ(dev_run.counters.host_seq_read_bytes, 0u);
+  EXPECT_GT(host_run.counters.hbm_bytes(), 0u);
+}
+
+TEST_F(RadixPartitionerTest, PartitionedOutputLivesInDeviceMemory) {
+  const RadixPartitionSpec spec{.bits = 2, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys(64, 1);
+  mem::Region src = space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
+  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
+                                              src.base, 0, nullptr);
+  EXPECT_EQ(space_.KindOf(out.tuple_addr(0)), mem::MemKind::kDevice);
+  EXPECT_EQ(space_.KindOf(out.tuple_addr(keys.size() - 1)),
+            mem::MemKind::kDevice);
+  EXPECT_EQ(out.region.size, keys.size() * 16);
+}
+
+TEST_F(RadixPartitionerTest, ImprovesKeyLocality) {
+  // The partitioner's purpose (paper Sec. 4.2): after partitioning,
+  // consecutive keys fall into narrow key ranges.
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  DenseKeyColumn col(&space, uint64_t{1} << 24);
+  RadixPartitionSpec spec = PlanPartitionBits(col);
+  RadixPartitioner partitioner(spec);
+
+  std::vector<Key> keys(1 << 14);
+  Xoshiro256 rng(11);
+  for (auto& k : keys) {
+    k = col.key_at(rng.NextBounded(col.size()));
+  }
+  mem::Region src = space.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
+  PartitionedKeys out =
+      partitioner.Partition(gpu, keys.data(), keys.size(), src.base, 0,
+                            nullptr);
+
+  auto window_span = [](const std::vector<Key>& v, size_t i, size_t w) {
+    Key lo = v[i];
+    Key hi = v[i];
+    for (size_t j = i; j < i + w; ++j) {
+      lo = std::min(lo, v[j]);
+      hi = std::max(hi, v[j]);
+    }
+    return hi - lo;
+  };
+  std::vector<Key> part(out.keys.begin(), out.keys.end());
+  double before = 0;
+  double after = 0;
+  const size_t w = 32;
+  for (size_t i = 0; i + w <= keys.size(); i += w) {
+    before += static_cast<double>(window_span(keys, i, w));
+    after += static_cast<double>(window_span(part, i, w));
+  }
+  // Warp-sized windows of partitioned keys span a far smaller key range.
+  EXPECT_LT(after, before / 50);
+}
+
+}  // namespace
+}  // namespace gpujoin::partition

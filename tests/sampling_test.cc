@@ -1,0 +1,137 @@
+// Tests for the probe-sampling schemes (DESIGN.md Sec. 2): thinned vs
+// density-preserving range-restricted sampling, and their interaction
+// with the experiment driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/experiment.h"
+#include "mem/address_space.h"
+#include "workload/key_column.h"
+#include "workload/relation.h"
+
+namespace gpujoin::workload {
+namespace {
+
+TEST(RangeRestrictedSampling, PositionsFallInNarrowSlice) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, uint64_t{1} << 24);
+  ProbeConfig cfg;
+  cfg.full_size = uint64_t{1} << 22;
+  cfg.sample_size = uint64_t{1} << 14;  // scale 256
+  cfg.scheme = SampleScheme::kRangeRestricted;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+
+  uint64_t lo = ~uint64_t{0};
+  uint64_t hi = 0;
+  for (uint64_t p : s.true_positions) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  // Slice width = n / scale = 2^24 / 256 = 65536 positions.
+  EXPECT_LE(hi - lo, r.size() / 256);
+  EXPECT_EQ(s.scheme, SampleScheme::kRangeRestricted);
+}
+
+TEST(RangeRestrictedSampling, PreservesPerPositionDensity) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, uint64_t{1} << 20);
+  ProbeConfig cfg;
+  cfg.full_size = uint64_t{1} << 20;  // one probe per R position on avg
+  cfg.sample_size = uint64_t{1} << 14;
+  cfg.scheme = SampleScheme::kRangeRestricted;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+
+  // Distinct fraction within the slice should look like full-density
+  // sampling with replacement: ~63% distinct (1 - 1/e).
+  std::set<uint64_t> distinct(s.true_positions.begin(),
+                              s.true_positions.end());
+  const double frac = static_cast<double>(distinct.size()) /
+                      static_cast<double>(s.sample_size());
+  EXPECT_NEAR(frac, 0.632, 0.03);
+}
+
+TEST(ThinnedSampling, CoversTheWholeRelation) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, uint64_t{1} << 24);
+  ProbeConfig cfg;
+  cfg.full_size = uint64_t{1} << 22;
+  cfg.sample_size = uint64_t{1} << 14;
+  cfg.scheme = SampleScheme::kThinned;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+
+  uint64_t lo = ~uint64_t{0};
+  uint64_t hi = 0;
+  for (uint64_t p : s.true_positions) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi - lo, r.size() / 2);  // spans most of R
+}
+
+TEST(RangeRestrictedSampling, KeysStillExistInR) {
+  mem::AddressSpace space;
+  JitteredKeyColumn r(&space, uint64_t{1} << 20, 16, 3);
+  ProbeConfig cfg;
+  cfg.full_size = uint64_t{1} << 18;
+  cfg.sample_size = uint64_t{1} << 12;
+  cfg.scheme = SampleScheme::kRangeRestricted;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+  for (uint64_t i = 0; i < s.sample_size(); ++i) {
+    ASSERT_EQ(r.key_at(s.true_positions[i]), s.keys[i]);
+  }
+}
+
+TEST(RangeRestrictedSampling, ZipfStaysInSlice) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, uint64_t{1} << 24);
+  ProbeConfig cfg;
+  cfg.full_size = uint64_t{1} << 22;
+  cfg.sample_size = uint64_t{1} << 13;
+  cfg.scheme = SampleScheme::kRangeRestricted;
+  cfg.zipf_exponent = 1.2;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+  uint64_t lo = ~uint64_t{0};
+  uint64_t hi = 0;
+  for (uint64_t p : s.true_positions) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_LE(hi - lo, r.size() / 512 + 1);
+}
+
+TEST(ExperimentSamplingChoice, NaiveThinsPartitionedRestricts) {
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 24;
+  cfg.s_sample = uint64_t{1} << 12;
+
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+  auto naive = core::Experiment::Create(cfg);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ((*naive)->s().scheme, SampleScheme::kThinned);
+
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  auto windowed = core::Experiment::Create(cfg);
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ((*windowed)->s().scheme, SampleScheme::kRangeRestricted);
+}
+
+TEST(FullSampleIsExact, SampleEqualsFullSize) {
+  // With sample == full, both schemes degenerate to the exact workload.
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, 1 << 16);
+  for (SampleScheme scheme :
+       {SampleScheme::kThinned, SampleScheme::kRangeRestricted}) {
+    ProbeConfig cfg;
+    cfg.full_size = 1 << 12;
+    cfg.sample_size = 1 << 12;
+    cfg.scheme = scheme;
+    ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+    EXPECT_DOUBLE_EQ(s.scale(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin::workload

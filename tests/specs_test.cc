@@ -1,0 +1,79 @@
+// Sanity of the platform presets: the calibrated constants must stay
+// physically consistent (see docs/MODEL.md for their derivations).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/specs.h"
+#include "util/units.h"
+
+namespace gpujoin::sim {
+namespace {
+
+std::vector<InterconnectSpec> AllInterconnects() {
+  return {NvLink2(), PciE4(), PciE5(), InfinityFabric3(), NvLinkC2C()};
+}
+
+std::vector<GpuSpec> AllGpus() { return {TeslaV100(), A100(), GH200Gpu()}; }
+
+TEST(InterconnectSpecs, AchievableRatesBelowPeak) {
+  for (const auto& ic : AllInterconnects()) {
+    EXPECT_GT(ic.peak_bandwidth, 0) << ic.name;
+    EXPECT_LE(ic.seq_bandwidth, ic.peak_bandwidth) << ic.name;
+    EXPECT_LE(ic.random_bandwidth, ic.seq_bandwidth) << ic.name;
+    EXPECT_GT(ic.random_bandwidth, 0) << ic.name;
+  }
+}
+
+TEST(InterconnectSpecs, TranslationThroughputPositive) {
+  for (const auto& ic : AllInterconnects()) {
+    EXPECT_GT(ic.translation_throughput(), 0) << ic.name;
+    EXPECT_GT(ic.translation_latency, 0) << ic.name;
+  }
+}
+
+TEST(InterconnectSpecs, FasterGenerationsAreFaster) {
+  EXPECT_GT(PciE5().peak_bandwidth, PciE4().peak_bandwidth);
+  EXPECT_GT(NvLink2().peak_bandwidth, PciE4().peak_bandwidth);
+  EXPECT_GT(NvLinkC2C().peak_bandwidth, NvLink2().peak_bandwidth);
+  // The paper's core premise: NVLink handles cacheline gathers far
+  // better than PCI-e.
+  EXPECT_GT(NvLink2().random_bandwidth, 2 * PciE4().random_bandwidth);
+}
+
+TEST(GpuSpecs, GeometryIsSane) {
+  for (const auto& gpu : AllGpus()) {
+    EXPECT_GT(gpu.num_sms, 0) << gpu.name;
+    EXPECT_GT(gpu.l2_size, 0u) << gpu.name;
+    EXPECT_GE(gpu.l1_size, gpu.l2_size / 8) << gpu.name;
+    EXPECT_EQ(gpu.cacheline_bytes, 128u) << gpu.name;
+    EXPECT_GT(gpu.hbm_bandwidth, 0) << gpu.name;
+    EXPECT_GE(gpu.hbm_capacity, uint64_t{16} * kGiB) << gpu.name;
+    EXPECT_GE(gpu.tlb_coverage, uint64_t{32} * kGiB) << gpu.name;
+    EXPECT_GT(gpu.warp_step_throughput, 0) << gpu.name;
+  }
+}
+
+TEST(GpuSpecs, GenerationsImprove) {
+  EXPECT_GT(A100().hbm_bandwidth, TeslaV100().hbm_bandwidth);
+  EXPECT_GT(GH200Gpu().hbm_bandwidth, A100().hbm_bandwidth);
+  EXPECT_GT(GH200Gpu().tlb_coverage, TeslaV100().tlb_coverage);
+}
+
+TEST(Platforms, NamedPresetsCompose) {
+  EXPECT_EQ(V100NvLink2().interconnect.name, "NVLink 2.0");
+  EXPECT_EQ(A100PciE4().interconnect.name, "PCI-e 4.0");
+  EXPECT_EQ(GH200C2C().interconnect.name, "NVLink C2C");
+  EXPECT_NE(V100NvLink2().name.find("V100"), std::string::npos);
+}
+
+TEST(Platforms, V100MatchesPaperSetup) {
+  const PlatformSpec p = V100NvLink2();
+  EXPECT_DOUBLE_EQ(p.interconnect.peak_bandwidth, 75e9);  // Table 1
+  EXPECT_EQ(p.gpu.tlb_coverage, uint64_t{32} * kGiB);     // Sec. 3.3.2
+  EXPECT_DOUBLE_EQ(p.interconnect.translation_latency, 3e-6);  // [30]
+}
+
+}  // namespace
+}  // namespace gpujoin::sim

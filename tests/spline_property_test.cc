@@ -1,0 +1,132 @@
+// Property sweeps over the RadixSpline components: the greedy corridor
+// bound must hold for every error budget and data shape, and the full
+// index must return exact lower bounds under every (radix_bits x
+// max_error) configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "index/radix_spline.h"
+#include "index/spline.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::index {
+namespace {
+
+using workload::GenerateSortedUniqueKeys;
+using workload::Key;
+using workload::MaterializedKeyColumn;
+
+class GreedyCorridorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyCorridorTest, ErrorBoundHoldsEverywhere) {
+  const uint64_t max_error = GetParam();
+  mem::AddressSpace space;
+  // Irregular gaps stress the corridor.
+  MaterializedKeyColumn col(&space, GenerateSortedUniqueKeys(
+                                        30000, /*seed=*/500 + max_error,
+                                        /*max_gap=*/64));
+  auto points = BuildGreedySplinePoints(col, max_error);
+  ASSERT_GE(points.size(), 2u);
+
+  size_t seg = 0;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    const Key k = col.key_at(i);
+    while (points[seg + 1].key < k) ++seg;
+    const auto& a = points[seg];
+    const auto& b = points[seg + 1];
+    const double slope = static_cast<double>(b.pos - a.pos) /
+                         static_cast<double>(b.key - a.key);
+    const double est =
+        static_cast<double>(a.pos) + slope * static_cast<double>(k - a.key);
+    ASSERT_LE(std::abs(est - static_cast<double>(i)),
+              static_cast<double>(max_error) + 1.0)
+        << "position " << i << " error budget " << max_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorBudgets, GreedyCorridorTest,
+                         ::testing::Values(1, 2, 4, 16, 64, 256, 1024),
+                         [](const auto& info) {
+                           return "err" + std::to_string(info.param);
+                         });
+
+class RadixSplineConfigTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RadixSplineConfigTest, ExactLowerBoundsUnderAllConfigs) {
+  const auto [radix_bits, max_error] = GetParam();
+  mem::AddressSpace space;
+  sim::Gpu gpu(&space, sim::V100NvLink2());
+  MaterializedKeyColumn col(&space,
+                            GenerateSortedUniqueKeys(20000, 42, 32));
+
+  RadixSplineIndex::Options opts;
+  opts.radix_bits = radix_bits;
+  opts.max_error = max_error;
+  auto index = RadixSplineIndex::Build(&space, &col, opts);
+
+  Xoshiro256 rng(7);
+  for (int batch = 0; batch < 8; ++batch) {
+    std::array<Key, 32> keys{};
+    std::array<uint64_t, 32> pos{};
+    for (auto& k : keys) {
+      k = static_cast<Key>(
+          rng.NextBounded(static_cast<uint64_t>(col.max_key()) + 10));
+    }
+    gpu.RunKernel("lookup", 32, [&](sim::Warp& warp) {
+      index->LookupWarp(warp, keys.data(), warp.full_mask(), pos.data());
+    });
+    for (int lane = 0; lane < 32; ++lane) {
+      ASSERT_EQ(pos[lane], col.LowerBound(keys[lane]))
+          << "rb=" << radix_bits << " err=" << max_error << " key "
+          << keys[lane];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RadixSplineConfigTest,
+    ::testing::Combine(::testing::Values(4, 8, 12, 18, 24),
+                       ::testing::Values(uint64_t{4}, uint64_t{32},
+                                         uint64_t{256})),
+    [](const auto& info) {
+      return "rb" + std::to_string(std::get<0>(info.param)) + "_err" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(UniformSplineIntervals, AllIntervalsCoverAndStaySorted) {
+  mem::AddressSpace space;
+  workload::JitteredKeyColumn col(&space, 50000, 16, 3);
+  for (uint64_t interval : {2u, 7u, 64u, 1024u, 65536u}) {
+    UniformSpline spline(&space, &col, interval);
+    ASSERT_GE(spline.num_points(), 2u);
+    EXPECT_EQ(spline.point_pos(0), 0u);
+    EXPECT_EQ(spline.point_pos(spline.num_points() - 1), col.size() - 1);
+    for (uint64_t i = 1; i < spline.num_points(); ++i) {
+      ASSERT_LT(spline.point_key(i - 1), spline.point_key(i))
+          << "interval " << interval;
+      ASSERT_LT(spline.point_pos(i - 1), spline.point_pos(i));
+    }
+  }
+}
+
+TEST(GreedySplineStorage, AddressesAreContiguous16Bytes) {
+  mem::AddressSpace space;
+  MaterializedKeyColumn col(&space, GenerateSortedUniqueKeys(5000, 1));
+  GreedySpline spline(&space, col, 16);
+  for (uint64_t i = 1; i < spline.num_points(); ++i) {
+    EXPECT_EQ(spline.point_addr(i) - spline.point_addr(i - 1),
+              sizeof(SplinePoint));
+  }
+  EXPECT_EQ(spline.footprint_bytes(),
+            spline.num_points() * sizeof(SplinePoint));
+}
+
+}  // namespace
+}  // namespace gpujoin::index

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "index/radix_spline.h"
+#include "join/cpu_reference.h"
+#include "mem/address_space.h"
+#include "sim/gpu.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/key_column.h"
+#include "workload/relation.h"
+
+namespace gpujoin::sim {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest()
+      : host_(space_.Reserve(kGiB, mem::MemKind::kHost, "base_data")),
+        device_(space_.Reserve(kGiB, mem::MemKind::kDevice, "results")),
+        model_(&space_, TeslaV100()),
+        trace_(&space_) {
+    model_.SetObserver(&trace_);
+  }
+
+  mem::AddressSpace space_;
+  mem::Region host_;
+  mem::Region device_;
+  MemoryModel model_;
+  TraceRecorder trace_;
+};
+
+TEST_F(TraceTest, AttributesTransactionsToRegions) {
+  model_.Access(host_.base, 8, AccessType::kRead);
+  model_.Access(host_.base, 8, AccessType::kRead);  // L1 hit
+  model_.Access(device_.base, 8, AccessType::kWrite);
+
+  const auto& base = trace_.ForRegion("base_data");
+  EXPECT_EQ(base.transactions, 2u);
+  EXPECT_EQ(base.l1_hits, 1u);
+  EXPECT_EQ(base.memory_transactions, 1u);
+
+  const auto& results = trace_.ForRegion("results");
+  EXPECT_EQ(results.transactions, 1u);
+  EXPECT_EQ(results.writes, 1u);
+}
+
+TEST_F(TraceTest, RecordsStreams) {
+  model_.Stream(host_.base, 4096, AccessType::kRead);
+  EXPECT_EQ(trace_.ForRegion("base_data").stream_bytes, 4096u);
+}
+
+TEST_F(TraceTest, DetachStopsRecording) {
+  model_.SetObserver(nullptr);
+  model_.Access(host_.base, 8, AccessType::kRead);
+  EXPECT_EQ(trace_.ForRegion("base_data").transactions, 0u);
+}
+
+TEST_F(TraceTest, ResetClears) {
+  model_.Access(host_.base, 8, AccessType::kRead);
+  trace_.Reset();
+  EXPECT_EQ(trace_.ForRegion("base_data").transactions, 0u);
+}
+
+TEST_F(TraceTest, SummaryNamesRegions) {
+  model_.Access(host_.base, 8, AccessType::kRead);
+  model_.Stream(device_.base, 1024, AccessType::kWrite);
+  const std::string summary = trace_.Summary();
+  EXPECT_NE(summary.find("base_data"), std::string::npos);
+  EXPECT_NE(summary.find("results"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExplainsIndexLookupTraffic) {
+  // End-to-end: trace a RadixSpline lookup batch and check the traffic
+  // lands in the structures we expect (radix table, spline points, data).
+  workload::DenseKeyColumn col(&space_, uint64_t{1} << 22);
+  auto index = index::RadixSplineIndex::Build(&space_, &col);
+  Gpu gpu(&space_, V100NvLink2());
+  gpu.memory().SetObserver(&trace_);
+  trace_.Reset();
+
+  Xoshiro256 rng(3);
+  std::array<workload::Key, 32> keys{};
+  std::array<uint64_t, 32> pos{};
+  for (auto& k : keys) k = col.key_at(rng.NextBounded(col.size()));
+  gpu.RunKernel("lookup", 32, [&](Warp& warp) {
+    index->LookupWarp(warp, keys.data(), warp.full_mask(), pos.data());
+  });
+
+  EXPECT_GT(trace_.ForRegion("rs.radix").transactions, 0u);
+  EXPECT_GT(trace_.ForRegion("R.dense_keys").transactions, 0u);
+}
+
+TEST(ServiceLevelNames, AllNamed) {
+  EXPECT_STREQ(ServiceLevelName(ServiceLevel::kL1), "L1");
+  EXPECT_STREQ(ServiceLevelName(ServiceLevel::kL2), "L2");
+  EXPECT_STREQ(ServiceLevelName(ServiceLevel::kHbm), "HBM");
+  EXPECT_STREQ(ServiceLevelName(ServiceLevel::kInterconnect),
+               "interconnect");
+}
+
+// --- CPU reference join (oracle used across the test suite) -----------
+
+TEST(CpuReferenceJoin, FindsExactMatches) {
+  mem::AddressSpace space;
+  workload::MaterializedKeyColumn col(&space, {2, 4, 6, 8, 10});
+  auto matches = join::CpuReferenceJoin(col, {4, 5, 10, 1, 4});
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].probe_row, 0u);
+  EXPECT_EQ(matches[0].position, 1u);
+  EXPECT_EQ(matches[1].probe_row, 2u);
+  EXPECT_EQ(matches[1].position, 4u);
+  EXPECT_EQ(matches[2].probe_row, 4u);
+  EXPECT_EQ(matches[2].position, 1u);
+  EXPECT_EQ(join::CpuReferenceJoinCount(col, {4, 5, 10, 1, 4}), 3u);
+}
+
+TEST(CpuReferenceJoin, AgreesWithProbeGroundTruth) {
+  mem::AddressSpace space;
+  workload::DenseKeyColumn r(&space, 1 << 18);
+  workload::ProbeConfig cfg;
+  cfg.full_size = 1 << 14;
+  cfg.sample_size = 1 << 14;
+  auto s = workload::MakeProbeRelation(&space, r, cfg);
+  std::vector<workload::Key> keys(s.keys.begin(), s.keys.end());
+  auto matches = join::CpuReferenceJoin(r, keys);
+  ASSERT_EQ(matches.size(), s.sample_size());
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.position, s.true_positions[m.probe_row]);
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin::sim

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/bit_util.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+#include "util/units.h"
+
+namespace gpujoin {
+namespace {
+
+// --- bit_util ---------------------------------------------------------
+
+TEST(BitUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(bits::IsPowerOfTwo(0));
+  EXPECT_TRUE(bits::IsPowerOfTwo(1));
+  EXPECT_TRUE(bits::IsPowerOfTwo(2));
+  EXPECT_FALSE(bits::IsPowerOfTwo(3));
+  EXPECT_TRUE(bits::IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(bits::IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitUtil, Log2Floor) {
+  EXPECT_EQ(bits::Log2Floor(1), 0);
+  EXPECT_EQ(bits::Log2Floor(2), 1);
+  EXPECT_EQ(bits::Log2Floor(3), 1);
+  EXPECT_EQ(bits::Log2Floor(4), 2);
+  EXPECT_EQ(bits::Log2Floor(uint64_t{1} << 40), 40);
+  EXPECT_EQ(bits::Log2Floor((uint64_t{1} << 40) + 5), 40);
+}
+
+TEST(BitUtil, Log2Ceil) {
+  EXPECT_EQ(bits::Log2Ceil(1), 0);
+  EXPECT_EQ(bits::Log2Ceil(2), 1);
+  EXPECT_EQ(bits::Log2Ceil(3), 2);
+  EXPECT_EQ(bits::Log2Ceil(5), 3);
+}
+
+TEST(BitUtil, NextPowerOfTwo) {
+  EXPECT_EQ(bits::NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(bits::NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(bits::NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(bits::NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitUtil, Rounding) {
+  EXPECT_EQ(bits::RoundUpPow2(17, 16), 32u);
+  EXPECT_EQ(bits::RoundUpPow2(16, 16), 16u);
+  EXPECT_EQ(bits::RoundDownPow2(17, 16), 16u);
+  EXPECT_EQ(bits::CeilDiv(10, 3), 4u);
+  EXPECT_EQ(bits::CeilDiv(9, 3), 3u);
+  EXPECT_EQ(bits::CeilDiv(1, 100), 1u);
+}
+
+TEST(BitUtil, ExtractBits) {
+  EXPECT_EQ(bits::ExtractBits(0b110100, 2, 3), 0b101u);
+  EXPECT_EQ(bits::ExtractBits(~uint64_t{0}, 60, 10), 0xFu);
+  EXPECT_EQ(bits::ExtractBits(123, 0, 0), 0u);
+}
+
+// --- rng --------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitMix64IsPure) {
+  EXPECT_EQ(SplitMix64(123), SplitMix64(123));
+  EXPECT_NE(SplitMix64(123), SplitMix64(124));
+}
+
+// --- status -----------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad flag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad flag");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// --- units ------------------------------------------------------------
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * kGiB), "3.50 GiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(2.0), "2.000 s");
+  EXPECT_EQ(FormatSeconds(0.002), "2.000 ms");
+  EXPECT_EQ(FormatSeconds(2e-6), "2.000 us");
+}
+
+// --- flags ------------------------------------------------------------
+
+TEST(Flags, ParsesAllTypes) {
+  Flags flags;
+  flags.DefineInt64("n", 10, "count");
+  flags.DefineDouble("x", 1.5, "factor");
+  flags.DefineString("name", "abc", "label");
+  flags.DefineBool("fast", false, "speed");
+
+  const char* argv[] = {"prog", "--n=20", "--x", "2.5", "--name=xyz",
+                        "--fast"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x"), 2.5);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+  EXPECT_TRUE(flags.GetBool("fast"));
+}
+
+TEST(Flags, DefaultsSurvive) {
+  Flags flags;
+  flags.DefineInt64("n", 10, "count");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 10);
+}
+
+TEST(Flags, RejectsUnknown) {
+  Flags flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(Flags, RejectsBadInt) {
+  Flags flags;
+  flags.DefineInt64("n", 0, "count");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+// --- table printer ----------------------------------------------------
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(10, 0), "10");
+}
+
+TEST(TablePrinter, TracksRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace gpujoin

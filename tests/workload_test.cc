@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mem/address_space.h"
+#include "workload/key_column.h"
+#include "workload/relation.h"
+#include "workload/zipf.h"
+
+namespace gpujoin::workload {
+namespace {
+
+// --- Key columns --------------------------------------------------------
+
+TEST(DenseKeyColumn, KeysAndAddresses) {
+  mem::AddressSpace space;
+  DenseKeyColumn col(&space, 100, /*first_key=*/10, /*stride=*/3);
+  EXPECT_EQ(col.size(), 100u);
+  EXPECT_EQ(col.key_at(0), 10);
+  EXPECT_EQ(col.key_at(5), 25);
+  EXPECT_EQ(col.min_key(), 10);
+  EXPECT_EQ(col.max_key(), 10 + 99 * 3);
+  EXPECT_EQ(col.addr_of(2) - col.addr_of(0), 16u);
+}
+
+TEST(JitteredKeyColumn, StrictlyIncreasingAndUnique) {
+  mem::AddressSpace space;
+  JitteredKeyColumn col(&space, 10000, /*stride=*/16, /*seed=*/7);
+  for (uint64_t i = 1; i < col.size(); ++i) {
+    ASSERT_LT(col.key_at(i - 1), col.key_at(i)) << "at " << i;
+  }
+}
+
+TEST(JitteredKeyColumn, DeterministicAcrossInstances) {
+  mem::AddressSpace space;
+  JitteredKeyColumn a(&space, 100, 16, 7);
+  JitteredKeyColumn b(&space, 100, 16, 7);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(a.key_at(i), b.key_at(i));
+}
+
+TEST(MaterializedKeyColumn, WrapsVector) {
+  mem::AddressSpace space;
+  MaterializedKeyColumn col(&space, {3, 7, 8, 100});
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.key_at(2), 8);
+}
+
+TEST(GenerateSortedUniqueKeys, SortedAndUnique) {
+  auto keys = GenerateSortedUniqueKeys(10000, /*seed=*/3);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST(KeyColumn, LowerBoundMatchesStd) {
+  mem::AddressSpace space;
+  auto keys = GenerateSortedUniqueKeys(5000, 11);
+  MaterializedKeyColumn col(&space, keys);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Key probe = static_cast<Key>(rng.NextBounded(
+        static_cast<uint64_t>(keys.back() + 10)));
+    const auto expected =
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin();
+    EXPECT_EQ(col.LowerBound(probe), static_cast<uint64_t>(expected));
+  }
+}
+
+TEST(KeyColumn, LowerBoundEdges) {
+  mem::AddressSpace space;
+  MaterializedKeyColumn col(&space, {10, 20, 30});
+  EXPECT_EQ(col.LowerBound(5), 0u);
+  EXPECT_EQ(col.LowerBound(10), 0u);
+  EXPECT_EQ(col.LowerBound(11), 1u);
+  EXPECT_EQ(col.LowerBound(30), 2u);
+  EXPECT_EQ(col.LowerBound(31), 3u);
+}
+
+// --- Zipf ---------------------------------------------------------------
+
+TEST(Zipf, UniformWhenExponentZero) {
+  ZipfSampler zipf(100, 0.0);
+  Xoshiro256 rng(1);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [rank, c] : counts) {
+    EXPECT_NEAR(c, n / 100, n / 100 * 0.35) << "rank " << rank;
+  }
+}
+
+TEST(Zipf, RanksInRange) {
+  ZipfSampler zipf(1000, 1.2);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(uint64_t{1} << 20, 1.5);
+  Xoshiro256 rng(3);
+  int rank0 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) == 0) ++rank0;
+  }
+  // zeta(1.5) ~ 2.612 => p(rank 0) ~ 0.383.
+  EXPECT_NEAR(static_cast<double>(rank0) / n, 0.383, 0.05);
+}
+
+TEST(Zipf, HottestProbabilityMatchesEmpirical) {
+  ZipfSampler zipf(10000, 1.0);
+  Xoshiro256 rng(4);
+  int rank0 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) == 0) ++rank0;
+  }
+  EXPECT_NEAR(zipf.HottestProbability(),
+              static_cast<double>(rank0) / n, 0.02);
+}
+
+TEST(Zipf, FollowsPowerLaw) {
+  ZipfSampler zipf(1 << 16, 1.0);
+  Xoshiro256 rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 300000; ++i) ++counts[zipf.Sample(rng)];
+  // p(0)/p(9) should be ~10 for exponent 1.
+  ASSERT_GT(counts[0], 0);
+  ASSERT_GT(counts[9], 0);
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, 10.0, 3.0);
+}
+
+TEST(Zipf, HugeDomainsSampleInConstantTime) {
+  // The paper's R reaches 2^33.9 tuples; sampling must not need tables.
+  ZipfSampler zipf(uint64_t{1} << 34, 1.75);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), uint64_t{1} << 34);
+  }
+}
+
+// --- Probe relation ------------------------------------------------------
+
+TEST(ProbeRelation, AllKeysExistInR) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, 1 << 16);
+  ProbeConfig cfg;
+  cfg.full_size = 1 << 16;
+  cfg.sample_size = 1 << 12;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+  EXPECT_EQ(s.sample_size(), cfg.sample_size);
+  EXPECT_DOUBLE_EQ(s.scale(), 16.0);
+  for (uint64_t i = 0; i < s.sample_size(); ++i) {
+    const uint64_t pos = s.true_positions[i];
+    ASSERT_EQ(r.key_at(pos), s.keys[i]);
+  }
+}
+
+TEST(ProbeRelation, DeterministicForSeed) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, 1 << 16);
+  ProbeConfig cfg;
+  cfg.full_size = 1 << 14;
+  cfg.sample_size = 1 << 10;
+  cfg.seed = 9;
+  ProbeRelation a = MakeProbeRelation(&space, r, cfg);
+  ProbeRelation b = MakeProbeRelation(&space, r, cfg);
+  for (uint64_t i = 0; i < a.sample_size(); ++i) {
+    EXPECT_EQ(a.keys[i], b.keys[i]);
+  }
+}
+
+TEST(ProbeRelation, ZipfProducesHotKeys) {
+  mem::AddressSpace space;
+  DenseKeyColumn r(&space, 1 << 20);
+  ProbeConfig cfg;
+  cfg.full_size = 1 << 16;
+  cfg.sample_size = 1 << 16;
+  cfg.zipf_exponent = 1.5;
+  ProbeRelation s = MakeProbeRelation(&space, r, cfg);
+  std::map<Key, int> counts;
+  for (uint64_t i = 0; i < s.sample_size(); ++i) ++counts[s.keys[i]];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // With exponent 1.5 the hottest key draws a large share.
+  EXPECT_GT(max_count, static_cast<int>(s.sample_size() / 10));
+  // And the keys still all exist in R.
+  for (uint64_t i = 0; i < s.sample_size(); ++i) {
+    ASSERT_EQ(r.key_at(s.true_positions[i]), s.keys[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin::workload
