@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_best_effort.dir/ablation_best_effort.cc.o"
+  "CMakeFiles/ablation_best_effort.dir/ablation_best_effort.cc.o.d"
+  "ablation_best_effort"
+  "ablation_best_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_best_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_btree_node.dir/ablation_btree_node.cc.o"
+  "CMakeFiles/ablation_btree_node.dir/ablation_btree_node.cc.o.d"
+  "ablation_btree_node"
+  "ablation_btree_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_btree_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_size.dir/ablation_page_size.cc.o"
+  "CMakeFiles/ablation_page_size.dir/ablation_page_size.cc.o.d"
+  "ablation_page_size"
+  "ablation_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_bits.dir/ablation_partition_bits.cc.o"
+  "CMakeFiles/ablation_partition_bits.dir/ablation_partition_bits.cc.o.d"
+  "ablation_partition_bits"
+  "ablation_partition_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sorted_keys.dir/ablation_sorted_keys.cc.o"
+  "CMakeFiles/ablation_sorted_keys.dir/ablation_sorted_keys.cc.o.d"
+  "ablation_sorted_keys"
+  "ablation_sorted_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorted_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subwarp.dir/ablation_subwarp.cc.o"
+  "CMakeFiles/ablation_subwarp.dir/ablation_subwarp.cc.o.d"
+  "ablation_subwarp"
+  "ablation_subwarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subwarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_model.dir/ablation_tlb_model.cc.o"
+  "CMakeFiles/ablation_tlb_model.dir/ablation_tlb_model.cc.o.d"
+  "ablation_tlb_model"
+  "ablation_tlb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

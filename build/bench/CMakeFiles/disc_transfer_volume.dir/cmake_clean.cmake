@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_transfer_volume.dir/disc_transfer_volume.cc.o"
+  "CMakeFiles/disc_transfer_volume.dir/disc_transfer_volume.cc.o.d"
+  "disc_transfer_volume"
+  "disc_transfer_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_transfer_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

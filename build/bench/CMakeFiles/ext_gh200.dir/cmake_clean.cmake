@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gh200.dir/ext_gh200.cc.o"
+  "CMakeFiles/ext_gh200.dir/ext_gh200.cc.o.d"
+  "ext_gh200"
+  "ext_gh200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gh200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_inlj_naive.dir/fig3_inlj_naive.cc.o"
+  "CMakeFiles/fig3_inlj_naive.dir/fig3_inlj_naive.cc.o.d"
+  "fig3_inlj_naive"
+  "fig3_inlj_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_inlj_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tlb_misses.dir/fig4_tlb_misses.cc.o"
+  "CMakeFiles/fig4_tlb_misses.dir/fig4_tlb_misses.cc.o.d"
+  "fig4_tlb_misses"
+  "fig4_tlb_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tlb_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

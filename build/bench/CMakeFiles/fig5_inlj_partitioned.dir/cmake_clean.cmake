@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_inlj_partitioned.dir/fig5_inlj_partitioned.cc.o"
+  "CMakeFiles/fig5_inlj_partitioned.dir/fig5_inlj_partitioned.cc.o.d"
+  "fig5_inlj_partitioned"
+  "fig5_inlj_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_inlj_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_tlb_reduction.dir/fig6_tlb_reduction.cc.o"
+  "CMakeFiles/fig6_tlb_reduction.dir/fig6_tlb_reduction.cc.o.d"
+  "fig6_tlb_reduction"
+  "fig6_tlb_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_tlb_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hardware.dir/fig9_hardware.cc.o"
+  "CMakeFiles/fig9_hardware.dir/fig9_hardware.cc.o.d"
+  "fig9_hardware"
+  "fig9_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_interconnects.dir/table1_interconnects.cc.o"
+  "CMakeFiles/table1_interconnects.dir/table1_interconnects.cc.o.d"
+  "table1_interconnects"
+  "table1_interconnects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_interconnects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

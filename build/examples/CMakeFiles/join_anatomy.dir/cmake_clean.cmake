@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_anatomy.dir/join_anatomy.cpp.o"
+  "CMakeFiles/join_anatomy.dir/join_anatomy.cpp.o.d"
+  "join_anatomy"
+  "join_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

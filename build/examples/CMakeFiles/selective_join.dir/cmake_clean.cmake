@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_join.dir/selective_join.cpp.o"
+  "CMakeFiles/selective_join.dir/selective_join.cpp.o.d"
+  "selective_join"
+  "selective_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

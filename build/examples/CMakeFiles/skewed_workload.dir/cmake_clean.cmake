@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_workload.dir/skewed_workload.cpp.o"
+  "CMakeFiles/skewed_workload.dir/skewed_workload.cpp.o.d"
+  "skewed_workload"
+  "skewed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

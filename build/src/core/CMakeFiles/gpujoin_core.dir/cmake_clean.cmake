@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_core.dir/best_effort.cc.o"
+  "CMakeFiles/gpujoin_core.dir/best_effort.cc.o.d"
+  "CMakeFiles/gpujoin_core.dir/experiment.cc.o"
+  "CMakeFiles/gpujoin_core.dir/experiment.cc.o.d"
+  "CMakeFiles/gpujoin_core.dir/inlj.cc.o"
+  "CMakeFiles/gpujoin_core.dir/inlj.cc.o.d"
+  "CMakeFiles/gpujoin_core.dir/join_kernel.cc.o"
+  "CMakeFiles/gpujoin_core.dir/join_kernel.cc.o.d"
+  "libgpujoin_core.a"
+  "libgpujoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/binary_search.cc" "src/index/CMakeFiles/gpujoin_index.dir/binary_search.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/binary_search.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/gpujoin_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/dynamic_btree.cc" "src/index/CMakeFiles/gpujoin_index.dir/dynamic_btree.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/dynamic_btree.cc.o.d"
+  "/root/repo/src/index/harmonia.cc" "src/index/CMakeFiles/gpujoin_index.dir/harmonia.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/harmonia.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/index/CMakeFiles/gpujoin_index.dir/index.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/index.cc.o.d"
+  "/root/repo/src/index/radix_spline.cc" "src/index/CMakeFiles/gpujoin_index.dir/radix_spline.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/radix_spline.cc.o.d"
+  "/root/repo/src/index/spline.cc" "src/index/CMakeFiles/gpujoin_index.dir/spline.cc.o" "gcc" "src/index/CMakeFiles/gpujoin_index.dir/spline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gpujoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpujoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpujoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

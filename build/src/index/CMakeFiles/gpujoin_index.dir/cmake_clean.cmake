@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_index.dir/binary_search.cc.o"
+  "CMakeFiles/gpujoin_index.dir/binary_search.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/btree.cc.o"
+  "CMakeFiles/gpujoin_index.dir/btree.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/dynamic_btree.cc.o"
+  "CMakeFiles/gpujoin_index.dir/dynamic_btree.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/harmonia.cc.o"
+  "CMakeFiles/gpujoin_index.dir/harmonia.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/index.cc.o"
+  "CMakeFiles/gpujoin_index.dir/index.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/radix_spline.cc.o"
+  "CMakeFiles/gpujoin_index.dir/radix_spline.cc.o.d"
+  "CMakeFiles/gpujoin_index.dir/spline.cc.o"
+  "CMakeFiles/gpujoin_index.dir/spline.cc.o.d"
+  "libgpujoin_index.a"
+  "libgpujoin_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

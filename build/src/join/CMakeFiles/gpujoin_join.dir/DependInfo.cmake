@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/cpu_reference.cc" "src/join/CMakeFiles/gpujoin_join.dir/cpu_reference.cc.o" "gcc" "src/join/CMakeFiles/gpujoin_join.dir/cpu_reference.cc.o.d"
+  "/root/repo/src/join/hash_join.cc" "src/join/CMakeFiles/gpujoin_join.dir/hash_join.cc.o" "gcc" "src/join/CMakeFiles/gpujoin_join.dir/hash_join.cc.o.d"
+  "/root/repo/src/join/multi_value_hash_table.cc" "src/join/CMakeFiles/gpujoin_join.dir/multi_value_hash_table.cc.o" "gcc" "src/join/CMakeFiles/gpujoin_join.dir/multi_value_hash_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gpujoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpujoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpujoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_join.dir/cpu_reference.cc.o"
+  "CMakeFiles/gpujoin_join.dir/cpu_reference.cc.o.d"
+  "CMakeFiles/gpujoin_join.dir/hash_join.cc.o"
+  "CMakeFiles/gpujoin_join.dir/hash_join.cc.o.d"
+  "CMakeFiles/gpujoin_join.dir/multi_value_hash_table.cc.o"
+  "CMakeFiles/gpujoin_join.dir/multi_value_hash_table.cc.o.d"
+  "libgpujoin_join.a"
+  "libgpujoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

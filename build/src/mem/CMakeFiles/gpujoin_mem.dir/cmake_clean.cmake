@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_mem.dir/address_space.cc.o"
+  "CMakeFiles/gpujoin_mem.dir/address_space.cc.o.d"
+  "libgpujoin_mem.a"
+  "libgpujoin_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

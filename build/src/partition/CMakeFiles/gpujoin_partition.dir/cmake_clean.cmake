@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_partition.dir/radix_partitioner.cc.o"
+  "CMakeFiles/gpujoin_partition.dir/radix_partitioner.cc.o.d"
+  "libgpujoin_partition.a"
+  "libgpujoin_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/memory_model.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/memory_model.cc.o.d"
+  "/root/repo/src/sim/specs.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/specs.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/specs.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/tlb.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/gpujoin_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/gpujoin_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gpujoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_sim.dir/cache.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/cache.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/cost_model.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/counters.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/counters.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/memory_model.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/memory_model.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/specs.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/specs.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/tlb.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/tlb.cc.o.d"
+  "CMakeFiles/gpujoin_sim.dir/trace.cc.o"
+  "CMakeFiles/gpujoin_sim.dir/trace.cc.o.d"
+  "libgpujoin_sim.a"
+  "libgpujoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

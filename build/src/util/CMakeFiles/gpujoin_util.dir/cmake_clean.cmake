@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_util.dir/check.cc.o"
+  "CMakeFiles/gpujoin_util.dir/check.cc.o.d"
+  "CMakeFiles/gpujoin_util.dir/flags.cc.o"
+  "CMakeFiles/gpujoin_util.dir/flags.cc.o.d"
+  "CMakeFiles/gpujoin_util.dir/status.cc.o"
+  "CMakeFiles/gpujoin_util.dir/status.cc.o.d"
+  "CMakeFiles/gpujoin_util.dir/table_printer.cc.o"
+  "CMakeFiles/gpujoin_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/gpujoin_util.dir/units.cc.o"
+  "CMakeFiles/gpujoin_util.dir/units.cc.o.d"
+  "libgpujoin_util.a"
+  "libgpujoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpujoin_workload.dir/key_column.cc.o"
+  "CMakeFiles/gpujoin_workload.dir/key_column.cc.o.d"
+  "CMakeFiles/gpujoin_workload.dir/relation.cc.o"
+  "CMakeFiles/gpujoin_workload.dir/relation.cc.o.d"
+  "CMakeFiles/gpujoin_workload.dir/zipf.cc.o"
+  "CMakeFiles/gpujoin_workload.dir/zipf.cc.o.d"
+  "libgpujoin_workload.a"
+  "libgpujoin_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpujoin_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_effort_test.dir/best_effort_test.cc.o"
+  "CMakeFiles/best_effort_test.dir/best_effort_test.cc.o.d"
+  "best_effort_test"
+  "best_effort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_effort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_btree_test.dir/dynamic_btree_test.cc.o"
+  "CMakeFiles/dynamic_btree_test.dir/dynamic_btree_test.cc.o.d"
+  "dynamic_btree_test"
+  "dynamic_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

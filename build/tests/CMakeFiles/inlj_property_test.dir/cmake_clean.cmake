@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inlj_property_test.dir/inlj_property_test.cc.o"
+  "CMakeFiles/inlj_property_test.dir/inlj_property_test.cc.o.d"
+  "inlj_property_test"
+  "inlj_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inlj_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sampling_test.cc" "tests/CMakeFiles/sampling_test.dir/sampling_test.cc.o" "gcc" "tests/CMakeFiles/sampling_test.dir/sampling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpujoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gpujoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/gpujoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/gpujoin_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpujoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpujoin_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gpujoin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spline_property_test.dir/spline_property_test.cc.o"
+  "CMakeFiles/spline_property_test.dir/spline_property_test.cc.o.d"
+  "spline_property_test"
+  "spline_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
