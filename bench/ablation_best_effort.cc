@@ -23,37 +23,49 @@ int Main(int argc, char** argv) {
   TablePrinter table(
       {"strategy", "config", "Q/s", "host random read", "launches"});
 
+  // One cell per index type; each cell owns its Experiment across the
+  // windowed run and the BEP bucket sweep and returns its block of rows.
+  std::vector<std::function<std::vector<std::vector<std::string>>()>>
+      cells;
   for (index::IndexType type : {index::IndexType::kHarmonia,
                                 index::IndexType::kRadixSpline}) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.index_type = type;
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-    cfg.inlj.window_tuples = uint64_t{4} << 20;
-    auto exp = core::Experiment::Create(cfg);
-    if (!exp.ok()) continue;
-    sim::RunResult windowed = (*exp)->RunInlj();
-    table.AddRow(
-        {std::string("windowed/") + index::IndexTypeName(type), "32 MiB",
-         TablePrinter::Num(windowed.qps(), 3),
-         FormatBytes(
-             static_cast<double>(windowed.counters.host_random_read_bytes)),
-         FormatCount(
-             static_cast<double>(windowed.counters.kernel_launches))});
+    cells.push_back([&flags, r_tuples, type] {
+      std::vector<std::vector<std::string>> rows;
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = type;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) return rows;
+      sim::RunResult windowed = (*exp)->RunInlj();
+      rows.push_back(
+          {std::string("windowed/") + index::IndexTypeName(type),
+           "32 MiB", TablePrinter::Num(windowed.qps(), 3),
+           FormatBytes(static_cast<double>(
+               windowed.counters.host_random_read_bytes)),
+           FormatCount(
+               static_cast<double>(windowed.counters.kernel_launches))});
 
-    for (uint32_t bucket : {512u, 2048u, 8192u}) {
-      core::BestEffortConfig bep;
-      bep.bucket_tuples = bucket;
-      (*exp)->gpu().memory().ClearHardwareState();
-      sim::RunResult res = core::BestEffortInlj::Run(
-          (*exp)->gpu(), (*exp)->index(), (*exp)->s(), bep);
-      table.AddRow(
-          {std::string("best-effort/") + index::IndexTypeName(type),
-           std::to_string(bucket) + " t/bucket",
-           TablePrinter::Num(res.qps(), 3),
-           FormatBytes(
-               static_cast<double>(res.counters.host_random_read_bytes)),
-           FormatCount(static_cast<double>(res.counters.kernel_launches))});
-    }
+      for (uint32_t bucket : {512u, 2048u, 8192u}) {
+        core::BestEffortConfig bep;
+        bep.bucket_tuples = bucket;
+        (*exp)->gpu().memory().ClearHardwareState();
+        sim::RunResult res = core::BestEffortInlj::Run(
+            (*exp)->gpu(), (*exp)->index(), (*exp)->s(), bep);
+        rows.push_back(
+            {std::string("best-effort/") + index::IndexTypeName(type),
+             std::to_string(bucket) + " t/bucket",
+             TablePrinter::Num(res.qps(), 3),
+             FormatBytes(
+                 static_cast<double>(res.counters.host_random_read_bytes)),
+             FormatCount(
+                 static_cast<double>(res.counters.kernel_launches))});
+      }
+      return rows;
+    });
+  }
+  for (auto& rows : core::RunSweep(SweepThreads(flags), cells)) {
+    for (auto& row : rows) table.AddRow(std::move(row));
   }
 
   std::printf("Related work — best-effort partitioning [12] vs windowed "

@@ -15,24 +15,31 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"node bytes", "tree height", "Q/s",
                       "host random read"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint32_t node_bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.index_type = index::IndexType::kBTree;
-    cfg.btree.node_bytes = node_bytes;
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-    cfg.inlj.window_tuples = uint64_t{4} << 20;
-    auto exp = core::Experiment::Create(cfg);
-    if (!exp.ok()) {
-      table.AddRow({std::to_string(node_bytes), "-", "OOM", "-"});
-      continue;
-    }
-    const auto& btree =
-        static_cast<const index::BTreeIndex&>((*exp)->index());
-    sim::RunResult res = (*exp)->RunInlj();
-    table.AddRow(
-        {std::to_string(node_bytes), std::to_string(btree.height()),
-         TablePrinter::Num(res.qps(), 3),
-         FormatBytes(static_cast<double>(res.counters.host_random_read_bytes))});
+    cells.push_back([&flags, r_tuples, node_bytes] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = index::IndexType::kBTree;
+      cfg.btree.node_bytes = node_bytes;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) {
+        return std::vector<std::string>{std::to_string(node_bytes), "-",
+                                        "OOM", "-"};
+      }
+      const auto& btree =
+          static_cast<const index::BTreeIndex&>((*exp)->index());
+      sim::RunResult res = (*exp)->RunInlj();
+      return std::vector<std::string>{
+          std::to_string(node_bytes), std::to_string(btree.height()),
+          TablePrinter::Num(res.qps(), 3),
+          FormatBytes(
+              static_cast<double>(res.counters.host_random_read_bytes))};
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    table.AddRow(std::move(row));
   }
 
   std::printf("Ablation — B+tree node size, windowed INLJ, R = 100 GiB\n");

@@ -20,23 +20,30 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"filter keeps", "Q/s", "result tuples",
                       "interconnect", "Mlookups/s effective"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (double selectivity : {1.0, 0.5, 0.25, 0.1, 0.05, 0.01}) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.index_type = index::IndexType::kRadixSpline;
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-    cfg.inlj.window_tuples = uint64_t{4} << 20;
-    cfg.inlj.probe_filter_selectivity = selectivity;
-    auto exp = core::Experiment::Create(cfg);
-    if (!exp.ok()) continue;
-    sim::RunResult res = (*exp)->RunInlj();
-    table.AddRow(
-        {TablePrinter::Num(100 * selectivity, 0) + "%",
-         TablePrinter::Num(res.qps(), 3),
-         FormatCount(static_cast<double>(res.result_tuples)),
-         FormatBytes(static_cast<double>(res.counters.interconnect_bytes())),
-         TablePrinter::Num(static_cast<double>(res.result_tuples) /
-                               res.seconds / 1e6,
-                           1)});
+    cells.push_back([&flags, r_tuples, selectivity] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = index::IndexType::kRadixSpline;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      cfg.inlj.probe_filter_selectivity = selectivity;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) return std::vector<std::string>{};
+      sim::RunResult res = (*exp)->RunInlj();
+      return std::vector<std::string>{
+          TablePrinter::Num(100 * selectivity, 0) + "%",
+          TablePrinter::Num(res.qps(), 3),
+          FormatCount(static_cast<double>(res.result_tuples)),
+          FormatBytes(
+              static_cast<double>(res.counters.interconnect_bytes())),
+          TablePrinter::Num(static_cast<double>(res.result_tuples) /
+                                res.seconds / 1e6,
+                            1)};
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    if (!row.empty()) table.AddRow(std::move(row));
   }
 
   std::printf("Ablation — filter divergence on the probe side, RadixSpline "

@@ -17,22 +17,29 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"window (MiB)", "overlapped Q/s", "serial Q/s",
                       "speedup"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (int log_w = 18; log_w <= 26; log_w += 2) {
-    const uint64_t window = uint64_t{1} << log_w;
-    double qps[2] = {0, 0};
-    for (int overlap = 0; overlap < 2; ++overlap) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = index::IndexType::kRadixSpline;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = window;
-      cfg.inlj.overlap = overlap == 1;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) continue;
-      qps[overlap] = (*exp)->RunInlj().qps();
-    }
-    table.AddRow({TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),
-                  TablePrinter::Num(qps[1], 3), TablePrinter::Num(qps[0], 3),
-                  TablePrinter::Num(qps[1] / qps[0], 2) + "x"});
+    cells.push_back([&flags, r_tuples, log_w] {
+      const uint64_t window = uint64_t{1} << log_w;
+      double qps[2] = {0, 0};
+      for (int overlap = 0; overlap < 2; ++overlap) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = index::IndexType::kRadixSpline;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        cfg.inlj.window_tuples = window;
+        cfg.inlj.overlap = overlap == 1;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) continue;
+        qps[overlap] = (*exp)->RunInlj().qps();
+      }
+      return std::vector<std::string>{
+          TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),
+          TablePrinter::Num(qps[1], 3), TablePrinter::Num(qps[0], 3),
+          TablePrinter::Num(qps[1] / qps[0], 2) + "x"};
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    table.AddRow(std::move(row));
   }
 
   std::printf("Ablation — concurrent kernel execution (transfer/compute "

@@ -16,22 +16,29 @@ int Main(int argc, char** argv) {
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"page size", "mode", "binary Q/s", "binary tr/key"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint64_t page : {uint64_t{2} * kMiB, uint64_t{64} * kMiB, kGiB}) {
     for (auto mode : {core::InljConfig::PartitionMode::kNone,
                       core::InljConfig::PartitionMode::kWindowed}) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = index::IndexType::kBinarySearch;
-      cfg.host_page_size = page;
-      cfg.inlj.mode = mode;
-      cfg.inlj.window_tuples = uint64_t{4} << 20;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) continue;
-      sim::RunResult res = (*exp)->RunInlj();
-      table.AddRow({FormatBytes(static_cast<double>(page)),
-                    core::PartitionModeName(mode),
-                    TablePrinter::Num(res.qps(), 3),
-                    TablePrinter::Num(res.translations_per_key(), 3)});
+      cells.push_back([&flags, r_tuples, page, mode] {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = index::IndexType::kBinarySearch;
+        cfg.host_page_size = page;
+        cfg.inlj.mode = mode;
+        cfg.inlj.window_tuples = uint64_t{4} << 20;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) return std::vector<std::string>{};
+        sim::RunResult res = (*exp)->RunInlj();
+        return std::vector<std::string>{
+            FormatBytes(static_cast<double>(page)),
+            core::PartitionModeName(mode),
+            TablePrinter::Num(res.qps(), 3),
+            TablePrinter::Num(res.translations_per_key(), 3)};
+      });
     }
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    if (!row.empty()) table.AddRow(std::move(row));
   }
 
   std::printf("Ablation — host huge-page size (TLB coverage held at "

@@ -22,23 +22,29 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"partitions", "binary Q/s", "binary tr/key",
                       "radix_spline Q/s", "radix_spline tr/key"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (int bits = 1; bits <= 13; bits += 2) {
-    std::vector<std::string> row{std::to_string(uint64_t{1} << bits)};
-    for (index::IndexType type : {index::IndexType::kBinarySearch,
-                                  index::IndexType::kRadixSpline}) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = uint64_t{4} << 20;
-      cfg.inlj.max_partition_bits = bits;
-      cfg.sample_scheme =
-          core::ExperimentConfig::SampleSchemeOverride::kThinned;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) continue;
-      sim::RunResult res = (*exp)->RunInlj();
-      row.push_back(TablePrinter::Num(res.qps(), 3));
-      row.push_back(TablePrinter::Num(res.translations_per_key(), 3));
-    }
+    cells.push_back([&flags, r_tuples, bits] {
+      std::vector<std::string> row{std::to_string(uint64_t{1} << bits)};
+      for (index::IndexType type : {index::IndexType::kBinarySearch,
+                                    index::IndexType::kRadixSpline}) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        cfg.inlj.window_tuples = uint64_t{4} << 20;
+        cfg.inlj.max_partition_bits = bits;
+        cfg.sample_scheme =
+            core::ExperimentConfig::SampleSchemeOverride::kThinned;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) continue;
+        sim::RunResult res = (*exp)->RunInlj();
+        row.push_back(TablePrinter::Num(res.qps(), 3));
+        row.push_back(TablePrinter::Num(res.translations_per_key(), 3));
+      }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

@@ -24,18 +24,25 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"sub-warp width", "Q/s", "host random read",
                       "translations/key"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (int width : {1, 2, 4, 8, 16, 32}) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.index_type = index::IndexType::kHarmonia;
-    cfg.harmonia.sub_warp_width = width;
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
-    auto exp = core::Experiment::Create(cfg);
-    if (!exp.ok()) continue;
-    sim::RunResult res = (*exp)->RunInlj();
-    table.AddRow(
-        {std::to_string(width), TablePrinter::Num(res.qps(), 3),
-         FormatBytes(static_cast<double>(res.counters.host_random_read_bytes)),
-         TablePrinter::Num(res.translations_per_key(), 3)});
+    cells.push_back([&flags, r_tuples, width] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.index_type = index::IndexType::kHarmonia;
+      cfg.harmonia.sub_warp_width = width;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto exp = core::Experiment::Create(cfg);
+      if (!exp.ok()) return std::vector<std::string>{};
+      sim::RunResult res = (*exp)->RunInlj();
+      return std::vector<std::string>{
+          std::to_string(width), TablePrinter::Num(res.qps(), 3),
+          FormatBytes(
+              static_cast<double>(res.counters.host_random_read_bytes)),
+          TablePrinter::Num(res.translations_per_key(), 3)};
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    if (!row.empty()) table.AddRow(std::move(row));
   }
 
   std::printf("Ablation — Harmonia sub-warp width, unpartitioned INLJ, "

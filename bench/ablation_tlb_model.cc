@@ -18,20 +18,26 @@ int Main(int argc, char** argv) {
 
   TablePrinter table({"co-resident warps", "binary tr/key", "binary Q/s",
                       "harmonia tr/key", "harmonia Q/s"});
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (int warps : {0, 4, 16, 64, 256}) {
-    std::vector<std::string> row{std::to_string(warps)};
-    for (index::IndexType type : {index::IndexType::kBinarySearch,
-                                  index::IndexType::kHarmonia}) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
-      cfg.platform.gpu.tlb_co_resident_warps = warps;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) continue;
-      sim::RunResult res = (*exp)->RunInlj();
-      row.push_back(TablePrinter::Num(res.translations_per_key(), 2));
-      row.push_back(TablePrinter::Num(res.qps(), 3));
-    }
+    cells.push_back([&flags, r_tuples, warps] {
+      std::vector<std::string> row{std::to_string(warps)};
+      for (index::IndexType type : {index::IndexType::kBinarySearch,
+                                    index::IndexType::kHarmonia}) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
+        cfg.platform.gpu.tlb_co_resident_warps = warps;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) continue;
+        sim::RunResult res = (*exp)->RunInlj();
+        row.push_back(TablePrinter::Num(res.translations_per_key(), 2));
+        row.push_back(TablePrinter::Num(res.qps(), 3));
+      }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

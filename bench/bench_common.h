@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
 #include "util/units.h"
@@ -54,6 +55,9 @@ inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
                     "simulated probe sample size (tuples)");
   flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
   flags.DefineInt64("seed", 1, "workload seed");
+  flags.DefineInt64("threads", 0,
+                    "sweep worker threads (0 = hardware concurrency; "
+                    "results are identical for any value)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     if (s.code() != StatusCode::kNotFound) {
@@ -62,6 +66,12 @@ inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
     return false;
   }
   return true;
+}
+
+// Resolved --threads value for core::SweepRunner (which treats <= 0 as
+// "use the hardware concurrency").
+inline int SweepThreads(const Flags& flags) {
+  return static_cast<int>(flags.GetInt64("threads"));
 }
 
 inline void PrintTable(const TablePrinter& table, const Flags& flags) {

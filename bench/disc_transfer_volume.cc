@@ -17,48 +17,69 @@ int Main(int argc, char** argv) {
   TablePrinter drop({"index", "Q/s @16GiB (naive)", "Q/s @120GiB (naive)",
                      "drop factor"});
 
+  // One cell per (R, index) pair; an empty row means the configuration
+  // did not fit in memory and is skipped, like the serial loop did.
+  std::vector<std::function<std::vector<std::string>()>> volume_cells;
   for (uint64_t r_tuples :
        {uint64_t{1} << 32, uint64_t{14898093260}, uint64_t{16106127360}}) {
     for (index::IndexType type : AllIndexTypes()) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = uint64_t{4} << 20;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) continue;
-      sim::RunResult inlj = (*exp)->RunInlj();
-      sim::RunResult hj = (*exp)->RunHashJoin().value();
-      volume.AddRow(
-          {GiBStr(r_tuples), index::IndexTypeName(type),
-           FormatBytes(static_cast<double>(inlj.counters.interconnect_bytes())),
-           FormatBytes(static_cast<double>(hj.counters.interconnect_bytes())),
-           TablePrinter::Num(
-               static_cast<double>(hj.counters.interconnect_bytes()) /
-                   static_cast<double>(inlj.counters.interconnect_bytes()),
-               1) + "x"});
+      volume_cells.push_back([&flags, r_tuples, type] {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        cfg.inlj.window_tuples = uint64_t{4} << 20;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) return std::vector<std::string>{};
+        sim::RunResult inlj = (*exp)->RunInlj();
+        sim::RunResult hj = (*exp)->RunHashJoin().value();
+        return std::vector<std::string>{
+            GiBStr(r_tuples), index::IndexTypeName(type),
+            FormatBytes(
+                static_cast<double>(inlj.counters.interconnect_bytes())),
+            FormatBytes(
+                static_cast<double>(hj.counters.interconnect_bytes())),
+            TablePrinter::Num(
+                static_cast<double>(hj.counters.interconnect_bytes()) /
+                    static_cast<double>(
+                        inlj.counters.interconnect_bytes()),
+                1) + "x"};
+      });
     }
   }
 
+  std::vector<std::function<std::vector<std::string>()>> drop_cells;
   for (index::IndexType type : AllIndexTypes()) {
-    core::ExperimentConfig below = PaperConfig(flags, uint64_t{1} << 31);
-    below.index_type = type;
-    below.inlj.mode = core::InljConfig::PartitionMode::kNone;
-    auto exp_below = core::Experiment::Create(below);
+    drop_cells.push_back([&flags, type] {
+      core::ExperimentConfig below = PaperConfig(flags, uint64_t{1} << 31);
+      below.index_type = type;
+      below.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto exp_below = core::Experiment::Create(below);
 
-    core::ExperimentConfig above = PaperConfig(flags, uint64_t{16106127360});
-    above.index_type = type;
-    above.inlj.mode = core::InljConfig::PartitionMode::kNone;
-    auto exp_above = core::Experiment::Create(above);
+      core::ExperimentConfig above =
+          PaperConfig(flags, uint64_t{16106127360});
+      above.index_type = type;
+      above.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto exp_above = core::Experiment::Create(above);
 
-    if (!exp_below.ok() || !exp_above.ok()) {
-      drop.AddRow({index::IndexTypeName(type), "-", "OOM", "-"});
-      continue;
-    }
-    const double q_below = (*exp_below)->RunInlj().qps();
-    const double q_above = (*exp_above)->RunInlj().qps();
-    drop.AddRow({index::IndexTypeName(type), TablePrinter::Num(q_below, 3),
-                 TablePrinter::Num(q_above, 3),
-                 TablePrinter::Num(q_below / q_above, 1) + "x"});
+      if (!exp_below.ok() || !exp_above.ok()) {
+        return std::vector<std::string>{index::IndexTypeName(type), "-",
+                                        "OOM", "-"};
+      }
+      const double q_below = (*exp_below)->RunInlj().qps();
+      const double q_above = (*exp_above)->RunInlj().qps();
+      return std::vector<std::string>{
+          index::IndexTypeName(type), TablePrinter::Num(q_below, 3),
+          TablePrinter::Num(q_above, 3),
+          TablePrinter::Num(q_below / q_above, 1) + "x"};
+    });
+  }
+
+  const int threads = SweepThreads(flags);
+  for (auto& row : core::RunSweep(threads, volume_cells)) {
+    if (!row.empty()) volume.AddRow(std::move(row));
+  }
+  for (auto& row : core::RunSweep(threads, drop_cells)) {
+    drop.AddRow(std::move(row));
   }
 
   std::printf("Sec. 6 — transfer volume: windowed INLJ vs hash-join scan\n");

@@ -19,30 +19,37 @@ int Main(int argc, char** argv) {
   TablePrinter table({"R (GiB)", "selectivity", "naive RS Q/s",
                       "windowed RS Q/s", "hash_join Q/s", "INLJ speedup"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint64_t r_tuples : PaperRSizes()) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.platform = sim::GH200C2C();
+    cells.push_back([&flags, r_tuples] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.platform = sim::GH200C2C();
 
-    cfg.index_type = index::IndexType::kRadixSpline;
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
-    auto naive = core::Experiment::Create(cfg);
-    if (!naive.ok()) continue;
-    const double naive_qps = (*naive)->RunInlj().qps();
+      cfg.index_type = index::IndexType::kRadixSpline;
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+      auto naive = core::Experiment::Create(cfg);
+      if (!naive.ok()) return std::vector<std::string>{};
+      const double naive_qps = (*naive)->RunInlj().qps();
 
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-    cfg.inlj.window_tuples = uint64_t{4} << 20;
-    auto windowed = core::Experiment::Create(cfg);
-    const double windowed_qps = (*windowed)->RunInlj().qps();
-    const double hj_qps = (*windowed)->RunHashJoin().value().qps();
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+      cfg.inlj.window_tuples = uint64_t{4} << 20;
+      auto windowed = core::Experiment::Create(cfg);
+      const double windowed_qps = (*windowed)->RunInlj().qps();
+      const double hj_qps = (*windowed)->RunHashJoin().value().qps();
 
-    table.AddRow({GiBStr(r_tuples),
-                  TablePrinter::Num(100.0 * (uint64_t{1} << 26) /
-                                        static_cast<double>(r_tuples),
-                                    2) + "%",
-                  TablePrinter::Num(naive_qps, 3),
-                  TablePrinter::Num(windowed_qps, 3),
-                  TablePrinter::Num(hj_qps, 3),
-                  TablePrinter::Num(windowed_qps / hj_qps, 1) + "x"});
+      return std::vector<std::string>{
+          GiBStr(r_tuples),
+          TablePrinter::Num(100.0 * (uint64_t{1} << 26) /
+                                static_cast<double>(r_tuples),
+                            2) + "%",
+          TablePrinter::Num(naive_qps, 3),
+          TablePrinter::Num(windowed_qps, 3),
+          TablePrinter::Num(hj_qps, 3),
+          TablePrinter::Num(windowed_qps / hj_qps, 1) + "x"};
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    if (!row.empty()) table.AddRow(std::move(row));
   }
 
   std::printf("Extension — GH200 + NVLink C2C projection (Table 1's next "

@@ -18,21 +18,27 @@ int Main(int argc, char** argv) {
   TablePrinter table({"R (GiB)", "btree tr/key", "binary tr/key",
                       "harmonia tr/key", "radix_spline tr/key"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint64_t r_tuples : PaperRSizes()) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+    cells.push_back([&flags, r_tuples] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
 
-    std::vector<std::string> row{GiBStr(r_tuples)};
-    for (index::IndexType type : AllIndexTypes()) {
-      cfg.index_type = type;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) {
-        row.push_back("OOM");
-        continue;
+      std::vector<std::string> row{GiBStr(r_tuples)};
+      for (index::IndexType type : AllIndexTypes()) {
+        cfg.index_type = type;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        row.push_back(TablePrinter::Num(
+            (*exp)->RunInlj().translations_per_key(), 3));
       }
-      row.push_back(
-          TablePrinter::Num((*exp)->RunInlj().translations_per_key(), 3));
-    }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

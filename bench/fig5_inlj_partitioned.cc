@@ -18,33 +18,39 @@ int Main(int argc, char** argv) {
   TablePrinter table({"R (GiB)", "selectivity", "btree Q/s", "binary Q/s",
                       "harmonia Q/s", "radix_spline Q/s", "hash_join Q/s"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint64_t r_tuples : PaperRSizes()) {
-    core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-    cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
+    cells.push_back([&flags, r_tuples] {
+      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+      cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
 
-    std::vector<std::string> row;
-    row.push_back(GiBStr(r_tuples));
-    row.push_back(TablePrinter::Num(
-        100.0 * static_cast<double>(cfg.s_tuples) /
-            static_cast<double>(r_tuples),
-        2) + "%");
+      std::vector<std::string> row;
+      row.push_back(GiBStr(r_tuples));
+      row.push_back(TablePrinter::Num(
+          100.0 * static_cast<double>(cfg.s_tuples) /
+              static_cast<double>(r_tuples),
+          2) + "%");
 
-    sim::RunResult hj;
-    bool have_hj = false;
-    for (index::IndexType type : AllIndexTypes()) {
-      cfg.index_type = type;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) {
-        row.push_back("OOM");
-        continue;
+      sim::RunResult hj;
+      bool have_hj = false;
+      for (index::IndexType type : AllIndexTypes()) {
+        cfg.index_type = type;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+        if (!have_hj) {
+          hj = (*exp)->RunHashJoin().value();
+          have_hj = true;
+        }
       }
-      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
-      if (!have_hj) {
-        hj = (*exp)->RunHashJoin().value();
-        have_hj = true;
-      }
-    }
-    row.push_back(TablePrinter::Num(hj.qps(), 3));
+      row.push_back(TablePrinter::Num(hj.qps(), 3));
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

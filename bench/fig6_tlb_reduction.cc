@@ -16,31 +16,38 @@ int Main(int argc, char** argv) {
   TablePrinter table({"R (GiB)", "btree", "binary", "harmonia",
                       "radix_spline"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (uint64_t r_tuples : PaperRSizes()) {
-    std::vector<std::string> row{GiBStr(r_tuples)};
-    for (index::IndexType type : AllIndexTypes()) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
+    cells.push_back([&flags, r_tuples] {
+      std::vector<std::string> row{GiBStr(r_tuples)};
+      for (index::IndexType type : AllIndexTypes()) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
 
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
-      auto naive = core::Experiment::Create(cfg);
-      if (!naive.ok()) {
-        row.push_back("OOM");
-        continue;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
+        auto naive = core::Experiment::Create(cfg);
+        if (!naive.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        const double before = (*naive)->RunInlj().translations_per_key();
+
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
+        auto part = core::Experiment::Create(cfg);
+        const double after = (*part)->RunInlj().translations_per_key();
+
+        if (before <= 1e-9) {
+          row.push_back("-");  // nothing to eliminate below the TLB range
+        } else {
+          row.push_back(
+              TablePrinter::Num(100.0 * (before - after) / before, 1) +
+              "%");
+        }
       }
-      const double before = (*naive)->RunInlj().translations_per_key();
-
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
-      auto part = core::Experiment::Create(cfg);
-      const double after = (*part)->RunInlj().translations_per_key();
-
-      if (before <= 1e-9) {
-        row.push_back("-");  // nothing to eliminate below the TLB range
-      } else {
-        row.push_back(
-            TablePrinter::Num(100.0 * (before - after) / before, 1) + "%");
-      }
-    }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

@@ -20,23 +20,29 @@ int Main(int argc, char** argv) {
   TablePrinter table({"window (tuples)", "window (MiB)", "btree Q/s",
                       "binary Q/s", "harmonia Q/s", "radix_spline Q/s"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (int log_w = 18; log_w <= 26; ++log_w) {
-    const uint64_t window = uint64_t{1} << log_w;
-    std::vector<std::string> row{
-        "2^" + std::to_string(log_w),
-        TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0)};
-    for (index::IndexType type : AllIndexTypes()) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = window;
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) {
-        row.push_back("OOM");
-        continue;
+    cells.push_back([&flags, r_tuples, log_w] {
+      const uint64_t window = uint64_t{1} << log_w;
+      std::vector<std::string> row{
+          "2^" + std::to_string(log_w),
+          TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0)};
+      for (index::IndexType type : AllIndexTypes()) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        cfg.inlj.window_tuples = window;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
       }
-      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
-    }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

@@ -22,33 +22,40 @@ int Main(int argc, char** argv) {
   TablePrinter table({"zipf", "btree Q/s", "binary Q/s", "harmonia Q/s",
                       "radix_spline Q/s", "hash_join Q/s"});
 
+  std::vector<std::function<std::vector<std::string>()>> cells;
   for (double zipf : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
-    std::vector<std::string> row{TablePrinter::Num(zipf, 2)};
-    sim::RunResult hj;
-    bool have_hj = false;
-    for (index::IndexType type : AllIndexTypes()) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.index_type = type;
-      cfg.zipf_exponent = zipf;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = uint64_t{4} << 20;  // 32 MiB (Sec. 5.2.2)
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) {
-        row.push_back("OOM");
-        continue;
+    cells.push_back([&flags, r_tuples, zipf] {
+      std::vector<std::string> row{TablePrinter::Num(zipf, 2)};
+      sim::RunResult hj;
+      bool have_hj = false;
+      for (index::IndexType type : AllIndexTypes()) {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.index_type = type;
+        cfg.zipf_exponent = zipf;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        // 32 MiB window (Sec. 5.2.2).
+        cfg.inlj.window_tuples = uint64_t{4} << 20;
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          row.push_back("OOM");
+          continue;
+        }
+        row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+        if (!have_hj) {
+          hj = (*exp)->RunHashJoin().value();
+          have_hj = true;
+        }
       }
-      row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
-      if (!have_hj) {
-        hj = (*exp)->RunHashJoin().value();
-        have_hj = true;
+      if (hj.seconds > kDnfSeconds) {
+        row.push_back("DNF (" +
+                      TablePrinter::Num(hj.seconds / 3600.0, 1) + " h)");
+      } else {
+        row.push_back(TablePrinter::Num(hj.qps(), 3));
       }
-    }
-    if (hj.seconds > kDnfSeconds) {
-      row.push_back("DNF (" +
-                    TablePrinter::Num(hj.seconds / 3600.0, 1) + " h)");
-    } else {
-      row.push_back(TablePrinter::Num(hj.qps(), 3));
-    }
+      return row;
+    });
+  }
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
   }
 

@@ -42,43 +42,56 @@ int Main(int argc, char** argv) {
   for (const auto& platform : platforms) {
     TablePrinter table({"R (GiB)", "selectivity", "radix_spline Q/s",
                         "harmonia Q/s", "hash_join Q/s"});
-    Series series;
-    for (uint64_t r_tuples : PaperRSizes()) {
-      core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
-      cfg.platform = platform;
-      cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
-      cfg.inlj.window_tuples = uint64_t{4} << 20;  // 32 MiB (Sec. 5.2.3)
 
+    struct Cell {
       std::vector<std::string> row;
-      row.push_back(GiBStr(r_tuples));
-      const double sel = 100.0 * static_cast<double>(cfg.s_tuples) /
-                         static_cast<double>(r_tuples);
-      row.push_back(TablePrinter::Num(sel, 2) + "%");
-
-      double rs_qps = 0;
+      double inlj_qps = 0;
       double hj_qps = 0;
-      for (index::IndexType type : {index::IndexType::kRadixSpline,
-                                    index::IndexType::kHarmonia}) {
-        cfg.index_type = type;
-        auto exp = core::Experiment::Create(cfg);
-        if (!exp.ok()) {
-          row.push_back("OOM");
-          continue;
-        }
-        const double qps = (*exp)->RunInlj().qps();
-        row.push_back(TablePrinter::Num(qps, 3));
-        if (type == index::IndexType::kRadixSpline) {
-          rs_qps = qps;
-          hj_qps = (*exp)->RunHashJoin().value().qps();
-        }
-      }
-      row.push_back(TablePrinter::Num(hj_qps, 3));
-      table.AddRow(std::move(row));
+    };
+    std::vector<std::function<Cell()>> cells;
+    for (uint64_t r_tuples : PaperRSizes()) {
+      cells.push_back([&flags, &platform, r_tuples] {
+        core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
+        cfg.platform = platform;
+        cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+        // 32 MiB window (Sec. 5.2.3).
+        cfg.inlj.window_tuples = uint64_t{4} << 20;
 
-      series.r_gib.push_back(static_cast<double>(r_tuples) * 8 /
+        Cell cell;
+        cell.row.push_back(GiBStr(r_tuples));
+        const double sel = 100.0 * static_cast<double>(cfg.s_tuples) /
+                           static_cast<double>(r_tuples);
+        cell.row.push_back(TablePrinter::Num(sel, 2) + "%");
+
+        for (index::IndexType type : {index::IndexType::kRadixSpline,
+                                      index::IndexType::kHarmonia}) {
+          cfg.index_type = type;
+          auto exp = core::Experiment::Create(cfg);
+          if (!exp.ok()) {
+            cell.row.push_back("OOM");
+            continue;
+          }
+          const double qps = (*exp)->RunInlj().qps();
+          cell.row.push_back(TablePrinter::Num(qps, 3));
+          if (type == index::IndexType::kRadixSpline) {
+            cell.inlj_qps = qps;
+            cell.hj_qps = (*exp)->RunHashJoin().value().qps();
+          }
+        }
+        cell.row.push_back(TablePrinter::Num(cell.hj_qps, 3));
+        return cell;
+      });
+    }
+
+    Series series;
+    std::vector<uint64_t> r_sizes = PaperRSizes();
+    std::vector<Cell> results = core::RunSweep(SweepThreads(flags), cells);
+    for (size_t i = 0; i < results.size(); ++i) {
+      table.AddRow(std::move(results[i].row));
+      series.r_gib.push_back(static_cast<double>(r_sizes[i]) * 8 /
                              static_cast<double>(kGiB));
-      series.inlj_qps.push_back(rs_qps);
-      series.hj_qps.push_back(hj_qps);
+      series.inlj_qps.push_back(results[i].inlj_qps);
+      series.hj_qps.push_back(results[i].hj_qps);
     }
 
     std::printf("Fig. 9 — %s\n", platform.name.c_str());

@@ -21,6 +21,7 @@
 #include "sim/gpu.h"
 #include "sim/tlb.h"
 #include "util/rng.h"
+#include "util/units.h"
 #include "workload/key_column.h"
 #include "workload/zipf.h"
 
@@ -65,6 +66,110 @@ void BM_WarpGather(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_WarpGather);
+
+// --- Hot-path benchmarks -----------------------------------------------
+// These pin the per-transaction paths (cache tag scan, TLB interference
+// tracking, gather dedup) that bound how large a probe sample every
+// figure sweep can afford. Their trajectory across PRs is recorded in
+// results/BENCH_sim.json (see scripts/bench_sim.sh).
+
+// Shrinks the caches so every access reaches the TLB path, the same
+// trick the interference tests use.
+sim::GpuSpec TinyCacheV100() {
+  sim::GpuSpec gpu = sim::TeslaV100();
+  gpu.l1_size = 2 * kKiB;
+  gpu.l2_size = 2 * kKiB;
+  return gpu;
+}
+
+// Repeated touches of one line: the L1-hit fast path.
+void BM_TouchLineSameLine(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region host =
+      space.Reserve(uint64_t{64} * kGiB, mem::MemKind::kHost, "h");
+  sim::MemoryModel model(&space, sim::TeslaV100());
+  for (auto _ : state) {
+    model.Access(host.base, 8, sim::AccessType::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Random touches within an L1-resident working set: L1 hits with
+// changing lines (tag scan, no TLB work after warmup).
+void BM_TouchLineL1Hit(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region host =
+      space.Reserve(uint64_t{64} * kGiB, mem::MemKind::kHost, "h");
+  sim::MemoryModel model(&space, sim::TeslaV100());
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    model.Access(host.base + rng.NextBounded(256) * 128, 8,
+                 sim::AccessType::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Round robin over a page working set inside the TLB coverage: the
+// TLB-hit path including the recent-working-set bookkeeping.
+void BM_TlbLookupHit(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region host =
+      space.Reserve(uint64_t{64} * kGiB, mem::MemKind::kHost, "h");
+  sim::MemoryModel model(&space, TinyCacheV100());
+  uint64_t page = 0;
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    model.Access(host.base + page * kGiB + (offset & 1023) * 1024, 8,
+                 sim::AccessType::kRead);
+    page = page + 1 < 16 ? page + 1 : 0;
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Round robin over 60 pages (beyond the 32-entry TLB): every access runs
+// the full interference path — ring push/evict, recent-count and stamp
+// map updates. This is the simulator's worst-case inner loop.
+void BM_TlbLookupThrash(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region host =
+      space.Reserve(uint64_t{64} * kGiB, mem::MemKind::kHost, "h");
+  sim::MemoryModel model(&space, TinyCacheV100());
+  uint64_t page = 0;
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    model.Access(host.base + page * kGiB + (offset & 1023) * 1024, 8,
+                 sim::AccessType::kRead);
+    page = page + 1 < 60 ? page + 1 : 0;
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Coalesced gather: 32 lanes with consecutive addresses (already sorted,
+// two distinct lines) — the common access shape of partitioned probes.
+void BM_GatherSequential(benchmark::State& state) {
+  mem::AddressSpace space;
+  mem::Region device =
+      space.Reserve(uint64_t{8} * kGiB, mem::MemKind::kDevice, "d");
+  sim::MemoryModel model(&space, sim::TeslaV100());
+  std::array<mem::VirtAddr, 32> addrs{};
+  uint64_t base = 0;
+  for (auto _ : state) {
+    for (int lane = 0; lane < 32; ++lane) {
+      addrs[lane] = device.base + base + lane * 8;
+    }
+    model.Gather(addrs.data(), ~0u, 8, sim::AccessType::kRead);
+    base = (base + 256) & (kMiB - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+
+BENCHMARK(BM_TouchLineSameLine);
+BENCHMARK(BM_TouchLineL1Hit);
+BENCHMARK(BM_TlbLookupHit);
+BENCHMARK(BM_TlbLookupThrash);
+BENCHMARK(BM_GatherSequential);
 
 void BM_ZipfSample(benchmark::State& state) {
   workload::ZipfSampler zipf(uint64_t{1} << 34, state.range(0) / 100.0);

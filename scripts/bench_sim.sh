@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates the "optimized" half of results/BENCH_sim.json: the
+# simulator hot-path microbenchmarks (cache access, line touch, TLB
+# lookup, gather). Run from the repository root on an otherwise idle
+# machine; results are wall-clock sensitive.
+#
+# Usage: scripts/bench_sim.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+FILTER='BM_CacheAccess|BM_WarpGather|BM_TouchLine|BM_TlbLookup|BM_GatherSequential'
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target micro_simulator
+
+"$BUILD_DIR"/bench/micro_simulator \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time=1.0 \
+  --benchmark_format=json \
+  2>/dev/null | tee /tmp/bench_sim_latest.json
+
+echo >&2
+echo "JSON written to /tmp/bench_sim_latest.json — merge the cpu_time" >&2
+echo "values into results/BENCH_sim.json under 'optimized'." >&2

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification sweep: builds and tests the tree in the regular
+# configuration and under sanitizers. Run from the repository root.
+#
+# Usage: scripts/check.sh [sanitizers...]
+#   scripts/check.sh                     # Release + address,undefined
+#   scripts/check.sh thread              # Release + thread sanitizer
+set -euo pipefail
+
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+  SANITIZERS=("address,undefined")
+fi
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
+
+for san in "${SANITIZERS[@]}"; do
+  # RelWithDebInfo keeps the sanitizer runs fast enough for the full
+  # test suite while preserving usable stack traces.
+  run_config "build-san-${san//,/}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DGPUJOIN_SANITIZE=${san}"
+done
+
+echo "=== all configurations passed ==="

@@ -1,0 +1,29 @@
+#include "core/sweep.h"
+
+#include <utility>
+
+namespace gpujoin::core {
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads <= 0 ? util::ThreadPool::HardwareConcurrency()
+                            : threads) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::Submit(std::function<void()> cell) {
+  if (pool_ == nullptr) {
+    cell();
+    return;
+  }
+  pool_->Submit(std::move(cell));
+}
+
+void SweepRunner::Finish() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+}  // namespace gpujoin::core

@@ -1,0 +1,64 @@
+#ifndef GPUJOIN_CORE_SWEEP_H_
+#define GPUJOIN_CORE_SWEEP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace gpujoin::core {
+
+// Runs the independent cells of an experiment sweep (one cell per grid
+// point — typically one row of a figure: a fixed R size across index
+// types) on a thread pool, collecting results in submission order.
+//
+// Determinism contract: every cell builds its own Experiment (own
+// AddressSpace, Gpu, workload RNG) and shares no mutable state, so a
+// sweep produces bit-identical results for any thread count — including
+// the OOM cells, whose failure is a deterministic memory-budget check.
+// `threads == 1` runs each cell inline on the calling thread at Submit
+// time, exactly reproducing the original serial loop.
+class SweepRunner {
+ public:
+  // `threads <= 0` resolves to the hardware concurrency.
+  explicit SweepRunner(int threads);
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  ~SweepRunner();
+
+  // Enqueues one cell. The callable must write its result to
+  // caller-owned storage that outlives Finish() (e.g. its slot in a
+  // pre-sized result vector); cells for distinct slots may run
+  // concurrently.
+  void Submit(std::function<void()> cell);
+
+  // Blocks until every submitted cell has finished.
+  void Finish();
+
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
+};
+
+// Convenience wrapper: runs `cells` and returns their results in cell
+// order. T must be default-constructible.
+template <typename T>
+std::vector<T> RunSweep(int threads,
+                        const std::vector<std::function<T()>>& cells) {
+  std::vector<T> results(cells.size());
+  SweepRunner runner(threads);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    runner.Submit([&results, &cells, i] { results[i] = cells[i](); });
+  }
+  runner.Finish();
+  return results;
+}
+
+}  // namespace gpujoin::core
+
+#endif  // GPUJOIN_CORE_SWEEP_H_

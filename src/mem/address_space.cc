@@ -4,13 +4,6 @@
 
 namespace gpujoin::mem {
 
-namespace {
-// Disjoint bases so that host and device addresses never collide and the
-// kind of an address can also be recovered from its range.
-constexpr VirtAddr kHostBase = 0x0000'0100'0000'0000ULL;
-constexpr VirtAddr kDeviceBase = 0x0000'7000'0000'0000ULL;
-}  // namespace
-
 const char* MemKindName(MemKind kind) {
   return kind == MemKind::kHost ? "host" : "device";
 }
@@ -41,14 +34,6 @@ const Region* AddressSpace::FindRegion(VirtAddr addr) const {
   --it;
   const Region& region = regions_[it->second];
   return region.Contains(addr) ? &region : nullptr;
-}
-
-MemKind AddressSpace::KindOf(VirtAddr addr) const {
-  // The fast path avoids the map: kinds live in disjoint address halves.
-  // The map lookup (DCHECK only) validates the address is actually mapped.
-  GPUJOIN_DCHECK(FindRegion(addr) != nullptr)
-      << "access to unmapped address 0x" << std::hex << addr;
-  return addr >= kDeviceBase ? MemKind::kDevice : MemKind::kHost;
 }
 
 }  // namespace gpujoin::mem

@@ -28,6 +28,12 @@ enum class MemKind : uint8_t {
 
 const char* MemKindName(MemKind kind);
 
+// First address of each kind's half of the address space. Host and device
+// regions are bump-allocated from these disjoint bases, so an address's
+// kind is a single compare (see AddressSpace::KindOf).
+inline constexpr VirtAddr kHostBase = 0x0000'0100'0000'0000ULL;
+inline constexpr VirtAddr kDeviceBase = 0x0000'7000'0000'0000ULL;
+
 // A reserved virtual address range.
 struct Region {
   VirtAddr base = 0;
@@ -67,9 +73,18 @@ class AddressSpace {
   // Returns the region containing `addr`, or nullptr if unmapped.
   const Region* FindRegion(VirtAddr addr) const;
 
-  // Returns the memory kind backing `addr`. CHECK-fails on unmapped
-  // addresses: touching unreserved memory is a simulator bug.
-  MemKind KindOf(VirtAddr addr) const;
+  // Returns the memory kind backing `addr`. DCHECK-fails on unmapped
+  // addresses: touching unreserved memory is a simulator bug. Inline: in
+  // release builds this is a single compare on the memory model's
+  // per-transaction path.
+  MemKind KindOf(VirtAddr addr) const {
+    // The fast path avoids the map: kinds live in disjoint address halves.
+    // The map lookup (DCHECK only) validates the address is actually
+    // mapped.
+    GPUJOIN_DCHECK(FindRegion(addr) != nullptr)
+        << "access to unmapped address 0x" << std::hex << addr;
+    return addr >= kDeviceBase ? MemKind::kDevice : MemKind::kHost;
+  }
 
   uint64_t page_size(MemKind kind) const {
     return kind == MemKind::kHost ? options_.host_page_size

@@ -2,9 +2,9 @@
 #define GPUJOIN_MEM_PAGE_TABLE_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "mem/address_space.h"
+#include "util/flat_map.h"
 
 namespace gpujoin::mem {
 
@@ -27,10 +27,17 @@ class PageTable {
   // Translates `addr` to a physical frame number, installing a mapping on
   // first touch.
   uint64_t Translate(VirtAddr addr, MemKind kind) {
-    const uint64_t vpn = space_->PageNumber(addr, kind);
-    auto [it, inserted] = frames_.try_emplace(Key(vpn, kind), next_frame_);
-    if (inserted) ++next_frame_;
-    return it->second;
+    return TranslatePage(space_->PageNumber(addr, kind), kind);
+  }
+
+  // Same, for callers that already computed the virtual page number (the
+  // memory model's hot path).
+  uint64_t TranslatePage(uint64_t vpn, MemKind kind) {
+    // Frames are stored off by one so that the map's value-initialized 0
+    // means "not yet mapped".
+    uint64_t& frame = frames_[Key(vpn, kind)];
+    if (frame == 0) frame = ++next_frame_;
+    return frame - 1;
   }
 
   // Number of distinct pages touched so far (across both kinds).
@@ -42,7 +49,7 @@ class PageTable {
   }
 
   const AddressSpace* space_;
-  std::unordered_map<uint64_t, uint64_t> frames_;
+  util::FlatMap64<uint64_t> frames_;
   uint64_t next_frame_ = 0;
 };
 

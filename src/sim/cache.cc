@@ -1,5 +1,7 @@
 #include "sim/cache.h"
 
+#include <algorithm>
+
 namespace gpujoin::sim {
 
 Cache::Cache(uint64_t size_bytes, uint32_t line_bytes, int ways)
@@ -17,54 +19,29 @@ Cache::Cache(uint64_t size_bytes, uint32_t line_bytes, int ways)
   num_sets_ = uint64_t{1} << bits::Log2Floor(num_lines / ways_);
   ways_ = static_cast<int>(num_lines / num_sets_);
   set_mask_ = num_sets_ - 1;
-  ways_storage_.assign(num_sets_ * ways_, Way{});
-}
-
-bool Cache::Access(uint64_t line_id) {
-  const uint64_t set = line_id & set_mask_;
-  Way* base = &ways_storage_[set * ways_];
-  ++tick_;
-  int lru = 0;
-  uint64_t lru_use = ~uint64_t{0};
-  for (int w = 0; w < ways_; ++w) {
-    if (base[w].tag == line_id) {
-      base[w].last_use = tick_;
-      ++base[w].touches;
-      return true;
-    }
-    if (base[w].last_use < lru_use) {
-      lru_use = base[w].last_use;
-      lru = w;
-    }
-  }
-  base[lru].tag = line_id;
-  base[lru].last_use = tick_;
-  base[lru].touches = 1;
-  return false;
-}
-
-bool Cache::Contains(uint64_t line_id) const {
-  const uint64_t set = line_id & set_mask_;
-  const Way* base = &ways_storage_[set * ways_];
-  for (int w = 0; w < ways_; ++w) {
-    if (base[w].tag == line_id) return true;
-  }
-  return false;
+  const size_t slots = num_sets_ * ways_;
+  tags_.assign(slots, kInvalidTag);
+  last_use_.assign(slots, 0);
+  touches_.assign(slots, 0);
 }
 
 void Cache::Clear() {
-  ways_storage_.assign(ways_storage_.size(), Way{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(last_use_.begin(), last_use_.end(), 0);
+  std::fill(touches_.begin(), touches_.end(), 0);
   tick_ = 0;
+  mru_slot_ = 0;
 }
 
 void Cache::FlushCold(uint64_t min_touches) {
-  for (Way& way : ways_storage_) {
-    if (way.touches < min_touches) {
-      way = Way{};
-    } else {
-      way.touches = 0;
+  for (size_t slot = 0; slot < tags_.size(); ++slot) {
+    if (touches_[slot] < min_touches) {
+      tags_[slot] = kInvalidTag;
+      last_use_[slot] = 0;
     }
+    touches_[slot] = 0;
   }
 }
 
 }  // namespace gpujoin::sim
+

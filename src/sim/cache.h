@@ -13,6 +13,11 @@ namespace gpujoin::sim {
 // granularity. Used for the simulated GPU L1 and L2 caches. The model only
 // tracks presence (tags), not contents — functional data lives in the data
 // structures themselves.
+//
+// Storage is struct-of-arrays: the hit path scans a set's tags
+// contiguously (one or two cache lines of the host machine for typical
+// associativities) and only touches the recency metadata of the one way
+// it hits or installs.
 class Cache {
  public:
   // `size_bytes` and `line_bytes` must be powers of two; associativity is
@@ -25,10 +30,61 @@ class Cache {
   // Touches the line containing `line_id` (an already line-aligned
   // identifier, e.g. addr / line_bytes). Returns true on hit; on miss the
   // line is installed, evicting the set's LRU line.
-  bool Access(uint64_t line_id);
+  //
+  // Defined inline: this is the innermost call of the simulator's memory
+  // hierarchy (up to three invocations per simulated transaction).
+  bool Access(uint64_t line_id) {
+    const uint64_t base = (line_id & set_mask_) * ways_;
+    ++tick_;
+    const uint64_t* tags = &tags_[base];
+    const uint64_t* use = &last_use_[base];
+    // One fused pass: search the tags while tracking the LRU way (first
+    // index among the minima, same tie-break as the scan-while-searching
+    // implementation this replaced). Hits exit early; misses have their
+    // victim ready without a second sweep.
+    int lru = 0;
+    uint64_t lru_use = use[0];
+    for (int w = 0; w < ways_; ++w) {
+      if (tags[w] == line_id) {
+        const uint64_t slot = base + w;
+        last_use_[slot] = tick_;
+        ++touches_[slot];
+        mru_slot_ = slot;
+        return true;
+      }
+      if (use[w] < lru_use) {
+        lru_use = use[w];
+        lru = w;
+      }
+    }
+    const uint64_t slot = base + lru;
+    tags_[slot] = line_id;
+    last_use_[slot] = tick_;
+    touches_[slot] = 1;
+    mru_slot_ = slot;
+    return false;
+  }
+
+  // Re-touches the entry the previous Access() hit or installed, exactly
+  // as a hit of that line would. Callers use this to fast-path repeated
+  // touches of one line; they must guarantee no other Access, Clear or
+  // FlushCold happened in between (the MemoryModel resets its memo on
+  // flush/clear to uphold this).
+  void TouchMru() {
+    ++tick_;
+    last_use_[mru_slot_] = tick_;
+    ++touches_[mru_slot_];
+  }
 
   // Probes without installing or updating recency.
-  bool Contains(uint64_t line_id) const;
+  bool Contains(uint64_t line_id) const {
+    const uint64_t base = (line_id & set_mask_) * ways_;
+    const uint64_t* tags = &tags_[base];
+    for (int w = 0; w < ways_; ++w) {
+      if (tags[w] == line_id) return true;
+    }
+    return false;
+  }
 
   // Drops all cached lines (e.g. between independent experiment runs).
   void Clear();
@@ -44,11 +100,6 @@ class Cache {
   uint64_t num_sets() const { return num_sets_; }
 
  private:
-  struct Way {
-    uint64_t tag = kInvalidTag;
-    uint64_t last_use = 0;
-    uint64_t touches = 0;
-  };
   static constexpr uint64_t kInvalidTag = ~uint64_t{0};
 
   uint64_t size_bytes_;
@@ -57,7 +108,11 @@ class Cache {
   uint64_t num_sets_;
   uint64_t set_mask_;
   uint64_t tick_ = 0;
-  std::vector<Way> ways_storage_;  // num_sets_ * ways_
+  uint64_t mru_slot_ = 0;
+  // Parallel arrays of num_sets_ * ways_ entries, indexed set * ways + w.
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> last_use_;
+  std::vector<uint64_t> touches_;
 };
 
 }  // namespace gpujoin::sim

@@ -2,23 +2,49 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 namespace gpujoin::sim {
 
 MemoryModel::MemoryModel(mem::AddressSpace* space, const GpuSpec& gpu)
     : space_(space),
       gpu_(gpu),
+      line_shift_(static_cast<uint32_t>(
+          bits::Log2Floor(gpu.cacheline_bytes))),
+      host_page_shift_(static_cast<uint32_t>(bits::Log2Floor(
+          space->page_size(mem::MemKind::kHost)))),
       page_table_(space),
       l1_(gpu.l1_size, gpu.cacheline_bytes, gpu.l1_ways),
       l2_(gpu.l2_size, gpu.cacheline_bytes, gpu.l2_ways),
       tlb_(gpu.tlb_coverage, space->page_size(mem::MemKind::kHost),
-           gpu.tlb_ways) {}
+           gpu.tlb_ways),
+      // The recent window must approximate the pages ALL co-resident
+      // warps keep touching, not just this one's: scale it by the warp
+      // count. Fixed at construction, so the ring is allocated once.
+      recent_window_(tlb_.entries() *
+                     std::max<uint64_t>(
+                         4, static_cast<uint64_t>(std::max(
+                                0, gpu.tlb_co_resident_warps)))),
+      ring_(bits::NextPowerOfTwo(recent_window_ + 1)),
+      ring_mask_(ring_.size() - 1),
+      recent_pages_(std::min<uint64_t>(recent_window_ + 1, 8192)) {}
 
 void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
   ++counters_.memory_transactions;
-  const mem::VirtAddr addr =
-      line_id * static_cast<uint64_t>(gpu_.cacheline_bytes);
   const bool is_write = type == AccessType::kWrite;
+  if (line_id == last_line_id_) {
+    // The previous touch left this line in L1 (it either hit or was
+    // installed), so a repeated touch is an L1 hit of the MRU entry.
+    l1_.TouchMru();
+    ++counters_.l1_hits;
+    if (observer_ != nullptr) {
+      observer_->OnTransaction(line_id << line_shift_, ServiceLevel::kL1,
+                               is_write);
+    }
+    return;
+  }
+  last_line_id_ = line_id;
+  const mem::VirtAddr addr = line_id << line_shift_;
   if (l1_.Access(line_id)) {
     ++counters_.l1_hits;
     if (observer_ != nullptr) {
@@ -54,12 +80,12 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
   }
 
   // Host-bound transaction: translate, then cross the interconnect.
-  const uint64_t vpn = space_->PageNumber(addr, mem::MemKind::kHost);
+  const uint64_t vpn = addr >> host_page_shift_;
   if (TlbLookup(vpn)) {
     ++counters_.tlb_hits;
   } else {
     ++counters_.translation_requests;
-    page_table_.Translate(addr, mem::MemKind::kHost);
+    page_table_.TranslatePage(vpn, mem::MemKind::kHost);
   }
   if (type == AccessType::kRead) {
     if (random) {
@@ -73,30 +99,43 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
 }
 
 bool MemoryModel::TlbLookup(uint64_t vpn) {
-  // Track the recent page working set: a ring of the last 4 * entries
-  // page touches, with a distinct count.
-  if (vpn != last_touched_page_) {
-    last_touched_page_ = vpn;
-    ++page_touch_counter_;
-    recent_ring_.push_back(vpn);
-    ++recent_counts_[vpn];
-    // The window must approximate the pages ALL co-resident warps keep
-    // touching, not just this one's: scale it by the warp count.
-    const size_t window =
-        tlb_.entries() *
-        std::max<size_t>(4, static_cast<size_t>(gpu_.tlb_co_resident_warps));
-    if (recent_ring_.size() > window) {
-      const uint64_t old = recent_ring_.front();
-      recent_ring_.pop_front();
-      auto it = recent_counts_.find(old);
-      if (--it->second == 0) recent_counts_.erase(it);
+  if (vpn == last_touched_page_) {
+    // Same page as the previous lookup: the translation is the MRU entry
+    // of its TLB set (just touched or installed) and the distinct-page
+    // clock has not advanced, so the entry survives unconditionally.
+    tlb_.TouchMru();
+    return true;
+  }
+  last_touched_page_ = vpn;
+  ++page_touch_counter_;
+
+  // Track the recent page working set: a ring of the last
+  // `recent_window_` distinct-page touches, with per-page occurrence
+  // counts and last-touch stamps (alive only while the page is in the
+  // ring, which bounds the map over arbitrarily long sweeps).
+  PageInfo& info = recent_pages_[vpn];
+  ++info.count;
+  const uint64_t prev_stamp = info.stamp;
+  info.stamp = page_touch_counter_;
+
+  ring_[(ring_head_ + ring_size_) & ring_mask_] = vpn;
+  ++ring_size_;
+  if (ring_size_ > recent_window_) {
+    const uint64_t old = ring_[ring_head_ & ring_mask_];
+    ++ring_head_;
+    --ring_size_;
+    // When the window length divides the access pattern's period, the
+    // expiring entry is the page just touched — reuse its slot instead of
+    // probing again. count >= 2 there (the push above), so no Erase.
+    if (old == vpn) {
+      --info.count;
+    } else {
+      PageInfo* old_info = recent_pages_.Find(old);
+      if (--old_info->count == 0) recent_pages_.Erase(old);
     }
   }
 
   const bool resident = tlb_.Access(vpn);
-  const uint64_t prev_stamp =
-      resident ? page_stamp_[vpn] : page_touch_counter_;
-  page_stamp_[vpn] = page_touch_counter_;
   if (!resident) return false;
 
   // Co-resident-warp interference: between this warp's two touches of the
@@ -106,7 +145,11 @@ bool MemoryModel::TlbLookup(uint64_t vpn) {
   // interval.
   const int co_resident = gpu_.tlb_co_resident_warps;
   if (co_resident <= 0) return true;
-  if (recent_counts_.size() <= tlb_.entries()) return true;
+  if (recent_pages_.size() <= tlb_.entries()) return true;
+  // No stamp within the window means the previous touch is at least a
+  // full window (>= 4x the TLB entry count) in the past — never
+  // survivable, so the evicted stamp's exact value is irrelevant.
+  if (prev_stamp == 0) return false;
   const uint64_t elapsed = page_touch_counter_ - prev_stamp;
   return elapsed * static_cast<uint64_t>(co_resident) <= tlb_.entries();
 }
@@ -117,19 +160,23 @@ void MemoryModel::Gather(const mem::VirtAddr* addrs, uint32_t mask,
   if (mask == 0) return;
 
   // Collect the distinct lines touched by the active lanes. A lane access
-  // can straddle a line boundary, so reserve two slots per lane.
+  // can straddle a line boundary, so reserve two slots per lane. Lanes
+  // usually access consecutive addresses (partitioned probes, streaming
+  // kernels), so detect already-sorted line lists while collecting and
+  // skip the sort.
   std::array<uint64_t, 2 * kWarpWidth> lines;
   int n = 0;
-  const uint64_t line_bytes = gpu_.cacheline_bytes;
-  for (int lane = 0; lane < kWarpWidth; ++lane) {
-    if (!(mask & (1u << lane))) continue;
+  bool sorted = true;
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    const int lane = std::countr_zero(m);
     const mem::VirtAddr addr = addrs[lane];
-    const uint64_t first = addr / line_bytes;
-    const uint64_t last = (addr + bytes_per_lane - 1) / line_bytes;
+    const uint64_t first = addr >> line_shift_;
+    const uint64_t last = (addr + bytes_per_lane - 1) >> line_shift_;
+    if (n > 0 && first < lines[n - 1]) sorted = false;
     lines[n++] = first;
     if (last != first) lines[n++] = last;
   }
-  std::sort(lines.begin(), lines.begin() + n);
+  if (!sorted) std::sort(lines.begin(), lines.begin() + n);
   uint64_t prev = ~uint64_t{0};
   for (int i = 0; i < n; ++i) {
     if (lines[i] == prev) continue;
@@ -162,15 +209,14 @@ void MemoryModel::Stream(mem::VirtAddr base, uint64_t bytes,
 
   // Host stream: touch each covered page in the TLB (a scan touches few
   // pages and is not subject to frequent TLB misses — paper Sec. 4.3.1).
-  const uint64_t page = space_->page_size(mem::MemKind::kHost);
-  const uint64_t first_page = base / page;
-  const uint64_t last_page = (base + bytes - 1) / page;
+  const uint64_t first_page = base >> host_page_shift_;
+  const uint64_t last_page = (base + bytes - 1) >> host_page_shift_;
   for (uint64_t vpn = first_page; vpn <= last_page; ++vpn) {
     if (TlbLookup(vpn)) {
       ++counters_.tlb_hits;
     } else {
       ++counters_.translation_requests;
-      page_table_.Translate(vpn * page, mem::MemKind::kHost);
+      page_table_.TranslatePage(vpn, mem::MemKind::kHost);
     }
   }
   if (type == AccessType::kRead) {
@@ -201,11 +247,12 @@ void MemoryModel::ClearHardwareState() {
   l1_.Clear();
   l2_.Clear();
   tlb_.Clear();
+  last_line_id_ = kNoLine;
   page_touch_counter_ = 0;
-  last_touched_page_ = ~uint64_t{0};
-  recent_ring_.clear();
-  recent_counts_.clear();
-  page_stamp_.clear();
+  last_touched_page_ = kNoPage;
+  ring_head_ = 0;
+  ring_size_ = 0;
+  recent_pages_.Clear();
 }
 
 }  // namespace gpujoin::sim

@@ -2,8 +2,7 @@
 #define GPUJOIN_SIM_MEMORY_MODEL_H_
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/address_space.h"
 #include "mem/page_table.h"
@@ -12,6 +11,7 @@
 #include "sim/specs.h"
 #include "sim/tlb.h"
 #include "sim/trace.h"
+#include "util/flat_map.h"
 
 namespace gpujoin::sim {
 
@@ -33,6 +33,13 @@ enum class AccessType : uint8_t { kRead, kWrite };
 //  * Stream() models bulk sequential transfers (table scans, result
 //    materialization). Streams bypass the caches (they would only thrash
 //    them) but do touch the TLB for host pages.
+//
+// This is the simulator's hot path — every figure sweep funnels billions
+// of line touches through TouchLine/TlbLookup — so the interference
+// bookkeeping uses a fixed-capacity ring plus an open-addressing flat map
+// (bounded by the recent window), and repeated same-line / same-page
+// touches take memoized fast paths. All of it is bit-for-bit equivalent
+// to the straightforward implementation: identical CounterSet values.
 class MemoryModel {
  public:
   static constexpr int kWarpWidth = 32;
@@ -48,9 +55,14 @@ class MemoryModel {
   void Gather(const mem::VirtAddr* addrs, uint32_t mask,
               uint32_t bytes_per_lane, AccessType type);
 
-  // Single-lane convenience wrapper around Gather().
+  // Single-lane equivalent of Gather() with one active lane: same
+  // counters, without the lane-collection loop.
   void Access(mem::VirtAddr addr, uint32_t bytes, AccessType type) {
-    Gather(&addr, 1u, bytes, type);
+    ++counters_.warp_steps;
+    const uint64_t first = addr >> line_shift_;
+    const uint64_t last = (addr + bytes - 1) >> line_shift_;
+    TouchLine(first, type, /*random=*/true);
+    if (last != first) TouchLine(last, type, /*random=*/true);
   }
 
   // Bulk sequential transfer of [base, base+bytes).
@@ -93,19 +105,39 @@ class MemoryModel {
   void FlushCaches() {
     l1_.FlushCold(kHotLineTouches);
     l2_.FlushCold(kHotLineTouches);
+    // The flush may have evicted the memoized line.
+    last_line_id_ = kNoLine;
   }
 
-  Cache& l1() { return l1_; }
-  Cache& l2() { return l2_; }
-  Tlb& tlb() { return tlb_; }
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+  const Tlb& tlb() const { return tlb_; }
   mem::AddressSpace& space() { return *space_; }
   const GpuSpec& gpu_spec() const { return gpu_; }
   uint32_t line_bytes() const { return gpu_.cacheline_bytes; }
+
+  // Introspection for tests: the interference window (in distinct page
+  // touches) and the bounded recent-page map (ISSUE: the old per-page
+  // stamp map grew without limit over a sweep).
+  uint64_t recent_window_pages() const { return recent_window_; }
+  size_t recent_page_entries() const { return recent_pages_.size(); }
 
  private:
   // Lines touched at least this often within a window survive the
   // window-boundary flush.
   static constexpr uint64_t kHotLineTouches = 2;
+
+  static constexpr uint64_t kNoLine = ~uint64_t{0};
+  static constexpr uint64_t kNoPage = ~uint64_t{0};
+
+  // Per-page interference state, alive exactly while the page sits in
+  // the recent ring. `stamp` is the page-touch-counter value of the
+  // page's previous touch; 0 means "no touch within the window", which
+  // the survival test below treats as ancient.
+  struct PageInfo {
+    int32_t count = 0;
+    uint64_t stamp = 0;
+  };
 
   // Processes one line-granular transaction; returns the level it was
   // served from (0 = L1, 1 = L2, 2 = memory).
@@ -121,6 +153,10 @@ class MemoryModel {
 
   mem::AddressSpace* space_;
   GpuSpec gpu_;
+  // Line size and host page size are powers of two; the hot path shifts
+  // instead of dividing by these runtime values.
+  uint32_t line_shift_;
+  uint32_t host_page_shift_;
   mem::PageTable page_table_;
   Cache l1_;
   Cache l2_;
@@ -128,13 +164,25 @@ class MemoryModel {
   CounterSet counters_;
   AccessObserver* observer_ = nullptr;
 
-  // Interference state: a ring of recent host-page touches (distinct
-  // count approximates the recent working set) and per-page touch stamps.
+  // Same-line fast path: the line of the previous TouchLine is always
+  // L1-resident (a touch either hits L1 or installs the line), so a
+  // repeated touch is an L1 hit served via Cache::TouchMru. Reset
+  // whenever anything else can change L1 contents (flush/clear).
+  uint64_t last_line_id_ = kNoLine;
+
+  // Interference state: a fixed-capacity power-of-two ring of recent
+  // host-page touches approximates the recent working set; recent_pages_
+  // carries each ring-resident page's occurrence count and last-touch
+  // stamp, and is bounded by the window size (pages are evicted as their
+  // last ring occurrence falls out).
+  uint64_t recent_window_ = 0;
   uint64_t page_touch_counter_ = 0;
-  uint64_t last_touched_page_ = ~uint64_t{0};
-  std::deque<uint64_t> recent_ring_;
-  std::unordered_map<uint64_t, int> recent_counts_;
-  std::unordered_map<uint64_t, uint64_t> page_stamp_;
+  uint64_t last_touched_page_ = kNoPage;
+  std::vector<uint64_t> ring_;
+  uint64_t ring_mask_ = 0;
+  uint64_t ring_head_ = 0;  // index of the oldest entry
+  uint64_t ring_size_ = 0;
+  util::FlatMap64<PageInfo> recent_pages_;
 };
 
 }  // namespace gpujoin::sim

@@ -37,6 +37,10 @@ class Tlb {
   // translation-request cost).
   bool Access(uint64_t vpn) { return cache_.Access(vpn); }
 
+  // Re-touches the entry the previous Access() hit or installed (see
+  // Cache::TouchMru); used by the same-page lookup fast path.
+  void TouchMru() { cache_.TouchMru(); }
+
   void Clear() { cache_.Clear(); }
 
   uint64_t entries() const { return entries_; }

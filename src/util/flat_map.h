@@ -1,0 +1,148 @@
+#ifndef GPUJOIN_UTIL_FLAT_MAP_H_
+#define GPUJOIN_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bit_util.h"
+#include "util/check.h"
+
+namespace gpujoin::util {
+
+// Open-addressing hash map from uint64_t keys to a small trivially
+// copyable value. Power-of-two capacity, linear probing, backward-shift
+// deletion (no tombstones), Fibonacci hashing. Built for the simulator's
+// per-transaction hot path, where std::unordered_map's node allocations
+// and pointer chasing dominate the profile.
+//
+// The key ~0 is reserved as the empty sentinel (the simulator already
+// uses it as its "no page" marker, so no real page number collides).
+template <typename V>
+class FlatMap64 {
+ public:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  explicit FlatMap64(size_t min_capacity = 16) {
+    Rehash(bits::NextPowerOfTwo(
+        min_capacity < 8 ? uint64_t{8} : uint64_t{min_capacity}));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Returns the value for `key`, or nullptr if absent.
+  V* Find(uint64_t key) {
+    size_t i = IndexOf(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* Find(uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->Find(key);
+  }
+
+  // Returns the value for `key`, inserting a value-initialized one if
+  // absent. The reference is invalidated by any later insert or erase.
+  V& operator[](uint64_t key) {
+    GPUJOIN_DCHECK(key != kEmptyKey);
+    size_t i = IndexOf(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmptyKey) {
+        if (size_ + 1 > max_load_) {
+          Rehash(slots_.size() * 2);
+          return (*this)[key];
+        }
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return s.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  // Removes `key` if present; returns whether it was. Backward-shift
+  // deletion keeps probe chains contiguous without tombstones.
+  bool Erase(uint64_t key) {
+    size_t i = IndexOf(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == kEmptyKey) return false;
+      if (s.key == key) break;
+      i = (i + 1) & mask_;
+    }
+    size_t hole = i;
+    size_t next = (hole + 1) & mask_;
+    while (slots_[next].key != kEmptyKey) {
+      // An entry may only move back if its home slot precedes the hole
+      // (cyclically); otherwise it belongs after the hole and stays.
+      const size_t home = IndexOf(slots_[next].key);
+      if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+        slots_[hole] = slots_[next];
+        hole = next;
+      }
+      next = (next + 1) & mask_;
+    }
+    slots_[hole].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  // Drops every entry; keeps the capacity.
+  void Clear() {
+    for (Slot& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  // Grows the table so `n` entries fit without rehashing.
+  void Reserve(size_t n) {
+    const uint64_t needed = bits::NextPowerOfTwo(
+        n < 4 ? uint64_t{8} : uint64_t{n} + (uint64_t{n} >> 1));
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  size_t IndexOf(uint64_t key) const {
+    // Fibonacci hashing: multiply spreads consecutive page numbers (the
+    // common key pattern) across the table.
+    return static_cast<size_t>((key * uint64_t{0x9E3779B97F4A7C15}) >>
+                               shift_);
+  }
+
+  void Rehash(uint64_t new_capacity) {
+    GPUJOIN_CHECK(bits::IsPowerOfTwo(new_capacity));
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(static_cast<size_t>(new_capacity), Slot{});
+    mask_ = new_capacity - 1;
+    shift_ = 64 - bits::Log2Floor(new_capacity);
+    max_load_ = static_cast<size_t>(new_capacity -
+                                    (new_capacity >> 2));  // 0.75
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != kEmptyKey) (*this)[s.key] = s.value;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  int shift_ = 64;
+  size_t max_load_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace gpujoin::util
+
+#endif  // GPUJOIN_UTIL_FLAT_MAP_H_

@@ -1,0 +1,56 @@
+#ifndef GPUJOIN_UTIL_THREAD_POOL_H_
+#define GPUJOIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpujoin::util {
+
+// Fixed-size thread pool with one shared FIFO queue and no work
+// stealing: tasks start in submission order, which keeps sweep runs easy
+// to reason about (any worker may execute any task, so tasks must not
+// depend on thread identity). Destruction waits for every submitted task
+// to finish.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  // Enqueues a task. Never blocks (the queue is unbounded).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // The number of concurrent hardware threads, with a fallback of 1 when
+  // the runtime cannot tell.
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  // Queued + currently running tasks.
+  int in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gpujoin::util
+
+#endif  // GPUJOIN_UTIL_THREAD_POOL_H_

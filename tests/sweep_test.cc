@@ -1,0 +1,243 @@
+// Tests for the parallel sweep machinery (util::ThreadPool,
+// core::SweepRunner) and its determinism contract: a sweep must produce
+// bit-identical results for any thread count. Also covers the FlatMap64
+// hash map backing the simulator hot path and the bounded recent-page
+// working set (the old per-page stamp map grew without limit over long
+// sweeps).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "mem/address_space.h"
+#include "sim/counters.h"
+#include "sim/memory_model.h"
+#include "sim/specs.h"
+#include "util/flat_map.h"
+#include "util/thread_pool.h"
+#include "util/units.h"
+
+namespace gpujoin {
+namespace {
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { ++count; });
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    util::ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------
+// FlatMap64
+
+TEST(FlatMapTest, InsertFindErase) {
+  util::FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  map[7] = 70;
+  map[8] = 80;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70);
+  EXPECT_EQ(map.Find(9), nullptr);
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  ASSERT_NE(map.Find(8), nullptr);
+  EXPECT_EQ(*map.Find(8), 80);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, OperatorBracketValueInitializes) {
+  util::FlatMap64<uint64_t> map;
+  EXPECT_EQ(map[42], 0u);
+  map[42] += 5;
+  EXPECT_EQ(map[42], 5u);
+}
+
+TEST(FlatMapTest, GrowsPastInitialCapacityAndKeepsEntries) {
+  util::FlatMap64<uint64_t> map(8);
+  const uint64_t n = 10000;
+  for (uint64_t k = 0; k < n; ++k) map[k * 3 + 1] = k;
+  EXPECT_EQ(map.size(), n);
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_NE(map.Find(k * 3 + 1), nullptr) << k;
+    EXPECT_EQ(*map.Find(k * 3 + 1), k);
+  }
+}
+
+TEST(FlatMapTest, EraseKeepsCollidingChainsReachable) {
+  // Keys a multiple of the capacity apart collide under any power-of-two
+  // table; erasing from the middle of the chain must backward-shift the
+  // rest so they stay findable.
+  util::FlatMap64<int> map(16);
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 6; ++i) {
+    keys.push_back(1 + i * map.capacity());
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map[keys[i]] = static_cast<int>(i);
+  }
+  EXPECT_TRUE(map.Erase(keys[2]));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i == 2) {
+      EXPECT_EQ(map.Find(keys[i]), nullptr);
+    } else {
+      ASSERT_NE(map.Find(keys[i]), nullptr) << i;
+      EXPECT_EQ(*map.Find(keys[i]), static_cast<int>(i));
+    }
+  }
+}
+
+TEST(FlatMapTest, ClearEmptiesButKeepsCapacity) {
+  util::FlatMap64<int> map;
+  for (uint64_t k = 0; k < 100; ++k) map[k] = 1;
+  const size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(50), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Bounded recent-page working set (simulator hot path)
+
+TEST(RecentPagesBoundTest, SteadyStateStaysWithinWindow) {
+  mem::AddressSpace space;
+  mem::Region host =
+      space.Reserve(uint64_t{200} * kGiB, mem::MemKind::kHost, "h");
+  sim::GpuSpec gpu = sim::TeslaV100();
+  gpu.l1_size = 2 * kKiB;  // every access reaches the TLB
+  gpu.l2_size = 2 * kKiB;
+  sim::MemoryModel model(&space, gpu);
+
+  // Sweep 10x the interference window of distinct pages: the recent-page
+  // map must stay bounded by the window instead of accumulating a stamp
+  // per page ever touched.
+  const uint64_t window = model.recent_window_pages();
+  const uint64_t touches = 10 * window;
+  for (uint64_t p = 0; p < touches; ++p) {
+    model.Access(host.base + p * kGiB, 8, sim::AccessType::kRead);
+  }
+  EXPECT_LE(model.recent_page_entries(), window + 1);
+  EXPECT_GT(model.recent_page_entries(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// SweepRunner
+
+TEST(SweepRunnerTest, EmitsResultsInSubmissionOrder) {
+  std::vector<std::function<int()>> cells;
+  for (int i = 0; i < 50; ++i) {
+    cells.push_back([i] { return i * i; });
+  }
+  for (int threads : {1, 4}) {
+    std::vector<int> results = core::RunSweep(threads, cells);
+    ASSERT_EQ(results.size(), cells.size());
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(SweepRunnerTest, SingleThreadRunsInlineAtSubmitTime) {
+  core::SweepRunner runner(1);
+  int order = 0;
+  int first = 0;
+  int second = 0;
+  runner.Submit([&] { first = ++order; });
+  // With threads == 1 the cell has already run on this thread.
+  EXPECT_EQ(first, 1);
+  runner.Submit([&] { second = ++order; });
+  EXPECT_EQ(second, 2);
+  runner.Finish();
+}
+
+bool SameCounters(const sim::CounterSet& a, const sim::CounterSet& b) {
+  return std::memcmp(&a, &b, sizeof(sim::CounterSet)) == 0;
+}
+
+// One small experiment grid (two R sizes x two index types), returning
+// the raw CounterSets. Cells are submitted in grid order.
+std::vector<sim::CounterSet> RunGrid(int threads, uint64_t seed) {
+  std::vector<std::function<sim::CounterSet()>> cells;
+  for (uint64_t r_tuples : {uint64_t{1} << 20, uint64_t{1} << 21}) {
+    for (index::IndexType type : {index::IndexType::kBinarySearch,
+                                  index::IndexType::kRadixSpline}) {
+      cells.push_back([r_tuples, type, seed] {
+        core::ExperimentConfig cfg;
+        cfg.r_tuples = r_tuples;
+        cfg.s_tuples = uint64_t{1} << 20;
+        cfg.s_sample = uint64_t{1} << 14;
+        cfg.seed = seed;
+        cfg.index_type = type;
+        auto exp = core::Experiment::Create(cfg);
+        return (*exp)->RunInlj().counters;
+      });
+    }
+  }
+  return core::RunSweep(threads, cells);
+}
+
+TEST(SweepRunnerTest, CounterSetsAreIdenticalForAnyThreadCount) {
+  const std::vector<sim::CounterSet> serial = RunGrid(/*threads=*/1, 1);
+  const std::vector<sim::CounterSet> parallel = RunGrid(/*threads=*/4, 1);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(SameCounters(serial[i], parallel[i])) << "cell " << i;
+    // The grid is real work, not all-zero counters.
+    EXPECT_GT(serial[i].warp_steps, 0u) << "cell " << i;
+  }
+}
+
+TEST(SweepRunnerTest, RepeatedRunsWithSameSeedAreStable) {
+  const std::vector<sim::CounterSet> first = RunGrid(/*threads=*/4, 7);
+  const std::vector<sim::CounterSet> second = RunGrid(/*threads=*/4, 7);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(SameCounters(first[i], second[i])) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gpujoin
