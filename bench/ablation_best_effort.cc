@@ -37,7 +37,7 @@ int Main(int argc, char** argv) {
       cfg.inlj.window_tuples = uint64_t{4} << 20;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return rows;
-      sim::RunResult windowed = (*exp)->RunInlj();
+      sim::RunResult windowed = (*exp)->RunInlj().value();
       rows.push_back(
           {std::string("windowed/") + index::IndexTypeName(type),
            "32 MiB", TablePrinter::Num(windowed.qps(), 3),

@@ -30,7 +30,7 @@ int Main(int argc, char** argv) {
       }
       const auto& btree =
           static_cast<const index::BTreeIndex&>((*exp)->index());
-      sim::RunResult res = (*exp)->RunInlj();
+      sim::RunResult res = (*exp)->RunInlj().value();
       return std::vector<std::string>{
           std::to_string(node_bytes), std::to_string(btree.height()),
           TablePrinter::Num(res.qps(), 3),

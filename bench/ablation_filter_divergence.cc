@@ -30,7 +30,7 @@ int Main(int argc, char** argv) {
       cfg.inlj.probe_filter_selectivity = selectivity;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return std::vector<std::string>{};
-      sim::RunResult res = (*exp)->RunInlj();
+      sim::RunResult res = (*exp)->RunInlj().value();
       return std::vector<std::string>{
           TablePrinter::Num(100 * selectivity, 0) + "%",
           TablePrinter::Num(res.qps(), 3),

@@ -30,7 +30,7 @@ int Main(int argc, char** argv) {
         cfg.inlj.overlap = overlap == 1;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) continue;
-        qps[overlap] = (*exp)->RunInlj().qps();
+        qps[overlap] = (*exp)->RunInlj().value().qps();
       }
       return std::vector<std::string>{
           TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),

@@ -28,7 +28,7 @@ int Main(int argc, char** argv) {
         cfg.inlj.window_tuples = uint64_t{4} << 20;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) return std::vector<std::string>{};
-        sim::RunResult res = (*exp)->RunInlj();
+        sim::RunResult res = (*exp)->RunInlj().value();
         return std::vector<std::string>{
             FormatBytes(static_cast<double>(page)),
             core::PartitionModeName(mode),

@@ -37,7 +37,7 @@ int Main(int argc, char** argv) {
             core::ExperimentConfig::SampleSchemeOverride::kThinned;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) continue;
-        sim::RunResult res = (*exp)->RunInlj();
+        sim::RunResult res = (*exp)->RunInlj().value();
         row.push_back(TablePrinter::Num(res.qps(), 3));
         row.push_back(TablePrinter::Num(res.translations_per_key(), 3));
       }

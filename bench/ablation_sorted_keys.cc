@@ -112,10 +112,12 @@ int Main(int argc, char** argv) {
 
   // (3) Radix partitioned (2048 partitions): one histogram + one scatter.
   partition::RadixPartitioner partitioner(
-      partition::PlanPartitionBits(index.column()));
+      partition::PlanPartitionBits(index.column()).value());
   sim::KernelRun part{"partition", {}};
-  partition::PartitionedKeys parts = partitioner.Partition(
-      gpu, keys.data(), sample, s.keys.addr_of(0), 0, &part);
+  partition::PartitionedKeys parts =
+      partitioner
+          .Partition(gpu, keys.data(), sample, s.keys.addr_of(0), 0, &part)
+          .value();
   part.counters = part.counters.Scaled(scale);
   run_case("partitioned (2048)", parts.keys, parts.row_ids,
            parts.tuple_addr(0), gpu.TimeOf(part));

@@ -33,7 +33,7 @@ int Main(int argc, char** argv) {
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return std::vector<std::string>{};
-      sim::RunResult res = (*exp)->RunInlj();
+      sim::RunResult res = (*exp)->RunInlj().value();
       return std::vector<std::string>{
           std::to_string(width), TablePrinter::Num(res.qps(), 3),
           FormatBytes(

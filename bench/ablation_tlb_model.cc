@@ -30,7 +30,7 @@ int Main(int argc, char** argv) {
         cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) continue;
-        sim::RunResult res = (*exp)->RunInlj();
+        sim::RunResult res = (*exp)->RunInlj().value();
         row.push_back(TablePrinter::Num(res.translations_per_key(), 2));
         row.push_back(TablePrinter::Num(res.qps(), 3));
       }

@@ -51,13 +51,18 @@ inline const std::vector<index::IndexType>& AllIndexTypes() {
 // Common flags for the figure benches. Returns false if the process
 // should exit (help requested / parse error).
 inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
+  // Samples below one warp (32 tuples) can't fill a single simulated
+  // warp, and negative thread counts are meaningless — reject both at
+  // parse time instead of aborting deep inside the simulator.
   flags.DefineInt64("s_sample", int64_t{1} << 19,
-                    "simulated probe sample size (tuples)");
+                    "simulated probe sample size (tuples)",
+                    /*min=*/32, /*max=*/int64_t{1} << 40);
   flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
   flags.DefineInt64("seed", 1, "workload seed");
   flags.DefineInt64("threads", 0,
                     "sweep worker threads (0 = hardware concurrency; "
-                    "results are identical for any value)");
+                    "results are identical for any value)",
+                    /*min=*/0, /*max=*/4096);
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
     if (s.code() != StatusCode::kNotFound) {

@@ -30,7 +30,7 @@ int Main(int argc, char** argv) {
         cfg.inlj.window_tuples = uint64_t{4} << 20;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) return std::vector<std::string>{};
-        sim::RunResult inlj = (*exp)->RunInlj();
+        sim::RunResult inlj = (*exp)->RunInlj().value();
         sim::RunResult hj = (*exp)->RunHashJoin().value();
         return std::vector<std::string>{
             GiBStr(r_tuples), index::IndexTypeName(type),
@@ -65,8 +65,8 @@ int Main(int argc, char** argv) {
         return std::vector<std::string>{index::IndexTypeName(type), "-",
                                         "OOM", "-"};
       }
-      const double q_below = (*exp_below)->RunInlj().qps();
-      const double q_above = (*exp_above)->RunInlj().qps();
+      const double q_below = (*exp_below)->RunInlj().value().qps();
+      const double q_above = (*exp_above)->RunInlj().value().qps();
       return std::vector<std::string>{
           index::IndexTypeName(type), TablePrinter::Num(q_below, 3),
           TablePrinter::Num(q_above, 3),

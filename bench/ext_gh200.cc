@@ -29,12 +29,12 @@ int Main(int argc, char** argv) {
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
       auto naive = core::Experiment::Create(cfg);
       if (!naive.ok()) return std::vector<std::string>{};
-      const double naive_qps = (*naive)->RunInlj().qps();
+      const double naive_qps = (*naive)->RunInlj().value().qps();
 
       cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
       cfg.inlj.window_tuples = uint64_t{4} << 20;
       auto windowed = core::Experiment::Create(cfg);
-      const double windowed_qps = (*windowed)->RunInlj().qps();
+      const double windowed_qps = (*windowed)->RunInlj().value().qps();
       const double hj_qps = (*windowed)->RunHashJoin().value().qps();
 
       return std::vector<std::string>{

@@ -47,7 +47,7 @@ int Main(int argc, char** argv) {
           row.push_back("OOM");
           continue;
         }
-        row.push_back(TablePrinter::Num((*exp)->RunInlj().qps(), 3));
+        row.push_back(TablePrinter::Num((*exp)->RunInlj().value().qps(), 3));
         if (!have_hj) {
           hj = (*exp)->RunHashJoin().value();
           have_hj = true;

@@ -33,7 +33,7 @@ int Main(int argc, char** argv) {
           continue;
         }
         row.push_back(TablePrinter::Num(
-            (*exp)->RunInlj().translations_per_key(), 3));
+            (*exp)->RunInlj().value().translations_per_key(), 3));
       }
       return row;
     });

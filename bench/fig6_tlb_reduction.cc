@@ -30,11 +30,11 @@ int Main(int argc, char** argv) {
           row.push_back("OOM");
           continue;
         }
-        const double before = (*naive)->RunInlj().translations_per_key();
+        const double before = (*naive)->RunInlj().value().translations_per_key();
 
         cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
         auto part = core::Experiment::Create(cfg);
-        const double after = (*part)->RunInlj().translations_per_key();
+        const double after = (*part)->RunInlj().value().translations_per_key();
 
         if (before <= 1e-9) {
           row.push_back("-");  // nothing to eliminate below the TLB range

@@ -71,7 +71,7 @@ int Main(int argc, char** argv) {
             cell.row.push_back("OOM");
             continue;
           }
-          const double qps = (*exp)->RunInlj().qps();
+          const double qps = (*exp)->RunInlj().value().qps();
           cell.row.push_back(TablePrinter::Num(qps, 3));
           if (type == index::IndexType::kRadixSpline) {
             cell.inlj_qps = qps;

@@ -250,7 +250,7 @@ void BM_RadixPartition(benchmark::State& state) {
   for (auto _ : state) {
     auto out = partitioner.Partition(gpu, keys.data(), n, src.base, 0,
                                      nullptr);
-    benchmark::DoNotOptimize(out.offsets.back());
+    benchmark::DoNotOptimize(out->offsets.back());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

@@ -37,7 +37,7 @@ int main() {
       std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
       return 1;
     }
-    sim::RunResult inlj = (*experiment)->RunInlj();
+    sim::RunResult inlj = (*experiment)->RunInlj().value();
     sim::RunResult hj = (*experiment)->RunHashJoin().value();
 
     table.AddRow({platform.gpu.name, platform.interconnect.name,

@@ -27,7 +27,7 @@ int main() {
 
   sim::TraceRecorder trace(&(*experiment)->gpu().memory().space());
   (*experiment)->gpu().memory().SetObserver(&trace);
-  sim::RunResult res = (*experiment)->RunInlj();
+  sim::RunResult res = (*experiment)->RunInlj().value();
   (*experiment)->gpu().memory().SetObserver(nullptr);
 
   std::printf("windowed INLJ over a Harmonia index, R = 64 GiB "

@@ -60,7 +60,7 @@ int main() {
               100.0 * static_cast<double>(config.s_tuples) /
                   static_cast<double>(config.r_tuples));
 
-  sim::RunResult inlj = (*experiment)->RunInlj();
+  sim::RunResult inlj = (*experiment)->RunInlj().value();
   sim::RunResult hash_join = (*experiment)->RunHashJoin().value();
 
   auto report = [](const char* name, const sim::RunResult& res) {

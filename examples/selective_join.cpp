@@ -49,7 +49,7 @@ int main() {
       std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
       return 1;
     }
-    sim::RunResult inlj = (*experiment)->RunInlj();
+    sim::RunResult inlj = (*experiment)->RunInlj().value();
     Result<sim::RunResult> hj = (*experiment)->RunHashJoin();
 
     std::string hj_cell;

@@ -42,7 +42,7 @@ int main() {
       std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
       return 1;
     }
-    sim::RunResult inlj = (*experiment)->RunInlj();
+    sim::RunResult inlj = (*experiment)->RunInlj().value();
     sim::RunResult hj = (*experiment)->RunHashJoin().value();
 
     std::string hj_cell;

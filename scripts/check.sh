@@ -23,11 +23,19 @@ run_config() {
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 
+# Deterministic fault-recovery smoke: the ablation at its fixed seed must
+# stay byte-identical to the checked-in golden table.
+scripts/fault_smoke.sh build-release
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
   run_config "build-san-${san//,/}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DGPUJOIN_SANITIZE=${san}"
+  # The fault paths allocate, unwind and recover in ways the rest of the
+  # suite doesn't; give them a dedicated pass under each sanitizer.
+  ctest --test-dir "build-san-${san//,/}" --output-on-failure \
+    -R 'fault_test|partition_test|sweep_test'
 done
 
 echo "=== all configurations passed ==="

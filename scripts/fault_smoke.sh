@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fault-recovery smoke test: runs the recovery ablation at its fixed
+# default seed and diffs the printed tables against the checked-in golden
+# file. Any byte difference means the fault model's behaviour changed —
+# injected fault sequence, recovery cost accounting, or the rate-0
+# bit-identity invariant. Run from the repository root.
+#
+# Usage: scripts/fault_smoke.sh [build-dir]   # default: build
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/ablation_fault_recovery"
+GOLDEN="results/ablation_fault_recovery.txt"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+ACTUAL="$(mktemp)"
+trap 'rm -f "$ACTUAL"' EXIT
+
+"$BENCH" > "$ACTUAL"
+
+if ! diff -u "$GOLDEN" "$ACTUAL"; then
+  echo "=== fault smoke FAILED: output drifted from $GOLDEN ===" >&2
+  exit 1
+fi
+
+echo "=== fault smoke passed: ablation output matches $GOLDEN ==="

@@ -34,6 +34,10 @@ Result<std::unique_ptr<Experiment>> Experiment::Create(
 
 Status Experiment::Build() {
   gpu_ = std::make_unique<sim::Gpu>(&space_, config_.platform);
+  if (config_.fault.enabled()) {
+    fault_injector_ = std::make_unique<sim::FaultInjector>(config_.fault);
+    gpu_->memory().SetFaultInjector(fault_injector_.get());
+  }
 
   if (config_.jittered_keys) {
     r_ = std::make_unique<workload::JitteredKeyColumn>(
@@ -97,13 +101,15 @@ Status Experiment::Build() {
   return Status::Ok();
 }
 
-sim::RunResult Experiment::RunInlj() {
+Result<sim::RunResult> Experiment::RunInlj() {
   gpu_->memory().ClearHardwareState();
+  if (fault_injector_ != nullptr) fault_injector_->Reset();
   return IndexNestedLoopJoin::Run(*gpu_, *index_, s_, config_.inlj);
 }
 
 Result<sim::RunResult> Experiment::RunHashJoin() {
   gpu_->memory().ClearHardwareState();
+  if (fault_injector_ != nullptr) fault_injector_->Reset();
   return join::HashJoin::Run(*gpu_, *r_, s_, config_.hash_join);
 }
 

@@ -11,6 +11,7 @@
 #include "index/radix_spline.h"
 #include "join/hash_join.h"
 #include "mem/address_space.h"
+#include "sim/fault.h"
 #include "sim/gpu.h"
 #include "sim/run_result.h"
 #include "sim/specs.h"
@@ -65,6 +66,11 @@ struct ExperimentConfig {
 
   InljConfig inlj;
   join::HashJoinConfig hash_join;
+
+  // Deterministic fault injection (sim/fault.h). All rates default to
+  // zero: no injector is attached and every counter is bit-identical to
+  // a build without the fault layer.
+  sim::FaultConfig fault;
 };
 
 // Owns the simulated machine and data for one configuration. Build once,
@@ -76,9 +82,11 @@ class Experiment {
   static Result<std::unique_ptr<Experiment>> Create(
       const ExperimentConfig& config);
 
-  // Runs the configured INLJ variant. Hardware state (caches, TLB) is
-  // reset first so runs are independent.
-  sim::RunResult RunInlj();
+  // Runs the configured INLJ variant. Hardware state (caches, TLB) and
+  // the fault injector are reset first so runs are independent and
+  // mutually reproducible. Fails when an injected fault is unrecoverable
+  // under the configured recovery policy.
+  Result<sim::RunResult> RunInlj();
 
   // Runs the hash-join baseline on the same data. Fails if the hash
   // table would exceed GPU memory.
@@ -98,6 +106,7 @@ class Experiment {
   ExperimentConfig config_;
   mem::AddressSpace space_;
   std::unique_ptr<sim::Gpu> gpu_;
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
   std::unique_ptr<workload::KeyColumn> r_;
   std::unique_ptr<index::Index> index_;
   workload::ProbeRelation s_;

@@ -22,6 +22,83 @@ using partition::PartitionedKeys;
 using partition::RadixPartitioner;
 using workload::Key;
 
+// Degradation events observed while running (simulated-sample scale;
+// extrapolated to full scale by the caller).
+struct ChunkStats {
+  uint64_t spilled_tuples = 0;
+  uint64_t spill_buckets = 0;
+  uint64_t degraded_windows = 0;
+  uint64_t fallback_windows = 0;
+};
+
+// Partitions and joins s[begin, begin+count) as one unit of work,
+// applying the recovery ladder on failure:
+//   partition-bucket overflow  -> spill chains (inside the partitioner)
+//   allocation failure         -> halve the chunk and retry each half
+//   still unpartitionable      -> join this chunk unpartitioned
+//   anything else / fail-stop  -> propagate the error Status
+// `top_level` marks the original window so a window halved more than once
+// counts as one degraded window.
+Status RunChunk(sim::Gpu& gpu, const index::Index& index,
+                const workload::ProbeRelation& s,
+                const RadixPartitioner& partitioner,
+                const InljConfig& config, uint64_t begin, uint64_t count,
+                mem::VirtAddr result_base, sim::KernelRun* part,
+                sim::KernelRun* join, uint64_t* matches, ChunkStats* stats,
+                bool top_level) {
+  partition::PartitionOptions popts;
+  popts.bucket_slack = config.bucket_slack;
+  popts.spill_on_overflow = config.recovery.spill_on_overflow;
+
+  Result<PartitionedKeys> parts = partitioner.Partition(
+      gpu, s.keys.data().data() + begin, count, s.keys.addr_of(begin),
+      begin, part, popts);
+  if (parts.ok()) {
+    stats->spilled_tuples += parts->spilled_tuples;
+    stats->spill_buckets += parts->spill_buckets;
+    join->Merge(internal::RunJoinKernel(
+        gpu, index, parts->keys.data(), parts->row_ids.data(), count,
+        parts->tuple_addr(0), result_base, config.probe_filter_selectivity,
+        matches));
+    return gpu.memory().fault_status();
+  }
+
+  // An unrecoverable injected fault (retry budget exhausted) ends the
+  // run regardless of policy.
+  Status fatal = gpu.memory().fault_status();
+  if (!fatal.ok()) return fatal;
+  if (parts.status().code() != StatusCode::kResourceExhausted) {
+    return parts.status();
+  }
+
+  if (config.recovery.shrink_window_on_alloc_failure && count >= 64) {
+    if (top_level) ++stats->degraded_windows;
+    const uint64_t half = count / 2;
+    Status st = RunChunk(gpu, index, s, partitioner, config, begin, half,
+                         result_base, part, join, matches, stats,
+                         /*top_level=*/false);
+    if (!st.ok()) return st;
+    return RunChunk(gpu, index, s, partitioner, config, begin + half,
+                    count - half, result_base, part, join, matches, stats,
+                    /*top_level=*/false);
+  }
+
+  if (config.recovery.fallback_to_unpartitioned) {
+    ++stats->fallback_windows;
+    join->Merge(internal::RunJoinKernel(
+        gpu, index, s.keys.data().data() + begin, nullptr, count,
+        s.keys.addr_of(begin), result_base, config.probe_filter_selectivity,
+        matches));
+    return gpu.memory().fault_status();
+  }
+
+  return parts.status();
+}
+
+uint64_t ScaleStat(uint64_t v, double f) {
+  return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
+}
+
 }  // namespace
 
 const char* PartitionModeName(InljConfig::PartitionMode mode) {
@@ -36,26 +113,50 @@ const char* PartitionModeName(InljConfig::PartitionMode mode) {
   return "unknown";
 }
 
-sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
-                                        const index::Index& index,
-                                        const workload::ProbeRelation& s,
-                                        const InljConfig& config) {
+Result<sim::RunResult> IndexNestedLoopJoin::Run(
+    sim::Gpu& gpu, const index::Index& index,
+    const workload::ProbeRelation& s, const InljConfig& config) {
+  if (config.mode == InljConfig::PartitionMode::kWindowed) {
+    if (config.window_tuples < sim::Warp::kWidth) {
+      return Status::InvalidArgument(
+          "window_tuples = " + std::to_string(config.window_tuples) +
+          " is below one warp (" + std::to_string(sim::Warp::kWidth) +
+          " tuples)");
+    }
+  }
+
   mem::AddressSpace& space = gpu.memory().space();
   const double scale = s.scale();
   const uint64_t sample = s.sample_size();
 
   // Result buffer: GPU memory by default (Sec. 3.2), CPU memory when
-  // spilling (footnote 1).
-  const mem::Region result_region = space.Reserve(
-      sample * 16,
-      config.spill_results_to_host ? mem::MemKind::kHost
-                                   : mem::MemKind::kDevice,
-      "inlj.result");
+  // spilling (footnote 1). A fault-injected device allocation failure
+  // degrades to the CPU-memory placement when the policy allows it.
+  mem::Region result_region;
+  bool result_fell_back_to_host = false;
+  {
+    Result<mem::Region> r = gpu.memory().TryReserve(
+        sample * 16,
+        config.spill_results_to_host ? mem::MemKind::kHost
+                                     : mem::MemKind::kDevice,
+        "inlj.result");
+    if (r.ok()) {
+      result_region = *r;
+    } else if (config.recovery.spill_results_on_alloc_failure) {
+      result_region =
+          space.Reserve(sample * 16, mem::MemKind::kHost, "inlj.result");
+      result_fell_back_to_host = true;
+    } else {
+      return r.status();
+    }
+  }
 
   sim::RunResult result;
   result.label = std::string("inlj_") + index.name();
   result.probe_tuples = s.full_size;
+  result.result_buffer_on_host = result_fell_back_to_host;
   uint64_t matches = 0;
+  ChunkStats stats;
 
   switch (config.mode) {
     case InljConfig::PartitionMode::kNone: {
@@ -63,6 +164,8 @@ sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
           gpu, index, s.keys.data().data(), nullptr, sample,
           s.keys.addr_of(0), result_region.base,
           config.probe_filter_selectivity, &matches);
+      Status st = gpu.memory().fault_status();
+      if (!st.ok()) return st;
       join.counters = join.counters.Scaled(scale);
       result.seconds = gpu.TimeOf(join);
       result.counters = join.counters;
@@ -71,16 +174,16 @@ sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
     }
 
     case InljConfig::PartitionMode::kFull: {
-      const RadixPartitioner partitioner(partition::PlanPartitionBits(
-          index.column(), config.max_partition_bits, config.ignore_lsb));
+      Result<partition::RadixPartitionSpec> spec = partition::PlanPartitionBits(
+          index.column(), config.max_partition_bits, config.ignore_lsb);
+      if (!spec.ok()) return spec.status();
+      const RadixPartitioner partitioner(*spec);
       sim::KernelRun part{"partition", {}};
-      PartitionedKeys parts = partitioner.Partition(
-          gpu, s.keys.data().data(), sample, s.keys.addr_of(0),
-          /*first_row_id=*/0, &part);
-      sim::KernelRun join = internal::RunJoinKernel(
-          gpu, index, parts.keys.data(), parts.row_ids.data(), sample,
-          parts.tuple_addr(0), result_region.base,
-          config.probe_filter_selectivity, &matches);
+      sim::KernelRun join{"join", {}};
+      Status st = RunChunk(gpu, index, s, partitioner, config, 0, sample,
+                           result_region.base, &part, &join, &matches,
+                           &stats, /*top_level=*/true);
+      if (!st.ok()) return st;
       part.counters = part.counters.Scaled(scale);
       join.counters = join.counters.Scaled(scale);
       const double t_part = gpu.TimeOf(part);
@@ -90,13 +193,18 @@ sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
       result.counters += join.counters;
       result.AddStage("partition", t_part);
       result.AddStage("join", t_join);
+      result.spilled_tuples = ScaleStat(stats.spilled_tuples, scale);
+      result.spill_buckets = ScaleStat(stats.spill_buckets, scale);
+      result.degraded_windows = stats.degraded_windows;
+      result.fallback_windows = stats.fallback_windows;
       break;
     }
 
     case InljConfig::PartitionMode::kWindowed: {
-      GPUJOIN_CHECK(config.window_tuples > 0);
-      const RadixPartitioner partitioner(partition::PlanPartitionBits(
-          index.column(), config.max_partition_bits, config.ignore_lsb));
+      Result<partition::RadixPartitionSpec> spec = partition::PlanPartitionBits(
+          index.column(), config.max_partition_bits, config.ignore_lsb);
+      if (!spec.ok()) return spec.status();
+      const RadixPartitioner partitioner(*spec);
 
       // Simulate windows over the sample. For range-restricted samples
       // (full density over a 1/scale slice of R), a simulated window of
@@ -128,13 +236,11 @@ sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
         if (w > 0) gpu.memory().FlushCaches();
 
         sim::KernelRun part{"partition", {}};
-        PartitionedKeys parts = partitioner.Partition(
-            gpu, s.keys.data().data() + begin, count,
-            s.keys.addr_of(begin), begin, &part);
-        sim::KernelRun join = internal::RunJoinKernel(
-            gpu, index, parts.keys.data(), parts.row_ids.data(), count,
-            parts.tuple_addr(0), result_region.base,
-            config.probe_filter_selectivity, &matches);
+        sim::KernelRun join{"join", {}};
+        Status st = RunChunk(gpu, index, s, partitioner, config, begin,
+                             count, result_region.base, &part, &join,
+                             &matches, &stats, /*top_level=*/true);
+        if (!st.ok()) return st;
         part_avg += part.counters;
         join_avg += join.counters;
       }
@@ -168,6 +274,19 @@ sim::RunResult IndexNestedLoopJoin::Run(sim::Gpu& gpu,
       result.counters.kernel_launches = 2 * n_full;
       result.AddStage("partition/window", t_part);
       result.AddStage("join/window", t_join);
+
+      // Degradation events extrapolate like the counters: per-window
+      // tuple counts by window_scale, window counts by n_full/n_sim.
+      const double window_factor =
+          static_cast<double>(n_full) / static_cast<double>(n_sim);
+      result.spilled_tuples =
+          ScaleStat(stats.spilled_tuples, window_scale * window_factor);
+      result.spill_buckets =
+          ScaleStat(stats.spill_buckets, window_scale * window_factor);
+      result.degraded_windows =
+          ScaleStat(stats.degraded_windows, window_factor);
+      result.fallback_windows =
+          ScaleStat(stats.fallback_windows, window_factor);
       break;
     }
   }

@@ -6,9 +6,39 @@
 #include "index/index.h"
 #include "sim/gpu.h"
 #include "sim/run_result.h"
+#include "util/status.h"
 #include "workload/relation.h"
 
 namespace gpujoin::core {
+
+// What the join does when something goes wrong mid-pipeline (bucket
+// overflow under skew, simulated allocation failure). The default is
+// fully graceful: degrade the affected window and keep going. FailStop()
+// turns every recovery path off, so the first anomaly surfaces as an
+// error Status — the pre-fault-model behaviour, for ablations.
+struct RecoveryPolicy {
+  // Chain overflowing partition buckets into spill buckets instead of
+  // failing the window (see partition::PartitionOptions).
+  bool spill_on_overflow = true;
+  // On a failed window-buffer allocation, halve the window and retry
+  // (down to one warp of 32 tuples) instead of failing the run.
+  bool shrink_window_on_alloc_failure = true;
+  // If a window still cannot be partitioned, join it unpartitioned
+  // (PartitionMode::kNone semantics for that window only).
+  bool fallback_to_unpartitioned = true;
+  // On a failed result-buffer allocation, materialize into CPU memory
+  // across the interconnect (paper footnote 1) instead of failing.
+  bool spill_results_on_alloc_failure = true;
+
+  static RecoveryPolicy FailStop() {
+    RecoveryPolicy p;
+    p.spill_on_overflow = false;
+    p.shrink_window_on_alloc_failure = false;
+    p.fallback_to_unpartitioned = false;
+    p.spill_results_on_alloc_failure = false;
+    return p;
+  }
+};
 
 // Configuration of the index-nested-loop join over a fast interconnect.
 //
@@ -52,6 +82,14 @@ struct InljConfig {
   // warps stay fully occupied but only a fraction of lanes do useful
   // lookups.
   double probe_filter_selectivity = 1.0;
+
+  // Partition bucket sizing headroom (see partition::PartitionOptions).
+  // 0 (the default) models exact two-pass sizing: buckets never overflow
+  // and skew only degrades locality, as in the paper's experiments.
+  double bucket_slack = 0;
+
+  // Recovery behaviour under injected faults and bucket overflow.
+  RecoveryPolicy recovery;
 };
 
 const char* PartitionModeName(InljConfig::PartitionMode mode);
@@ -59,11 +97,18 @@ const char* PartitionModeName(InljConfig::PartitionMode mode);
 // Runs the INLJ end to end (probe-stream transfer, optional partitioning,
 // index lookups, result materialization into GPU memory) and extrapolates
 // the sampled probe set to |S|.
+//
+// Fails with InvalidArgument for a malformed config and with
+// ResourceExhausted when an injected fault is unrecoverable under the
+// configured RecoveryPolicy (or exhausts its retry budget). Recoverable
+// anomalies degrade the run instead and are reported through the
+// RunResult robustness fields.
 class IndexNestedLoopJoin {
  public:
-  static sim::RunResult Run(sim::Gpu& gpu, const index::Index& index,
-                            const workload::ProbeRelation& s,
-                            const InljConfig& config = InljConfig());
+  static Result<sim::RunResult> Run(sim::Gpu& gpu,
+                                    const index::Index& index,
+                                    const workload::ProbeRelation& s,
+                                    const InljConfig& config = InljConfig());
 };
 
 }  // namespace gpujoin::core

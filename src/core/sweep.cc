@@ -1,5 +1,7 @@
 #include "core/sweep.h"
 
+#include <exception>
+#include <string>
 #include <utility>
 
 namespace gpujoin::core {
@@ -16,14 +18,22 @@ SweepRunner::~SweepRunner() = default;
 
 void SweepRunner::Submit(std::function<void()> cell) {
   if (pool_ == nullptr) {
-    cell();
+    if (!first_error_.ok()) return;  // skip cells after the first failure
+    try {
+      cell();
+    } catch (const std::exception& e) {
+      first_error_ = Status::Internal(std::string("cell failed: ") + e.what());
+    } catch (...) {
+      first_error_ = Status::Internal("cell failed: unknown exception");
+    }
     return;
   }
   pool_->Submit(std::move(cell));
 }
 
-void SweepRunner::Finish() {
-  if (pool_ != nullptr) pool_->Wait();
+Status SweepRunner::Finish() {
+  if (pool_ != nullptr) return pool_->Wait();
+  return first_error_;
 }
 
 }  // namespace gpujoin::core

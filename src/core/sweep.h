@@ -3,8 +3,10 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace gpujoin::core {
@@ -19,6 +21,10 @@ namespace gpujoin::core {
 // the OOM cells, whose failure is a deterministic memory-budget check.
 // `threads == 1` runs each cell inline on the calling thread at Submit
 // time, exactly reproducing the original serial loop.
+//
+// Failure model: a cell that throws does not terminate the process. The
+// first failure is captured as a Status, cells submitted after it are
+// skipped, and Finish() surfaces the error.
 class SweepRunner {
  public:
   // `threads <= 0` resolves to the hardware concurrency.
@@ -32,31 +38,42 @@ class SweepRunner {
   // Enqueues one cell. The callable must write its result to
   // caller-owned storage that outlives Finish() (e.g. its slot in a
   // pre-sized result vector); cells for distinct slots may run
-  // concurrently.
+  // concurrently. Cells submitted after a failure are skipped.
   void Submit(std::function<void()> cell);
 
-  // Blocks until every submitted cell has finished.
-  void Finish();
+  // Blocks until every submitted cell has finished (or was skipped),
+  // then returns OK or the first cell failure.
+  Status Finish();
 
   int threads() const { return threads_; }
 
  private:
   int threads_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
+  Status first_error_;  // inline (threads_ == 1) failures only
 };
 
-// Convenience wrapper: runs `cells` and returns their results in cell
-// order. T must be default-constructible.
+// Failure-aware sweep: runs `cells` and returns their results in cell
+// order, or the first cell failure. T must be default-constructible.
 template <typename T>
-std::vector<T> RunSweep(int threads,
-                        const std::vector<std::function<T()>>& cells) {
+Result<std::vector<T>> TryRunSweep(
+    int threads, const std::vector<std::function<T()>>& cells) {
   std::vector<T> results(cells.size());
   SweepRunner runner(threads);
   for (size_t i = 0; i < cells.size(); ++i) {
     runner.Submit([&results, &cells, i] { results[i] = cells[i](); });
   }
-  runner.Finish();
+  Status s = runner.Finish();
+  if (!s.ok()) return s;
   return results;
+}
+
+// Convenience wrapper for sweeps that are expected to succeed: any cell
+// failure is fatal (Result::value() checks).
+template <typename T>
+std::vector<T> RunSweep(int threads,
+                        const std::vector<std::function<T()>>& cells) {
+  return TryRunSweep(threads, cells).value();
 }
 
 }  // namespace gpujoin::core

@@ -30,6 +30,14 @@ Result<sim::RunResult> HashJoin::Run(sim::Gpu& gpu,
         FormatBytes(static_cast<double>(gpu.platform().gpu.hbm_capacity)) +
         ")");
   }
+  // The table is allocated up front before any tuple flows; an injected
+  // allocation failure fails the whole join. The baseline has no smaller
+  // working set to fall back to (unlike the windowed INLJ, which shrinks
+  // its window) — by design it is fail-stop, which is exactly the
+  // contrast the fault-recovery ablation measures.
+  Status alloc = gpu.memory().FaultCheckDeviceAlloc(table.footprint_bytes(),
+                                                    "hash_join.table");
+  if (!alloc.ok()) return alloc;
 
   // --- Build: insert the (sampled) S tuples, streaming keys from CPU
   // memory.
@@ -48,6 +56,9 @@ Result<sim::RunResult> HashJoin::Run(sim::Gpu& gpu,
         warp.AddSteps(4);  // hashing etc.
         table.InsertWarp(warp, keys.data(), values.data(), warp.full_mask());
       });
+
+  Status build_status = gpu.memory().fault_status();
+  if (!build_status.ok()) return build_status;
 
   // The sampled duplicate-chain walks scale quadratically, not linearly:
   // replace them with a full-scale analytic estimate (see
@@ -90,6 +101,8 @@ Result<sim::RunResult> HashJoin::Run(sim::Gpu& gpu,
         table.RetrieveWarp(warp, keys.data(), warp.full_mask(),
                            [&](int, uint64_t) { ++sample_matches; });
       });
+  Status probe_status = gpu.memory().fault_status();
+  if (!probe_status.ok()) return probe_status;
   probe.counters = probe.counters.Scaled(probe_scale);
 
   // --- Materialize: every S tuple joins exactly one R tuple, so the

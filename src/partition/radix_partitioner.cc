@@ -1,16 +1,22 @@
 #include "partition/radix_partitioner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "util/bit_util.h"
 #include "util/check.h"
 
 namespace gpujoin::partition {
 
-RadixPartitionSpec PlanPartitionBits(const workload::KeyColumn& column,
-                                     int max_bits, int ignore_lsb) {
+Result<RadixPartitionSpec> PlanPartitionBits(
+    const workload::KeyColumn& column, int max_bits, int ignore_lsb) {
   const Key max_key = column.max_key();
-  GPUJOIN_CHECK(max_key > 0);
+  if (max_key <= 0) {
+    return Status::InvalidArgument(
+        "cannot plan partition bits: empty key domain (max_key = " +
+        std::to_string(max_key) + ")");
+  }
   const int key_bits =
       bits::Log2Floor(static_cast<uint64_t>(max_key)) + 1;
   RadixPartitionSpec spec;
@@ -19,21 +25,77 @@ RadixPartitionSpec PlanPartitionBits(const workload::KeyColumn& column,
   return spec;
 }
 
-PartitionedKeys RadixPartitioner::Partition(sim::Gpu& gpu, const Key* keys,
-                                            uint64_t count,
-                                            mem::VirtAddr src_addr,
-                                            uint64_t first_row_id,
-                                            sim::KernelRun* run) const {
-  GPUJOIN_CHECK(count > 0);
+Result<PartitionedKeys> RadixPartitioner::Partition(
+    sim::Gpu& gpu, const Key* keys, uint64_t count, mem::VirtAddr src_addr,
+    uint64_t first_row_id, sim::KernelRun* run,
+    const PartitionOptions& options) const {
+  if (count == 0) {
+    return Status::InvalidArgument("cannot partition an empty key range");
+  }
   const uint32_t p = spec_.num_partitions();
   mem::AddressSpace& space = gpu.memory().space();
 
   PartitionedKeys out;
   out.keys.resize(count);
   out.row_ids.resize(count);
-  out.region = space.Reserve(count * 16, mem::MemKind::kDevice,
-                             "partitioned.tuples");
+  Result<mem::Region> region = gpu.memory().TryReserve(
+      count * 16, mem::MemKind::kDevice, "partitioned.tuples");
+  if (!region.ok()) return region.status();
+  out.region = *region;
   out.offsets.assign(p + 1, 0);
+
+  // Histogram first: bucket sizing (and the spill traffic it may cause)
+  // must be known before the cost kernel charges the passes.
+  std::vector<uint64_t> histogram(p, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    ++histogram[spec_.PartitionOf(keys[i])];
+  }
+
+  // Single-pass bucket sizing (bucket_slack > 0): partitions whose tuple
+  // count exceeds the pre-sized bucket overflow into spill chains.
+  uint64_t spilled = 0;
+  uint64_t spill_buckets = 0;
+  if (options.bucket_slack > 0) {
+    // Buckets are sized at slack x the mean *populated* partition.
+    // Normalizing by populated (not total) partitions keeps the model
+    // faithful under range-restricted probe sampling, where the sample
+    // occupies only the partitions of its key subrange: uniform keys
+    // then fill each populated bucket to about the mean and never
+    // overflow, while a skewed hot partition still blows past its cap.
+    uint64_t populated = 0;
+    for (uint32_t b = 0; b < p; ++b) populated += histogram[b] > 0 ? 1 : 0;
+    const uint64_t cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(count) /
+               static_cast<double>(populated > 0 ? populated : 1) *
+               options.bucket_slack)));
+    uint32_t worst = 0;
+    uint64_t worst_count = 0;
+    for (uint32_t b = 0; b < p; ++b) {
+      if (histogram[b] <= cap) continue;
+      const uint64_t excess = histogram[b] - cap;
+      spilled += excess;
+      spill_buckets += bits::CeilDiv(excess, cap);
+      if (histogram[b] > worst_count) {
+        worst_count = histogram[b];
+        worst = b;
+      }
+    }
+    if (spilled > 0 && !options.spill_on_overflow) {
+      return Status::ResourceExhausted(
+          "partition bucket overflow: partition " + std::to_string(worst) +
+          " holds " + std::to_string(worst_count) +
+          " tuples but the bucket capacity is " + std::to_string(cap) +
+          " (" + std::to_string(spilled) + " tuples over, spilling off)");
+    }
+    if (spilled > 0) {
+      out.spilled_tuples = spilled;
+      out.spill_buckets = static_cast<uint32_t>(spill_buckets);
+      out.spill_region = space.Reserve(spill_buckets * cap * 16,
+                                       mem::MemKind::kDevice,
+                                       "partitioned.spill");
+    }
+  }
 
   const bool host_source =
       space.KindOf(src_addr) == mem::MemKind::kHost;
@@ -56,13 +118,19 @@ PartitionedKeys RadixPartitioner::Partition(sim::Gpu& gpu, const Key* keys,
                      count * (sizeof(Key) + sizeof(uint64_t)));
     // Compute proxy: ~4 instructions per tuple across the passes.
     mm.AddWarpSteps(bits::CeilDiv(count, sim::Warp::kWidth) * 4);
+    if (spilled > 0) {
+      // Overflowed tuples take the uncoalesced spill path: re-written
+      // into a chained bucket, plus one chain-pointer line per bucket.
+      mm.AddHbmTraffic(spill_buckets * mm.gpu_spec().cacheline_bytes,
+                       spilled * 16 +
+                           spill_buckets * mm.gpu_spec().cacheline_bytes);
+      mm.AddWarpSteps(bits::CeilDiv(spilled, sim::Warp::kWidth) * 2);
+    }
   });
 
   // Functional partition: stable counting sort on the partition bits.
-  std::vector<uint64_t> histogram(p, 0);
-  for (uint64_t i = 0; i < count; ++i) {
-    ++histogram[spec_.PartitionOf(keys[i])];
-  }
+  // (Spilling changes tuple placement and cost, not partition order:
+  // chained buckets are drained in order during the join's stage-in.)
   uint64_t sum = 0;
   for (uint32_t b = 0; b < p; ++b) {
     out.offsets[b] = sum;

@@ -7,6 +7,7 @@
 
 #include "mem/sim_array.h"
 #include "sim/gpu.h"
+#include "util/status.h"
 #include "workload/key_column.h"
 
 namespace gpujoin::partition {
@@ -30,8 +31,25 @@ struct RadixPartitionSpec {
 // Plans the partition bits for lookups into `column`: the top bits of the
 // key domain, capped at `max_bits`, never descending into the
 // `ignore_lsb` least significant bits (paper Sec. 4.3.1 ignores 4).
-RadixPartitionSpec PlanPartitionBits(const workload::KeyColumn& column,
-                                     int max_bits = 11, int ignore_lsb = 4);
+// Fails with InvalidArgument for an empty key domain.
+Result<RadixPartitionSpec> PlanPartitionBits(
+    const workload::KeyColumn& column, int max_bits = 11, int ignore_lsb = 4);
+
+// How the partitioner sizes per-partition buckets and reacts to skew.
+//
+// The SWWC linear allocator pre-sizes each partition's bucket before the
+// scatter pass. `bucket_slack == 0` (the default) models exact two-pass
+// sizing from the histogram: buckets never overflow and nothing here is
+// consulted — the legacy behaviour, bit-identical to before this option
+// existed. `bucket_slack > 0` models single-pass sizing at
+// `count/num_partitions * bucket_slack` capacity per bucket: under heavy
+// skew the hot partitions exceed their bucket, and the partitioner either
+// chains the excess into spill buckets (`spill_on_overflow`, charging the
+// extra traffic) or fails with ResourceExhausted (fail-stop).
+struct PartitionOptions {
+  double bucket_slack = 0;
+  bool spill_on_overflow = true;
+};
 
 // Partition-ordered probe keys plus their original row ids, materialized
 // as interleaved 16-byte (key, row_id) tuples in GPU memory. The
@@ -42,6 +60,14 @@ struct PartitionedKeys {
   std::vector<uint64_t> row_ids;
   std::vector<uint64_t> offsets;  // size num_partitions + 1
   mem::Region region;             // count x 16 bytes in device memory
+
+  // Skew overflow (PartitionOptions::bucket_slack > 0 only): tuples that
+  // exceeded their partition's bucket and were chained into spill
+  // buckets, and the region holding those chains. The functional output
+  // above is unaffected — spilling is a placement/cost concern.
+  mem::Region spill_region;
+  uint64_t spilled_tuples = 0;
+  uint32_t spill_buckets = 0;
 
   mem::VirtAddr tuple_addr(uint64_t i) const { return region.base + i * 16; }
 };
@@ -62,9 +88,15 @@ class RadixPartitioner {
   // location; host or device). `first_row_id` numbers the tuples for join
   // result reconstruction. The returned KernelRun pair is merged into
   // `run` for cost accounting.
-  PartitionedKeys Partition(sim::Gpu& gpu, const Key* keys, uint64_t count,
-                            mem::VirtAddr src_addr, uint64_t first_row_id,
-                            sim::KernelRun* run) const;
+  //
+  // Fails with InvalidArgument for an empty input, and with
+  // ResourceExhausted when the output buffer allocation is refused by an
+  // attached FaultInjector or a bucket overflows under fail-stop options
+  // (see PartitionOptions).
+  Result<PartitionedKeys> Partition(
+      sim::Gpu& gpu, const Key* keys, uint64_t count,
+      mem::VirtAddr src_addr, uint64_t first_row_id, sim::KernelRun* run,
+      const PartitionOptions& options = PartitionOptions()) const;
 
   const RadixPartitionSpec& spec() const { return spec_; }
 

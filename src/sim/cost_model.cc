@@ -14,7 +14,9 @@ std::string TimeBreakdown::ToString() const {
      << ", hbm=" << FormatSeconds(hbm)
      << ", compute=" << FormatSeconds(compute)
      << ", serial=" << FormatSeconds(serial)
-     << ", launch=" << FormatSeconds(launch) << ")";
+     << ", launch=" << FormatSeconds(launch);
+  if (fault > 0) os << ", fault=" << FormatSeconds(fault);
+  os << ")";
   return os.str();
 }
 
@@ -36,6 +38,19 @@ TimeBreakdown CostModel::Breakdown(const CounterSet& c) const {
              gpu.dependent_load_latency;
   b.launch = static_cast<double>(c.kernel_launches) *
              gpu.kernel_launch_overhead;
+  b.fault = static_cast<double>(c.fault_backoff_nanos) * 1e-9;
+  if (c.degraded_host_bytes > 0) {
+    // Bytes moved during a degradation episode crossed at a fraction of
+    // the nominal rate; their nominal cost is already in `transfer`, so
+    // charge only the shortfall. Degraded stretches span mixed traffic;
+    // the nominal random rate is the conservative reference.
+    const double factor = ic.degraded_bandwidth_factor;
+    if (factor > 0 && factor < 1) {
+      b.fault += static_cast<double>(c.degraded_host_bytes) *
+                 (1.0 / (ic.random_bandwidth * factor) -
+                  1.0 / ic.random_bandwidth);
+    }
+  }
   return b;
 }
 

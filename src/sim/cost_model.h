@@ -17,17 +17,19 @@ struct TimeBreakdown {
   double compute = 0;      // warp instruction throughput
   double serial = 0;       // dependent-load chains (latency-bound)
   double launch = 0;       // kernel launch overhead
+  double fault = 0;        // retry backoff + degraded-bandwidth shortfall
 
   // GPU kernels overlap transfer, translation and compute across the many
   // resident warps, so a kernel is as slow as its most contended resource,
-  // plus fixed launch costs.
+  // plus fixed launch costs. Fault recovery (backoff waits, degraded-link
+  // episodes) stalls the pipeline and does not overlap: it adds on top.
   double total() const {
     double t = transfer;
     if (translation > t) t = translation;
     if (hbm > t) t = hbm;
     if (compute > t) t = compute;
     if (serial > t) t = serial;
-    return t + launch;
+    return t + launch + fault;
   }
 
   std::string ToString() const;

@@ -28,6 +28,14 @@ CounterSet& CounterSet::operator+=(const CounterSet& o) {
   memory_transactions += o.memory_transactions;
   kernel_launches += o.kernel_launches;
   serial_dependent_loads += o.serial_dependent_loads;
+  faults_injected += o.faults_injected;
+  translation_timeouts += o.translation_timeouts;
+  remote_read_errors += o.remote_read_errors;
+  degradation_episodes += o.degradation_episodes;
+  alloc_faults += o.alloc_faults;
+  fault_retries += o.fault_retries;
+  fault_backoff_nanos += o.fault_backoff_nanos;
+  degraded_host_bytes += o.degraded_host_bytes;
   return *this;
 }
 
@@ -47,6 +55,14 @@ CounterSet CounterSet::operator-(const CounterSet& o) const {
   r.memory_transactions -= o.memory_transactions;
   r.kernel_launches -= o.kernel_launches;
   r.serial_dependent_loads -= o.serial_dependent_loads;
+  r.faults_injected -= o.faults_injected;
+  r.translation_timeouts -= o.translation_timeouts;
+  r.remote_read_errors -= o.remote_read_errors;
+  r.degradation_episodes -= o.degradation_episodes;
+  r.alloc_faults -= o.alloc_faults;
+  r.fault_retries -= o.fault_retries;
+  r.fault_backoff_nanos -= o.fault_backoff_nanos;
+  r.degraded_host_bytes -= o.degraded_host_bytes;
   return r;
 }
 
@@ -67,6 +83,14 @@ CounterSet CounterSet::Scaled(double f) const {
   // Launches are per-kernel fixed costs, not per-tuple work: keep as-is.
   r.kernel_launches = kernel_launches;
   r.serial_dependent_loads = ScaleCounter(serial_dependent_loads, f);
+  r.faults_injected = ScaleCounter(faults_injected, f);
+  r.translation_timeouts = ScaleCounter(translation_timeouts, f);
+  r.remote_read_errors = ScaleCounter(remote_read_errors, f);
+  r.degradation_episodes = ScaleCounter(degradation_episodes, f);
+  r.alloc_faults = ScaleCounter(alloc_faults, f);
+  r.fault_retries = ScaleCounter(fault_retries, f);
+  r.fault_backoff_nanos = ScaleCounter(fault_backoff_nanos, f);
+  r.degraded_host_bytes = ScaleCounter(degraded_host_bytes, f);
   return r;
 }
 
@@ -83,6 +107,18 @@ std::string CounterSet::ToString() const {
      << " l2_misses=" << FormatCount(l2_misses)
      << " warp_steps=" << FormatCount(warp_steps)
      << " launches=" << kernel_launches;
+  // Robustness counters are appended only when faults were injected, so
+  // fault-free output (goldens, interference tests) is unchanged.
+  if (faults_injected > 0) {
+    os << " faults=" << FormatCount(faults_injected)
+       << " (timeouts=" << FormatCount(translation_timeouts)
+       << ", read_errors=" << FormatCount(remote_read_errors)
+       << ", degradation_episodes=" << FormatCount(degradation_episodes)
+       << ", alloc_faults=" << FormatCount(alloc_faults)
+       << ") retries=" << FormatCount(fault_retries)
+       << " backoff_ns=" << FormatCount(fault_backoff_nanos)
+       << " degraded=" << FormatBytes(degraded_host_bytes);
+  }
   return os.str();
 }
 

@@ -41,6 +41,21 @@ struct CounterSet {
   // inside one thread); charged latency-bound, not bandwidth-bound.
   uint64_t serial_dependent_loads = 0;
 
+  // Robustness: injected faults and the recovery work they caused (see
+  // sim/fault.h). All zero unless a FaultInjector is attached, so
+  // fault-free runs are bit-identical with or without this machinery.
+  uint64_t faults_injected = 0;
+  uint64_t translation_timeouts = 0;
+  uint64_t remote_read_errors = 0;
+  uint64_t degradation_episodes = 0;
+  uint64_t alloc_faults = 0;
+  uint64_t fault_retries = 0;
+  // Simulated exponential-backoff wait; the cost model adds it to time.
+  uint64_t fault_backoff_nanos = 0;
+  // Host bytes moved while the link was in a degradation episode; the
+  // cost model charges the bandwidth shortfall on these bytes.
+  uint64_t degraded_host_bytes = 0;
+
   uint64_t host_read_bytes() const {
     return host_random_read_bytes + host_seq_read_bytes;
   }

@@ -1,0 +1,136 @@
+#ifndef GPUJOIN_SIM_FAULT_H_
+#define GPUJOIN_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/counters.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gpujoin::sim {
+
+// The transient anomalies a real NVLink/PCIe out-of-core join pipeline
+// sees, which the fail-stop simulator could not express (see DESIGN.md
+// "Fault model and recovery"). Each class is injected at a configurable
+// per-event rate by a seeded FaultInjector, so every faulty run is
+// reproducible bit for bit.
+enum class FaultClass : uint8_t {
+  kTranslationTimeout = 0,  // IOMMU translation request timed out
+  kRemoteReadError = 1,     // interconnect read needs a retry
+  kBandwidthDegradation = 2,  // link retraining episode at reduced rate
+  kAllocationFailure = 3,     // simulated GPU memory allocation failed
+};
+
+const char* FaultClassName(FaultClass cls);
+
+// Per-event injection rates plus the bounded-retry policy applied at the
+// memory-model level. All rates default to zero: with the default config
+// no injector is attached and every hardware counter is bit-identical to
+// a fault-free build.
+struct FaultConfig {
+  uint64_t seed = 0xFA17;
+
+  // Probability that one translation request to the CPU IOMMU times out.
+  double translation_timeout_rate = 0;
+  // Probability that one host-bound cacheline read must be re-transferred.
+  double remote_read_error_rate = 0;
+  // Probability per host-bound line that a bandwidth-degradation episode
+  // (link retraining) begins; the episode then lasts
+  // `degradation_episode_lines` host lines at degraded rate.
+  double degradation_episode_rate = 0;
+  uint64_t degradation_episode_lines = uint64_t{1} << 14;
+  // Probability that one simulated device-memory reservation fails.
+  double alloc_failure_rate = 0;
+
+  // Bounded retry with exponential backoff for the transient classes
+  // (translation timeouts, remote-read errors). `max_retries == 0` is
+  // fail-stop: the first injected fault of those classes is fatal and
+  // surfaces as a Status through the pipeline.
+  int max_retries = 4;
+  // Simulated wait before the first retry; doubles per further attempt.
+  // Charged through sim::CostModel via CounterSet::fault_backoff_nanos.
+  double backoff_base = 2e-6;
+
+  bool enabled() const {
+    return translation_timeout_rate > 0 || remote_read_error_rate > 0 ||
+           degradation_episode_rate > 0 || alloc_failure_rate > 0;
+  }
+
+  // Uniform sweep helper: the same rate for every fault class.
+  static FaultConfig AllClasses(double rate, uint64_t seed = 0xFA17);
+};
+
+// Seeded, deterministic fault source consulted by the MemoryModel on the
+// interconnect path (translations, host-bound lines) and on device
+// reservations. The injector mutates the CounterSet it is handed: retries
+// re-charge the original event's counters (a retried translation is one
+// more translation request; a re-transferred line is one more line of
+// host traffic) and the robustness counters record what was injected, so
+// the CostModel converts recovery work into simulated time exactly like
+// first-try work.
+//
+// Determinism: all decisions come from one Xoshiro256 stream owned by the
+// injector, and the simulator consults it single-threaded in program
+// order, so a (config, workload) pair always injects the same faults.
+// Reset() re-arms the stream so independent runs on one experiment are
+// mutually reproducible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Re-arms the injector to its initial seeded state (between runs).
+  void Reset();
+
+  // One translation request was issued. May inject a timeout and the
+  // bounded retry chain that recovers from it.
+  void OnTranslation(CounterSet* counters);
+
+  // `n_lines` host-bound cacheline transactions of `line_bytes` each.
+  // `is_read` and `random` select which traffic counter a re-transfer is
+  // charged to. May inject retryable read errors and progress / begin
+  // bandwidth-degradation episodes.
+  void OnHostLines(uint64_t n_lines, uint32_t line_bytes, bool is_read,
+                   bool random, CounterSet* counters);
+
+  // One simulated device-memory reservation. Returns true when the
+  // allocation fails this time (the caller decides how to degrade).
+  bool OnDeviceReserve(CounterSet* counters);
+
+  // First unrecoverable fault (retry budget exhausted, or any transient
+  // fault under `max_retries == 0`). Sticky until Reset(); the pipeline
+  // checks it at kernel/window boundaries and propagates it as a Status
+  // instead of aborting the process.
+  const Status& fatal_status() const { return fatal_; }
+  bool failed() const { return !fatal_.ok(); }
+
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  bool Draw(double rate) {
+    return rate > 0 && rng_.NextDouble() < rate;
+  }
+  // Deterministic approximate binomial: how many of `n` independent
+  // events at `rate` fire (expected value plus one Bernoulli draw for the
+  // fractional remainder — exact for n == 1).
+  uint64_t DrawCount(uint64_t n, double rate);
+  // Geometric gap: host lines until the next episode begins (>= 1).
+  uint64_t DrawGeometricGap(double rate);
+  void ChargeBackoff(int attempt, CounterSet* counters);
+  void SetFatal(FaultClass cls, const std::string& what);
+
+  FaultConfig config_;
+  Xoshiro256 rng_;
+  // Bandwidth-degradation state machine: lines left in the current
+  // episode, and lines until the next one starts (0 = not yet drawn).
+  uint64_t episode_lines_left_ = 0;
+  uint64_t gap_lines_left_ = 0;
+  Status fatal_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_FAULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <string>
 
 namespace gpujoin::sim {
 
@@ -86,6 +87,7 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
   } else {
     ++counters_.translation_requests;
     page_table_.TranslatePage(vpn, mem::MemKind::kHost);
+    if (fault_ != nullptr) fault_->OnTranslation(&counters_);
   }
   if (type == AccessType::kRead) {
     if (random) {
@@ -95,6 +97,10 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
     }
   } else {
     counters_.host_write_bytes += line;
+  }
+  if (fault_ != nullptr) {
+    fault_->OnHostLines(1, gpu_.cacheline_bytes, type == AccessType::kRead,
+                        random, &counters_);
   }
 }
 
@@ -217,12 +223,18 @@ void MemoryModel::Stream(mem::VirtAddr base, uint64_t bytes,
     } else {
       ++counters_.translation_requests;
       page_table_.TranslatePage(vpn, mem::MemKind::kHost);
+      if (fault_ != nullptr) fault_->OnTranslation(&counters_);
     }
   }
   if (type == AccessType::kRead) {
     counters_.host_seq_read_bytes += line_bytes_total;
   } else {
     counters_.host_write_bytes += line_bytes_total;
+  }
+  if (fault_ != nullptr) {
+    fault_->OnHostLines(last_line - first_line + 1, gpu_.cacheline_bytes,
+                        type == AccessType::kRead, /*random=*/false,
+                        &counters_);
   }
 }
 
@@ -240,7 +252,34 @@ void MemoryModel::SerialChain(mem::VirtAddr representative_addr,
     }
   } else {
     counters_.host_random_read_bytes += n_loads * line;
+    if (fault_ != nullptr) {
+      fault_->OnHostLines(n_loads, gpu_.cacheline_bytes,
+                          type == AccessType::kRead, /*random=*/true,
+                          &counters_);
+    }
   }
+}
+
+Result<mem::Region> MemoryModel::TryReserve(uint64_t bytes,
+                                            mem::MemKind kind,
+                                            std::string name) {
+  if (kind == mem::MemKind::kDevice && fault_ != nullptr &&
+      fault_->OnDeviceReserve(&counters_)) {
+    return Status::ResourceExhausted(
+        "simulated device allocation failure: " + name + " (" +
+        std::to_string(bytes) + " bytes)");
+  }
+  return space_->Reserve(bytes, kind, std::move(name));
+}
+
+Status MemoryModel::FaultCheckDeviceAlloc(uint64_t bytes,
+                                          const std::string& what) {
+  if (fault_ != nullptr && fault_->OnDeviceReserve(&counters_)) {
+    return Status::ResourceExhausted(
+        "simulated device allocation failure: " + what + " (" +
+        std::to_string(bytes) + " bytes)");
+  }
+  return Status::Ok();
 }
 
 void MemoryModel::ClearHardwareState() {

@@ -8,10 +8,12 @@
 #include "mem/page_table.h"
 #include "sim/cache.h"
 #include "sim/counters.h"
+#include "sim/fault.h"
 #include "sim/specs.h"
 #include "sim/tlb.h"
 #include "sim/trace.h"
 #include "util/flat_map.h"
+#include "util/status.h"
 
 namespace gpujoin::sim {
 
@@ -82,6 +84,33 @@ class MemoryModel {
   // Attaches an access observer (e.g. a TraceRecorder) that sees every
   // transaction; pass nullptr to detach. Not owned.
   void SetObserver(AccessObserver* observer) { observer_ = observer; }
+
+  // Attaches a fault injector consulted on the interconnect path
+  // (translations, host-bound lines) and on device reservations; pass
+  // nullptr to detach. Not owned. With no injector attached every hook is
+  // a single branch and all counters are bit-identical to a build without
+  // the fault layer.
+  void SetFaultInjector(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault_injector() const { return fault_; }
+
+  // First unrecoverable injected fault, or OK. The hot paths (TouchLine,
+  // Stream) are void, so fatal faults latch on the injector; kernels check
+  // here at their boundaries and propagate the Status.
+  Status fault_status() const {
+    return fault_ == nullptr ? Status::Ok() : fault_->fatal_status();
+  }
+
+  // Fallible reservation: consults the injector for device-kind requests
+  // (simulated GPU allocation failure), otherwise exactly
+  // space().Reserve() — same bump-allocated addresses, so fault-free runs
+  // are unchanged.
+  Result<mem::Region> TryReserve(uint64_t bytes, mem::MemKind kind,
+                                 std::string name);
+
+  // Injector check for device allocations whose Region is managed by the
+  // caller (e.g. reusable per-window buffers): fails like TryReserve but
+  // reserves nothing.
+  Status FaultCheckDeviceAlloc(uint64_t bytes, const std::string& what);
 
   // Analytic traffic accounting, for components modeled in closed form
   // (e.g. SWWC partition passes that are perfectly bandwidth-bound).
@@ -163,6 +192,7 @@ class MemoryModel {
   Tlb tlb_;
   CounterSet counters_;
   AccessObserver* observer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
 
   // Same-line fast path: the line of the previous TouchLine is always
   // L1-resident (a touch either hits L1 or installs the line), so a

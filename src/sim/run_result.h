@@ -20,6 +20,20 @@ struct RunResult {
   uint64_t probe_tuples = 0;  // logical probe-side size (|S| or |R|)
   uint64_t result_tuples = 0;
 
+  // Graceful-degradation outcomes (all zero/false on a clean run; see
+  // sim/fault.h and core::RecoveryPolicy). Extrapolated to full scale
+  // like the counters.
+  uint64_t spilled_tuples = 0;    // bucket-overflow tuples spill-chained
+  uint64_t spill_buckets = 0;
+  uint64_t degraded_windows = 0;  // windows shrunk after alloc failure
+  uint64_t fallback_windows = 0;  // windows joined unpartitioned
+  bool result_buffer_on_host = false;  // result spilled to CPU memory
+
+  bool degraded() const {
+    return spilled_tuples > 0 || degraded_windows > 0 ||
+           fallback_windows > 0 || result_buffer_on_host;
+  }
+
   // Queries per second — the paper's throughput metric (Sec. 3.2).
   double qps() const { return seconds > 0 ? 1.0 / seconds : 0; }
 

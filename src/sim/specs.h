@@ -31,6 +31,11 @@ struct InterconnectSpec {
   double translation_throughput() const {
     return translation_concurrency / translation_latency;
   }
+
+  // Fraction of the nominal bandwidth the link delivers during an injected
+  // degradation episode (link retraining / lane downgrade; sim/fault.h).
+  // Only consulted for bytes flagged degraded by a FaultInjector.
+  double degraded_bandwidth_factor = 0.25;
 };
 
 // GPU device model parameters.

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -23,6 +24,28 @@ void Flags::DefineDouble(const std::string& name, double default_value,
   def.help = help;
   def.double_value = default_value;
   defs_[name] = std::move(def);
+}
+
+void Flags::DefineInt64(const std::string& name, int64_t default_value,
+                        const std::string& help, int64_t min, int64_t max) {
+  GPUJOIN_CHECK(min <= default_value && default_value <= max)
+      << "flag --" << name << " default out of range";
+  DefineInt64(name, default_value, help);
+  FlagDef& def = defs_[name];
+  def.has_bounds = true;
+  def.int_min = min;
+  def.int_max = max;
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help, double min, double max) {
+  GPUJOIN_CHECK(min <= default_value && default_value <= max)
+      << "flag --" << name << " default out of range";
+  DefineDouble(name, default_value, help);
+  FlagDef& def = defs_[name];
+  def.has_bounds = true;
+  def.double_min = min;
+  def.double_max = max;
 }
 
 void Flags::DefineString(const std::string& name,
@@ -49,21 +72,43 @@ Status Flags::SetFromString(FlagDef& def, const std::string& name,
   char* end = nullptr;
   switch (def.type) {
     case Type::kInt64: {
+      errno = 0;
       long long v = std::strtoll(value.c_str(), &end, 0);
       if (end == value.c_str() || *end != '\0') {
         return Status::InvalidArgument("flag --" + name +
                                        " expects an integer, got '" + value +
                                        "'");
       }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name + "=" + value +
+                                       " overflows int64");
+      }
+      if (def.has_bounds && (v < def.int_min || v > def.int_max)) {
+        return Status::InvalidArgument(
+            "flag --" + name + "=" + value + " out of range [" +
+            std::to_string(def.int_min) + ", " + std::to_string(def.int_max) +
+            "]");
+      }
       def.int_value = v;
       return Status::Ok();
     }
     case Type::kDouble: {
+      errno = 0;
       double v = std::strtod(value.c_str(), &end);
       if (end == value.c_str() || *end != '\0') {
         return Status::InvalidArgument("flag --" + name +
                                        " expects a number, got '" + value +
                                        "'");
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name + "=" + value +
+                                       " is out of double range");
+      }
+      if (def.has_bounds && !(v >= def.double_min && v <= def.double_max)) {
+        return Status::InvalidArgument(
+            "flag --" + name + "=" + value + " out of range [" +
+            std::to_string(def.double_min) + ", " +
+            std::to_string(def.double_max) + "]");
       }
       def.double_value = v;
       return Status::Ok();

@@ -19,6 +19,12 @@ class Flags {
                    const std::string& help);
   void DefineDouble(const std::string& name, double default_value,
                     const std::string& help);
+  // Bounded variants: Parse rejects values outside [min, max] with
+  // InvalidArgument naming the flag. The default must itself be in range.
+  void DefineInt64(const std::string& name, int64_t default_value,
+                   const std::string& help, int64_t min, int64_t max);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help, double min, double max);
   void DefineString(const std::string& name, const std::string& default_value,
                     const std::string& help);
   void DefineBool(const std::string& name, bool default_value,
@@ -45,6 +51,11 @@ class Flags {
     double double_value = 0;
     std::string string_value;
     bool bool_value = false;
+    bool has_bounds = false;
+    int64_t int_min = 0;
+    int64_t int_max = 0;
+    double double_min = 0;
+    double double_max = 0;
   };
 
   Status SetFromString(FlagDef& def, const std::string& name,

@@ -5,6 +5,8 @@
 #include <utility>
 #include <variant>
 
+#include "util/check.h"
+
 namespace gpujoin {
 
 // Error codes for fallible operations. The library avoids exceptions;
@@ -82,10 +84,20 @@ class Result {
     return std::get<Status>(repr_);
   }
 
-  // Precondition: ok(). Checked at runtime via std::get.
-  T& value() & { return std::get<T>(repr_); }
-  const T& value() const& { return std::get<T>(repr_); }
-  T&& value() && { return std::get<T>(std::move(repr_)); }
+  // Precondition: ok(). CHECK-fails with the error status otherwise (a
+  // bare std::get would throw bad_variant_access and lose the message).
+  T& value() & {
+    GPUJOIN_CHECK(ok()) << "Result::value() on " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    GPUJOIN_CHECK(ok()) << "Result::value() on " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    GPUJOIN_CHECK(ok()) << "Result::value() on " << status().ToString();
+    return std::get<T>(std::move(repr_));
+  }
 
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }

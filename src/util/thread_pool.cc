@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <utility>
 
 namespace gpujoin::util {
@@ -31,22 +33,43 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  return first_error_;
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    bool skip;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      // After a failure the remaining queue is drained, not run: the
+      // sweep's result slots would be partially filled anyway, and
+      // skipping gets the caller its error promptly.
+      skip = !first_error_.ok();
     }
-    task();
+    if (!skip) {
+      try {
+        task();
+      } catch (const std::exception& e) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (first_error_.ok()) {
+          first_error_ =
+              Status::Internal(std::string("task failed: ") + e.what());
+        }
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (first_error_.ok()) {
+          first_error_ = Status::Internal("task failed: unknown exception");
+        }
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

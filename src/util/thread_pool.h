@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace gpujoin::util {
 
 // Fixed-size thread pool with one shared FIFO queue and no work
@@ -15,6 +17,11 @@ namespace gpujoin::util {
 // to reason about (any worker may execute any task, so tasks must not
 // depend on thread identity). Destruction waits for every submitted task
 // to finish.
+//
+// Failure model: a task that throws does NOT terminate the process. The
+// first exception is captured as an error Status (later ones are
+// dropped), tasks still queued at that point are drained without
+// running, and Wait() surfaces the error to the caller.
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (clamped to at least 1).
@@ -26,11 +33,13 @@ class ThreadPool {
   // Drains outstanding tasks, then joins the workers.
   ~ThreadPool();
 
-  // Enqueues a task. Never blocks (the queue is unbounded).
+  // Enqueues a task. Never blocks (the queue is unbounded). Tasks
+  // submitted after a failure are drained without running.
   void Submit(std::function<void()> task);
 
-  // Blocks until every task submitted so far has finished.
-  void Wait();
+  // Blocks until every task submitted so far has finished (or was
+  // drained), then returns OK or the first task failure.
+  Status Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -48,6 +57,8 @@ class ThreadPool {
   // Queued + currently running tasks.
   int in_flight_ = 0;
   bool stop_ = false;
+  // First task failure; once set, remaining queued tasks are skipped.
+  Status first_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -83,7 +83,7 @@ TEST_F(BestEffortTest, ComparableToWindowedPartitioning) {
   win_cfg.mode = InljConfig::PartitionMode::kWindowed;
   win_cfg.window_tuples = 1 << 14;
   sim::RunResult windowed =
-      IndexNestedLoopJoin::Run(gpu_, *index_, s_, win_cfg);
+      IndexNestedLoopJoin::Run(gpu_, *index_, s_, win_cfg).value();
 
   EXPECT_EQ(bep.result_tuples, windowed.result_tuples);
   EXPECT_LT(bep.counters.host_random_read_bytes,

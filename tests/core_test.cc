@@ -47,7 +47,7 @@ TEST_F(InljTest, AllProbeKeysMatch) {
                     InljConfig::PartitionMode::kFull,
                     InljConfig::PartitionMode::kWindowed}) {
     sim::RunResult res =
-        IndexNestedLoopJoin::Run(gpu_, *index_, s_, ModeConfig(mode));
+        IndexNestedLoopJoin::Run(gpu_, *index_, s_, ModeConfig(mode)).value();
     EXPECT_EQ(res.result_tuples, s_.full_size)
         << PartitionModeName(mode);
     EXPECT_GT(res.seconds, 0);
@@ -56,16 +56,19 @@ TEST_F(InljTest, AllProbeKeysMatch) {
 
 TEST_F(InljTest, StagesMatchMode) {
   auto none = IndexNestedLoopJoin::Run(
-      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone));
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone))
+                  .value();
   EXPECT_EQ(none.stages.size(), 1u);
   auto full = IndexNestedLoopJoin::Run(
-      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kFull));
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kFull))
+                  .value();
   EXPECT_EQ(full.stages.size(), 2u);
 }
 
 TEST_F(InljTest, CountersScaleToFullProbeSize) {
   sim::RunResult res = IndexNestedLoopJoin::Run(
-      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone));
+      gpu_, *index_, s_, ModeConfig(InljConfig::PartitionMode::kNone))
+                           .value();
   // The probe stream alone is |S| * 8 bytes over the interconnect.
   EXPECT_GE(res.counters.host_seq_read_bytes, s_.full_size * 8);
 }
@@ -76,16 +79,17 @@ TEST_F(InljTest, OverlapNeverSlower) {
   InljConfig without = with;
   without.overlap = false;
   gpu_.memory().ClearHardwareState();
-  auto a = IndexNestedLoopJoin::Run(gpu_, *index_, s_, with);
+  auto a = IndexNestedLoopJoin::Run(gpu_, *index_, s_, with).value();
   gpu_.memory().ClearHardwareState();
-  auto b = IndexNestedLoopJoin::Run(gpu_, *index_, s_, without);
+  auto b = IndexNestedLoopJoin::Run(gpu_, *index_, s_, without).value();
   EXPECT_LE(a.seconds, b.seconds * 1.0001);
 }
 
 TEST_F(InljTest, WindowLargerThanSampleStillWorks) {
   InljConfig cfg = ModeConfig(InljConfig::PartitionMode::kWindowed);
   cfg.window_tuples = uint64_t{1} << 22;  // bigger than the 2^14 sample
-  sim::RunResult res = IndexNestedLoopJoin::Run(gpu_, *index_, s_, cfg);
+  sim::RunResult res =
+      IndexNestedLoopJoin::Run(gpu_, *index_, s_, cfg).value();
   EXPECT_EQ(res.result_tuples, s_.full_size);
 }
 
@@ -104,13 +108,13 @@ TEST(TlbCliff, NaiveInljThrashesBeyondCoverageAndPartitioningFixesIt) {
 
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok()) << exp.status().ToString();
-  sim::RunResult naive = (*exp)->RunInlj();
+  sim::RunResult naive = (*exp)->RunInlj().value();
   EXPECT_GT(naive.translations_per_key(), 10.0);
 
   cfg.inlj.mode = InljConfig::PartitionMode::kFull;
   auto exp2 = Experiment::Create(cfg);
   ASSERT_TRUE(exp2.ok());
-  sim::RunResult partitioned = (*exp2)->RunInlj();
+  sim::RunResult partitioned = (*exp2)->RunInlj().value();
   EXPECT_LT(partitioned.translations_per_key(),
             naive.translations_per_key() / 20);
   EXPECT_GT(partitioned.qps(), naive.qps());
@@ -124,7 +128,7 @@ TEST(TlbCliff, NoThrashBelowCoverage) {
   cfg.inlj.mode = InljConfig::PartitionMode::kNone;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult res = (*exp)->RunInlj();
+  sim::RunResult res = (*exp)->RunInlj().value();
   EXPECT_LT(res.translations_per_key(), 0.1);
 }
 
@@ -157,7 +161,7 @@ TEST(Experiment, InljAndHashJoinAgreeOnResultSize) {
   cfg.index_type = index::IndexType::kRadixSpline;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult inlj = (*exp)->RunInlj();
+  sim::RunResult inlj = (*exp)->RunInlj().value();
   sim::RunResult hj = (*exp)->RunHashJoin().value();
   EXPECT_EQ(inlj.result_tuples, hj.result_tuples);
 }
@@ -170,7 +174,7 @@ TEST(Experiment, SelectiveJoinTransfersLessThanScan) {
   cfg.index_type = index::IndexType::kRadixSpline;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult inlj = (*exp)->RunInlj();
+  sim::RunResult inlj = (*exp)->RunInlj().value();
   sim::RunResult hj = (*exp)->RunHashJoin().value();
   EXPECT_LT(inlj.counters.interconnect_bytes(),
             hj.counters.interconnect_bytes() / 2.4);
@@ -184,8 +188,8 @@ TEST(Experiment, DeterministicAcrossRuns) {
   auto a = Experiment::Create(cfg);
   auto b = Experiment::Create(cfg);
   ASSERT_TRUE(a.ok() && b.ok());
-  sim::RunResult ra = (*a)->RunInlj();
-  sim::RunResult rb = (*b)->RunInlj();
+  sim::RunResult ra = (*a)->RunInlj().value();
+  sim::RunResult rb = (*b)->RunInlj().value();
   EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
   EXPECT_EQ(ra.counters.translation_requests,
             rb.counters.translation_requests);

@@ -169,7 +169,7 @@ TEST_P(StrategyAgreementTest, AllStrategiesAgree) {
     cfg.inlj.mode = mode;
     auto exp = core::Experiment::Create(cfg);
     ASSERT_TRUE(exp.ok());
-    EXPECT_EQ((*exp)->RunInlj().result_tuples, cfg.s_tuples)
+    EXPECT_EQ((*exp)->RunInlj().value().result_tuples, cfg.s_tuples)
         << PartitionModeName(mode) << " seed " << seed;
   }
 

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/inlj.h"
+#include "join/cpu_reference.h"
 #include "sim/specs.h"
 #include "util/units.h"
 
@@ -61,7 +63,7 @@ TEST_P(InljPropertyTest, JoinIsCorrectAndPhysical) {
 
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok()) << exp.status().ToString();
-  sim::RunResult res = (*exp)->RunInlj();
+  sim::RunResult res = (*exp)->RunInlj().value();
 
   // Correctness: every S key joins exactly one R tuple.
   EXPECT_EQ(res.result_tuples, cfg.s_tuples);
@@ -113,7 +115,7 @@ TEST_P(WindowSizeTest, ResultInvariantAcrossWindowSizes) {
   cfg.inlj.window_tuples = GetParam();
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult res = (*exp)->RunInlj();
+  sim::RunResult res = (*exp)->RunInlj().value();
   EXPECT_EQ(res.result_tuples, cfg.s_tuples);
   // The probe stream is read exactly once regardless of windowing.
   EXPECT_NEAR(static_cast<double>(res.counters.host_seq_read_bytes),
@@ -142,12 +144,12 @@ TEST(SpillResults, HostSpillMovesResultTraffic) {
 
   auto device = Experiment::Create(cfg);
   ASSERT_TRUE(device.ok());
-  sim::RunResult in_gpu = (*device)->RunInlj();
+  sim::RunResult in_gpu = (*device)->RunInlj().value();
 
   cfg.inlj.spill_results_to_host = true;
   auto host = Experiment::Create(cfg);
   ASSERT_TRUE(host.ok());
-  sim::RunResult spilled = (*host)->RunInlj();
+  sim::RunResult spilled = (*host)->RunInlj().value();
 
   // Spilling writes |S| * 16 B across the interconnect instead of HBM.
   EXPECT_GE(spilled.counters.host_write_bytes, cfg.s_tuples * 16);
@@ -160,6 +162,70 @@ TEST(SpillResults, HostSpillMovesResultTraffic) {
   EXPECT_GE(spilled.seconds, in_gpu.seconds * 0.999);
 }
 
+// --- Skewed probes forcing bucket overflow ---------------------------------
+
+// Heavy Zipf probes with single-pass bucket sizing (bucket_slack > 0):
+// the hot partitions overflow and chain into spill buckets. The joined
+// result must still match the CPU reference oracle exactly — spilling is
+// a placement/cost concern, never a correctness one. `s_sample ==
+// s_tuples` disables extrapolation so the comparison is exact.
+class SkewOverflowTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewOverflowTest, SpillChainedJoinMatchesCpuReference) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 20;
+  cfg.s_tuples = uint64_t{1} << 14;
+  cfg.s_sample = cfg.s_tuples;
+  cfg.zipf_exponent = GetParam();
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = Mode::kWindowed;
+  cfg.inlj.window_tuples = uint64_t{1} << 12;
+  cfg.inlj.bucket_slack = 1.25;
+
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+  auto res = (*exp)->RunInlj();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  // The Zipf head is hot enough to overflow its single-pass bucket.
+  EXPECT_GT(res.value().spilled_tuples, 0u);
+
+  const auto& s = (*exp)->s();
+  const std::vector<workload::Key> probes(s.keys.begin(), s.keys.end());
+  const uint64_t oracle =
+      join::CpuReferenceJoinCount((*exp)->r(), probes);
+  EXPECT_EQ(res.value().result_tuples, oracle);
+}
+
+TEST_P(SkewOverflowTest, FailStopAbortsWhereGracefulSurvives) {
+  ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 20;
+  cfg.s_tuples = uint64_t{1} << 14;
+  cfg.s_sample = cfg.s_tuples;
+  cfg.zipf_exponent = GetParam();
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = Mode::kWindowed;
+  cfg.inlj.window_tuples = uint64_t{1} << 12;
+  cfg.inlj.bucket_slack = 1.25;
+  cfg.inlj.recovery = RecoveryPolicy::FailStop();
+
+  auto exp = Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok());
+  auto res = (*exp)->RunInlj();
+  // Under fail-stop the same skew that spilled above is fatal — unless
+  // the unpartitioned fallback is also off, which propagates the error.
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(HeavyZipf, SkewOverflowTest,
+                         ::testing::Values(1.75, 2.0),
+                         [](const auto& info) {
+                           return "zipf" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
 // --- Filter divergence --------------------------------------------------------
 
 TEST(FilterDivergence, ReducesResultsProportionally) {
@@ -171,7 +237,7 @@ TEST(FilterDivergence, ReducesResultsProportionally) {
   cfg.inlj.probe_filter_selectivity = 0.25;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult res = (*exp)->RunInlj();
+  sim::RunResult res = (*exp)->RunInlj().value();
   EXPECT_NEAR(static_cast<double>(res.result_tuples),
               0.25 * static_cast<double>(cfg.s_tuples),
               0.02 * static_cast<double>(cfg.s_tuples));
@@ -188,12 +254,12 @@ TEST(FilterDivergence, ThroughputDoesNotScaleWithSelectivity) {
 
   auto full = Experiment::Create(cfg);
   ASSERT_TRUE(full.ok());
-  const double full_qps = (*full)->RunInlj().qps();
+  const double full_qps = (*full)->RunInlj().value().qps();
 
   cfg.inlj.probe_filter_selectivity = 0.25;
   auto filtered = Experiment::Create(cfg);
   ASSERT_TRUE(filtered.ok());
-  const double filtered_qps = (*filtered)->RunInlj().qps();
+  const double filtered_qps = (*filtered)->RunInlj().value().qps();
 
   EXPECT_GT(filtered_qps, full_qps);        // less work overall...
   EXPECT_LT(filtered_qps, 3.5 * full_qps);  // ...but not 4x (divergence)
@@ -208,7 +274,7 @@ TEST(FilterDivergence, ZeroSelectivityProducesNoResults) {
   cfg.inlj.probe_filter_selectivity = 0.0;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  EXPECT_EQ((*exp)->RunInlj().result_tuples, 0u);
+  EXPECT_EQ((*exp)->RunInlj().value().result_tuples, 0u);
 }
 
 }  // namespace

@@ -24,7 +24,7 @@ double InljQps(ExperimentConfig cfg, index::IndexType type,
   cfg.inlj.mode = mode;
   auto exp = Experiment::Create(cfg);
   GPUJOIN_CHECK(exp.ok()) << exp.status().ToString();
-  return (*exp)->RunInlj().qps();
+  return (*exp)->RunInlj().value().qps();
 }
 
 // Sec. 3.3.1: "The INLJ does not outperform the hash join, even at the
@@ -42,7 +42,7 @@ TEST(PaperClaims, NaiveInljLosesToHashJoin) {
       cfg.inlj.mode = InljConfig::PartitionMode::kNone;
       auto exp = Experiment::Create(cfg);
       ASSERT_TRUE(exp.ok());
-      const double inlj = (*exp)->RunInlj().qps();
+      const double inlj = (*exp)->RunInlj().value().qps();
       const double hj = (*exp)->RunHashJoin().value().qps();
       EXPECT_LT(inlj, hj)
           << index::IndexTypeName(type) << " at R = " << r;
@@ -70,7 +70,7 @@ TEST(PaperClaims, PartitionedInljBeatsHashJoinAtScale) {
   cfg.inlj.mode = InljConfig::PartitionMode::kWindowed;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  const double inlj = (*exp)->RunInlj().qps();
+  const double inlj = (*exp)->RunInlj().value().qps();
   const double hj = (*exp)->RunHashJoin().value().qps();
   EXPECT_GT(inlj, 3.0 * hj);
   EXPECT_LT(inlj, 30.0 * hj);  // and not absurdly beyond the paper's band
@@ -118,7 +118,7 @@ TEST(PaperClaims, WindowSizeIsForgiving) {
     cfg.inlj.window_tuples = uint64_t{1} << log_w;
     auto exp = Experiment::Create(cfg);
     ASSERT_TRUE(exp.ok());
-    const double qps = (*exp)->RunInlj().qps();
+    const double qps = (*exp)->RunInlj().value().qps();
     best = std::max(best, qps);
     if (log_w >= 19 && log_w <= 23) {  // 4-64 MiB
       in_range_worst = std::min(in_range_worst, qps);
@@ -153,7 +153,7 @@ TEST(PaperClaims, CrossoverMovesRightOnPcie) {
       cfg.inlj.mode = InljConfig::PartitionMode::kWindowed;
       auto exp = Experiment::Create(cfg);
       if (!exp.ok()) break;
-      const double inlj = (*exp)->RunInlj().qps();
+      const double inlj = (*exp)->RunInlj().value().qps();
       const double hj = (*exp)->RunHashJoin().value().qps();
       if (inlj > hj) return r;
       (void)r;
@@ -176,7 +176,7 @@ TEST(PaperClaims, IndexReducesTransferVolume) {
   cfg.inlj.mode = InljConfig::PartitionMode::kWindowed;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  sim::RunResult inlj = (*exp)->RunInlj();
+  sim::RunResult inlj = (*exp)->RunInlj().value();
   sim::RunResult hj = (*exp)->RunHashJoin().value();
   EXPECT_GT(static_cast<double>(hj.counters.interconnect_bytes()) /
                 static_cast<double>(inlj.counters.interconnect_bytes()),

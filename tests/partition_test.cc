@@ -19,7 +19,7 @@ TEST(PlanPartitionBits, PaperDefaultIs2048Partitions) {
   mem::AddressSpace space;
   // 2^30 dense keys: key bits = 30 -> 11 partition bits at shift 19.
   DenseKeyColumn col(&space, uint64_t{1} << 30);
-  RadixPartitionSpec spec = PlanPartitionBits(col);
+  RadixPartitionSpec spec = PlanPartitionBits(col).value();
   EXPECT_EQ(spec.num_partitions(), 2048u);
   EXPECT_EQ(spec.shift, 30 - 11);
 }
@@ -27,7 +27,7 @@ TEST(PlanPartitionBits, PaperDefaultIs2048Partitions) {
 TEST(PlanPartitionBits, SmallDomainsIgnoreLsb) {
   mem::AddressSpace space;
   DenseKeyColumn col(&space, 256);  // key bits = 8
-  RadixPartitionSpec spec = PlanPartitionBits(col, 11, 4);
+  RadixPartitionSpec spec = PlanPartitionBits(col, 11, 4).value();
   EXPECT_EQ(spec.bits, 4);  // 8 - 4 LSBs
   EXPECT_EQ(spec.shift, 4);
 }
@@ -58,8 +58,10 @@ TEST_F(RadixPartitionerTest, OutputIsPartitionOrderedAndStable) {
       space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "src");
 
   sim::KernelRun run{"p", {}};
-  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
-                                              src.base, 100, &run);
+  PartitionedKeys out =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 100, &run)
+          .value();
 
   ASSERT_EQ(out.keys.size(), keys.size());
   ASSERT_EQ(out.offsets.size(), spec.num_partitions() + 1u);
@@ -93,8 +95,10 @@ TEST_F(RadixPartitionerTest, PreservesMultiset) {
   for (auto& k : keys) k = static_cast<Key>(rng.NextBounded(1 << 6));
   mem::Region src =
       space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "src");
-  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
-                                              src.base, 0, nullptr);
+  PartitionedKeys out =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 0, nullptr)
+          .value();
   std::vector<Key> a = keys;
   std::vector<Key> b(out.keys.begin(), out.keys.end());
   std::sort(a.begin(), a.end());
@@ -112,11 +116,15 @@ TEST_F(RadixPartitionerTest, ChargesStageInForHostSources) {
       space_.Reserve(keys.size() * 8, mem::MemKind::kDevice, "ds");
 
   sim::KernelRun host_run{"h", {}};
-  partitioner.Partition(gpu_, keys.data(), keys.size(), host_src.base, 0,
-                        &host_run);
+  ASSERT_TRUE(partitioner
+                  .Partition(gpu_, keys.data(), keys.size(), host_src.base,
+                             0, &host_run)
+                  .ok());
   sim::KernelRun dev_run{"d", {}};
-  partitioner.Partition(gpu_, keys.data(), keys.size(), dev_src.base, 0,
-                        &dev_run);
+  ASSERT_TRUE(partitioner
+                  .Partition(gpu_, keys.data(), keys.size(), dev_src.base,
+                             0, &dev_run)
+                  .ok());
 
   EXPECT_EQ(host_run.counters.host_seq_read_bytes, keys.size() * 8);
   EXPECT_EQ(dev_run.counters.host_seq_read_bytes, 0u);
@@ -128,12 +136,94 @@ TEST_F(RadixPartitionerTest, PartitionedOutputLivesInDeviceMemory) {
   RadixPartitioner partitioner(spec);
   std::vector<Key> keys(64, 1);
   mem::Region src = space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
-  PartitionedKeys out = partitioner.Partition(gpu_, keys.data(), keys.size(),
-                                              src.base, 0, nullptr);
+  PartitionedKeys out =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 0, nullptr)
+          .value();
   EXPECT_EQ(space_.KindOf(out.tuple_addr(0)), mem::MemKind::kDevice);
   EXPECT_EQ(space_.KindOf(out.tuple_addr(keys.size() - 1)),
             mem::MemKind::kDevice);
   EXPECT_EQ(out.region.size, keys.size() * 16);
+}
+
+// --- Bucket overflow under skew (PartitionOptions) ---------------------
+
+// A heavily skewed input: nearly all keys land in one partition, so any
+// single-pass bucket sizing (bucket_slack > 0) must overflow it.
+std::vector<Key> SkewedKeys(size_t n) {
+  std::vector<Key> keys(n, 7);  // partition 7>>0 under bits=4
+  for (size_t i = 0; i < n / 16; ++i) keys[i * 16] = 16 + (i % 15) * 16;
+  return keys;
+}
+
+TEST_F(RadixPartitionerTest, ZeroSlackNeverSpills) {
+  const RadixPartitionSpec spec{.bits = 4, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys = SkewedKeys(4096);
+  mem::Region src = space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
+  PartitionedKeys out =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 0, nullptr)
+          .value();
+  EXPECT_EQ(out.spilled_tuples, 0u);
+  EXPECT_EQ(out.spill_buckets, 0u);
+  EXPECT_EQ(out.spill_region.size, 0u);
+}
+
+TEST_F(RadixPartitionerTest, ForcedOverflowSpillsWithoutChangingOutput) {
+  const RadixPartitionSpec spec{.bits = 4, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys = SkewedKeys(4096);
+  mem::Region src = space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
+
+  PartitionedKeys exact =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 0, nullptr)
+          .value();
+
+  PartitionOptions opts;
+  opts.bucket_slack = 1.5;  // avg * 1.5 per bucket; the hot one overflows
+  sim::KernelRun run{"p", {}};
+  PartitionedKeys spilled =
+      partitioner
+          .Partition(gpu_, keys.data(), keys.size(), src.base, 0, &run, opts)
+          .value();
+
+  EXPECT_GT(spilled.spilled_tuples, 0u);
+  EXPECT_GT(spilled.spill_buckets, 0u);
+  EXPECT_GT(spilled.spill_region.size, 0u);
+  // Spilling is a placement/cost concern: the functional output is the
+  // same partition-ordered stable sequence.
+  EXPECT_EQ(spilled.keys, exact.keys);
+  EXPECT_EQ(spilled.row_ids, exact.row_ids);
+  EXPECT_EQ(spilled.offsets, exact.offsets);
+  // The chained buckets cost extra HBM traffic.
+  EXPECT_GT(run.counters.hbm_bytes(), 0u);
+}
+
+TEST_F(RadixPartitionerTest, FailStopOverflowReturnsResourceExhausted) {
+  const RadixPartitionSpec spec{.bits = 4, .shift = 0};
+  RadixPartitioner partitioner(spec);
+  std::vector<Key> keys = SkewedKeys(4096);
+  mem::Region src = space_.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
+
+  PartitionOptions opts;
+  opts.bucket_slack = 1.5;
+  opts.spill_on_overflow = false;
+  auto res = partitioner.Partition(gpu_, keys.data(), keys.size(), src.base,
+                                   0, nullptr, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(RadixPartitionerTest, EmptyInputIsInvalid) {
+  RadixPartitioner partitioner(RadixPartitionSpec{.bits = 2, .shift = 0});
+  std::vector<Key> keys(1, 0);
+  mem::Region src = space_.Reserve(8, mem::MemKind::kHost, "s");
+  auto res =
+      partitioner.Partition(gpu_, keys.data(), 0, src.base, 0, nullptr);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(RadixPartitionerTest, ImprovesKeyLocality) {
@@ -142,7 +232,7 @@ TEST_F(RadixPartitionerTest, ImprovesKeyLocality) {
   mem::AddressSpace space;
   sim::Gpu gpu(&space, sim::V100NvLink2());
   DenseKeyColumn col(&space, uint64_t{1} << 24);
-  RadixPartitionSpec spec = PlanPartitionBits(col);
+  RadixPartitionSpec spec = PlanPartitionBits(col).value();
   RadixPartitioner partitioner(spec);
 
   std::vector<Key> keys(1 << 14);
@@ -152,8 +242,9 @@ TEST_F(RadixPartitionerTest, ImprovesKeyLocality) {
   }
   mem::Region src = space.Reserve(keys.size() * 8, mem::MemKind::kHost, "s");
   PartitionedKeys out =
-      partitioner.Partition(gpu, keys.data(), keys.size(), src.base, 0,
-                            nullptr);
+      partitioner
+          .Partition(gpu, keys.data(), keys.size(), src.base, 0, nullptr)
+          .value();
 
   auto window_span = [](const std::vector<Key>& v, size_t i, size_t w) {
     Key lo = v[i];

@@ -27,7 +27,7 @@ ExperimentConfig AnchorConfig(index::IndexType type) {
 double WindowedQps(index::IndexType type) {
   auto exp = Experiment::Create(AnchorConfig(type));
   GPUJOIN_CHECK(exp.ok()) << exp.status().ToString();
-  return (*exp)->RunInlj().qps();
+  return (*exp)->RunInlj().value().qps();
 }
 
 // Paper Sec. 4.3.1 anchors at 111 GiB: 0.6 / 0.7 / 1.0 / 1.9 Q/s, hash
@@ -67,7 +67,7 @@ TEST(GoldenBands, NaiveBinarySearchTranslationsAtAnchor) {
   cfg.s_sample = uint64_t{1} << 15;
   auto exp = Experiment::Create(cfg);
   ASSERT_TRUE(exp.ok());
-  const double tr = (*exp)->RunInlj().translations_per_key();
+  const double tr = (*exp)->RunInlj().value().translations_per_key();
   EXPECT_GT(tr, 10.0);
   EXPECT_LT(tr, 40.0);
 }
@@ -83,8 +83,8 @@ TEST(GoldenBands, HarmoniaTranslationsBelowBinary) {
   cfg.index_type = index::IndexType::kBinarySearch;
   auto binary = Experiment::Create(cfg);
   ASSERT_TRUE(binary.ok());
-  EXPECT_LT((*harmonia)->RunInlj().translations_per_key() * 3,
-            (*binary)->RunInlj().translations_per_key());
+  EXPECT_LT((*harmonia)->RunInlj().value().translations_per_key() * 3,
+            (*binary)->RunInlj().value().translations_per_key());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstring>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/experiment.h"
@@ -68,6 +69,38 @@ TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
   pool.Submit([&ran] { ran = true; });
   pool.Wait();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ThrowingTaskSurfacesFirstErrorThroughWait) {
+  util::ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, TasksAfterFailureAreDrainedNotRun) {
+  // One worker serializes the queue, so the throwing task is observed
+  // before the later submissions are dequeued — they must be drained
+  // (Wait returns) without executing.
+  util::ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("first failure"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("first failure"), std::string::npos);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsCaptured) {
+  util::ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  Status s = pool.Wait();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown exception"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
@@ -193,6 +226,38 @@ TEST(SweepRunnerTest, SingleThreadRunsInlineAtSubmitTime) {
   runner.Finish();
 }
 
+TEST(SweepRunnerTest, InlineCellFailureSkipsLaterCellsAndReports) {
+  core::SweepRunner runner(1);
+  int ran = 0;
+  runner.Submit([&] { ++ran; });
+  runner.Submit([]() -> void { throw std::runtime_error("cell exploded"); });
+  runner.Submit([&] { ++ran; });  // skipped: a cell already failed
+  Status s = runner.Finish();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cell exploded"), std::string::npos);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SweepRunnerTest, TryRunSweepReturnsErrorForThrowingCell) {
+  std::vector<std::function<int()>> cells;
+  cells.push_back([] { return 1; });
+  cells.push_back([]() -> int { throw std::runtime_error("bad cell"); });
+  cells.push_back([] { return 3; });
+  for (int threads : {1, 4}) {
+    auto result = core::TryRunSweep(threads, cells);
+    ASSERT_FALSE(result.ok()) << "threads " << threads;
+    EXPECT_NE(result.status().message().find("bad cell"), std::string::npos);
+  }
+}
+
+TEST(SweepRunnerTest, TryRunSweepSucceedsWithCleanCells) {
+  std::vector<std::function<int()>> cells;
+  for (int i = 0; i < 10; ++i) cells.push_back([i] { return 2 * i; });
+  auto result = core::TryRunSweep(4, cells);
+  ASSERT_TRUE(result.ok());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(result.value()[i], 2 * i);
+}
+
 bool SameCounters(const sim::CounterSet& a, const sim::CounterSet& b) {
   return std::memcmp(&a, &b, sizeof(sim::CounterSet)) == 0;
 }
@@ -212,7 +277,7 @@ std::vector<sim::CounterSet> RunGrid(int threads, uint64_t seed) {
         cfg.seed = seed;
         cfg.index_type = type;
         auto exp = core::Experiment::Create(cfg);
-        return (*exp)->RunInlj().counters;
+        return (*exp)->RunInlj().value().counters;
       });
     }
   }

@@ -191,6 +191,56 @@ TEST(Flags, RejectsBadInt) {
   EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
 }
 
+TEST(Flags, BoundedIntRejectsOutOfRangeNamingTheFlag) {
+  Flags flags;
+  flags.DefineInt64("threads", 0, "workers", /*min=*/0, /*max=*/4096);
+  const char* low[] = {"prog", "--threads=-2"};
+  Status s = flags.Parse(2, const_cast<char**>(low));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--threads=-2"), std::string::npos);
+  EXPECT_NE(s.message().find("out of range"), std::string::npos);
+
+  const char* high[] = {"prog", "--threads=5000"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(high)).ok());
+
+  const char* ok[] = {"prog", "--threads=8"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(ok)).ok());
+  EXPECT_EQ(flags.GetInt64("threads"), 8);
+}
+
+TEST(Flags, BoundedIntAcceptsBoundaryValues) {
+  Flags flags;
+  flags.DefineInt64("window", 32, "tuples", /*min=*/32, /*max=*/1024);
+  const char* min[] = {"prog", "--window=32"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(min)).ok());
+  const char* max[] = {"prog", "--window=1024"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(max)).ok());
+  const char* below[] = {"prog", "--window=31"};  // below one warp
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(below)).ok());
+}
+
+TEST(Flags, BoundedDoubleRejectsOutOfRange) {
+  Flags flags;
+  flags.DefineDouble("rate", 0.0, "fault rate", /*min=*/0.0, /*max=*/1.0);
+  const char* bad[] = {"prog", "--rate=1.5"};
+  Status s = flags.Parse(2, const_cast<char**>(bad));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("--rate=1.5"), std::string::npos);
+  const char* ok[] = {"prog", "--rate=0.25"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(ok)).ok());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+}
+
+TEST(Flags, RejectsIntOverflow) {
+  Flags flags;
+  flags.DefineInt64("n", 0, "count");
+  const char* argv[] = {"prog", "--n=99999999999999999999999"};
+  Status s = flags.Parse(2, const_cast<char**>(argv));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 // --- table printer ----------------------------------------------------
 
 TEST(TablePrinter, FormatsNumbers) {
