@@ -17,6 +17,7 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
@@ -27,9 +28,10 @@ int Main(int argc, char** argv) {
   // windowed run and the BEP bucket sweep and returns its block of rows.
   std::vector<std::function<std::vector<std::vector<std::string>>()>>
       cells;
+  uint64_t ci = 0;
   for (index::IndexType type : {index::IndexType::kHarmonia,
                                 index::IndexType::kRadixSpline}) {
-    cells.push_back([&flags, r_tuples, type] {
+    cells.push_back([&flags, &sink, ci, r_tuples, type] {
       std::vector<std::vector<std::string>> rows;
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.index_type = type;
@@ -37,7 +39,13 @@ int Main(int argc, char** argv) {
       cfg.inlj.window_tuples = uint64_t{4} << 20;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return rows;
+      MaybeObserve(sink, **exp);
       sim::RunResult windowed = (*exp)->RunInlj().value();
+      {
+        obs::RecordBuilder rec = StartRecord("ablation_best_effort", cfg);
+        rec.AddParam("strategy", "windowed");
+        EmitRun(sink, ci * 8, std::move(rec), windowed, exp->get());
+      }
       rows.push_back(
           {std::string("windowed/") + index::IndexTypeName(type),
            "32 MiB", TablePrinter::Num(windowed.qps(), 3),
@@ -46,12 +54,20 @@ int Main(int argc, char** argv) {
            FormatCount(
                static_cast<double>(windowed.counters.kernel_launches))});
 
+      uint64_t sub = 1;
       for (uint32_t bucket : {512u, 2048u, 8192u}) {
         core::BestEffortConfig bep;
         bep.bucket_tuples = bucket;
         (*exp)->gpu().memory().ClearHardwareState();
         sim::RunResult res = core::BestEffortInlj::Run(
             (*exp)->gpu(), (*exp)->index(), (*exp)->s(), bep);
+        // Emitted without the experiment: the trace/timeline accumulate
+        // across the whole cell, so per-run attribution is only valid for
+        // the run the Experiment itself drove.
+        obs::RecordBuilder rec = StartRecord("ablation_best_effort", cfg);
+        rec.AddParam("strategy", "best_effort");
+        rec.AddParam("bucket_tuples", uint64_t{bucket});
+        EmitRun(sink, ci * 8 + sub++, std::move(rec), res);
         rows.push_back(
             {std::string("best-effort/") + index::IndexTypeName(type),
              std::to_string(bucket) + " t/bucket",
@@ -63,6 +79,7 @@ int Main(int argc, char** argv) {
       }
       return rows;
     });
+    ++ci;
   }
   for (auto& rows : core::RunSweep(SweepThreads(flags), cells)) {
     for (auto& row : rows) table.AddRow(std::move(row));
@@ -71,6 +88,7 @@ int Main(int argc, char** argv) {
   std::printf("Related work — best-effort partitioning [12] vs windowed "
               "partitioning, R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -10,14 +10,16 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"node bytes", "tree height", "Q/s",
                       "host random read"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint32_t node_bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
-    cells.push_back([&flags, r_tuples, node_bytes] {
+    cells.push_back([&flags, &sink, ci, r_tuples, node_bytes] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.index_type = index::IndexType::kBTree;
       cfg.btree.node_bytes = node_bytes;
@@ -28,15 +30,21 @@ int Main(int argc, char** argv) {
         return std::vector<std::string>{std::to_string(node_bytes), "-",
                                         "OOM", "-"};
       }
+      MaybeObserve(sink, **exp);
       const auto& btree =
           static_cast<const index::BTreeIndex&>((*exp)->index());
       sim::RunResult res = (*exp)->RunInlj().value();
+      obs::RecordBuilder rec = StartRecord("ablation_btree_node", cfg);
+      rec.AddParam("node_bytes", uint64_t{node_bytes});
+      rec.AddParam("tree_height", btree.height());
+      EmitRun(sink, ci, std::move(rec), res, exp->get());
       return std::vector<std::string>{
           std::to_string(node_bytes), std::to_string(btree.height()),
           TablePrinter::Num(res.qps(), 3),
           FormatBytes(
               static_cast<double>(res.counters.host_random_read_bytes))};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -44,6 +52,7 @@ int Main(int argc, char** argv) {
 
   std::printf("Ablation — B+tree node size, windowed INLJ, R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -60,6 +60,7 @@ std::string RateStr(double rate) {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   // Fault-free baseline for the "% of fault-free" column.
   double baseline_qps = 0;
@@ -69,7 +70,13 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", exp.status().ToString().c_str());
       return 1;
     }
-    baseline_qps = (*exp)->RunInlj().value().qps();
+    MaybeObserve(sink, **exp);
+    const sim::RunResult baseline = (*exp)->RunInlj().value();
+    baseline_qps = baseline.qps();
+    obs::RecordBuilder rec =
+        StartRecord("ablation_fault_recovery", BaseConfig(flags));
+    rec.AddParam("policy", "baseline");
+    EmitRun(sink, 0, std::move(rec), baseline, exp->get());
   }
 
   // --- fault rate x recovery policy -----------------------------------
@@ -77,19 +84,37 @@ int Main(int argc, char** argv) {
                            "faults", "retries", "backoff ms",
                            "degraded MiB", "fail-stop Q/s"});
   std::vector<std::function<std::vector<std::string>()>> rate_cells;
+  uint64_t ci = 0;
   for (double rate : {0.0, 1e-5, 1e-4, 1e-3}) {
-    rate_cells.push_back([&flags, baseline_qps, rate] {
+    rate_cells.push_back([&flags, &sink, ci, baseline_qps, rate] {
       core::ExperimentConfig graceful = BaseConfig(flags);
       graceful.fault = FaultAt(rate);
       auto exp = core::Experiment::Create(graceful);
+      MaybeObserve(sink, **exp);
       sim::RunResult res = (*exp)->RunInlj().value();
+      {
+        obs::RecordBuilder rec = StartRecord("ablation_fault_recovery",
+                                             graceful);
+        rec.AddParam("policy", "graceful");
+        rec.AddParam("fault_rate", rate);
+        EmitRun(sink, 10 + ci * 4, std::move(rec), res, exp->get());
+      }
 
       core::ExperimentConfig failstop = BaseConfig(flags);
       failstop.fault = FaultAt(rate);
       failstop.fault.max_retries = 0;  // first transient fault is fatal
       failstop.inlj.recovery = core::RecoveryPolicy::FailStop();
       auto fs_exp = core::Experiment::Create(failstop);
+      MaybeObserve(sink, **fs_exp);
       auto fs = (*fs_exp)->RunInlj();
+      if (fs.ok()) {
+        obs::RecordBuilder rec = StartRecord("ablation_fault_recovery",
+                                             failstop);
+        rec.AddParam("policy", "fail_stop");
+        rec.AddParam("fault_rate", rate);
+        EmitRun(sink, 10 + ci * 4 + 1, std::move(rec), fs.value(),
+                fs_exp->get());
+      }
 
       const sim::CounterSet& c = res.counters;
       return std::vector<std::string>{
@@ -105,6 +130,7 @@ int Main(int argc, char** argv) {
                             1),
           QpsOrAbort(fs)};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), rate_cells)) {
     rate_table.AddRow(std::move(row));
@@ -118,22 +144,49 @@ int Main(int argc, char** argv) {
                            "spilled tuples", "spill buckets",
                            "fail-stop Q/s"});
   std::vector<std::function<std::vector<std::string>()>> skew_cells;
+  uint64_t si = 0;
   for (double zipf : {0.0, 1.75}) {
-    skew_cells.push_back([&flags, zipf] {
+    skew_cells.push_back([&flags, &sink, si, zipf] {
       core::ExperimentConfig exact = BaseConfig(flags);
       exact.zipf_exponent = zipf;
       auto exact_exp = core::Experiment::Create(exact);
+      MaybeObserve(sink, **exact_exp);
       sim::RunResult exact_res = (*exact_exp)->RunInlj().value();
+      {
+        obs::RecordBuilder rec = StartRecord("ablation_fault_recovery",
+                                             exact);
+        rec.AddParam("policy", "exact");
+        EmitRun(sink, 100 + si * 4, std::move(rec), exact_res,
+                exact_exp->get());
+      }
 
       core::ExperimentConfig spill = exact;
       spill.inlj.bucket_slack = 1.25;
       auto spill_exp = core::Experiment::Create(spill);
+      MaybeObserve(sink, **spill_exp);
       sim::RunResult spill_res = (*spill_exp)->RunInlj().value();
+      {
+        obs::RecordBuilder rec = StartRecord("ablation_fault_recovery",
+                                             spill);
+        rec.AddParam("policy", "spill");
+        rec.AddParam("bucket_slack", spill.inlj.bucket_slack);
+        EmitRun(sink, 100 + si * 4 + 1, std::move(rec), spill_res,
+                spill_exp->get());
+      }
 
       core::ExperimentConfig failstop = spill;
       failstop.inlj.recovery = core::RecoveryPolicy::FailStop();
       auto fs_exp = core::Experiment::Create(failstop);
+      MaybeObserve(sink, **fs_exp);
       auto fs = (*fs_exp)->RunInlj();
+      if (fs.ok()) {
+        obs::RecordBuilder rec = StartRecord("ablation_fault_recovery",
+                                             failstop);
+        rec.AddParam("policy", "fail_stop");
+        rec.AddParam("bucket_slack", failstop.inlj.bucket_slack);
+        EmitRun(sink, 100 + si * 4 + 2, std::move(rec), fs.value(),
+                fs_exp->get());
+      }
 
       return std::vector<std::string>{
           TablePrinter::Num(zipf, 2),
@@ -143,6 +196,7 @@ int Main(int argc, char** argv) {
           std::to_string(spill_res.spill_buckets),
           QpsOrAbort(fs)};
     });
+    ++si;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), skew_cells)) {
     skew_table.AddRow(std::move(row));
@@ -158,6 +212,7 @@ int Main(int argc, char** argv) {
               "(retries, backoff,\ndegraded bandwidth) and keeps the join "
               "exact; fail-stop loses the query\nto the first "
               "unrecovered fault.\n");
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -15,14 +15,16 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"filter keeps", "Q/s", "result tuples",
                       "interconnect", "Mlookups/s effective"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (double selectivity : {1.0, 0.5, 0.25, 0.1, 0.05, 0.01}) {
-    cells.push_back([&flags, r_tuples, selectivity] {
+    cells.push_back([&flags, &sink, ci, r_tuples, selectivity] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.index_type = index::IndexType::kRadixSpline;
       cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
@@ -30,7 +32,11 @@ int Main(int argc, char** argv) {
       cfg.inlj.probe_filter_selectivity = selectivity;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return std::vector<std::string>{};
+      MaybeObserve(sink, **exp);
       sim::RunResult res = (*exp)->RunInlj().value();
+      obs::RecordBuilder rec = StartRecord("ablation_filter_divergence", cfg);
+      rec.AddParam("probe_filter_selectivity", selectivity);
+      EmitRun(sink, ci, std::move(rec), res, exp->get());
       return std::vector<std::string>{
           TablePrinter::Num(100 * selectivity, 0) + "%",
           TablePrinter::Num(res.qps(), 3),
@@ -41,6 +47,7 @@ int Main(int argc, char** argv) {
                                 res.seconds / 1e6,
                             1)};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     if (!row.empty()) table.AddRow(std::move(row));
@@ -49,6 +56,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — filter divergence on the probe side, RadixSpline "
               "windowed INLJ, R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

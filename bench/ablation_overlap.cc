@@ -12,14 +12,16 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"window (MiB)", "overlapped Q/s", "serial Q/s",
                       "speedup"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (int log_w = 18; log_w <= 26; log_w += 2) {
-    cells.push_back([&flags, r_tuples, log_w] {
+    cells.push_back([&flags, &sink, ci, r_tuples, log_w] {
       const uint64_t window = uint64_t{1} << log_w;
       double qps[2] = {0, 0};
       for (int overlap = 0; overlap < 2; ++overlap) {
@@ -30,13 +32,21 @@ int Main(int argc, char** argv) {
         cfg.inlj.overlap = overlap == 1;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) continue;
-        qps[overlap] = (*exp)->RunInlj().value().qps();
+        MaybeObserve(sink, **exp);
+        const sim::RunResult res = (*exp)->RunInlj().value();
+        qps[overlap] = res.qps();
+        obs::RecordBuilder rec = StartRecord("ablation_overlap", cfg);
+        rec.AddParam("window_tuples", cfg.inlj.window_tuples);
+        rec.AddParam("overlap", cfg.inlj.overlap);
+        EmitRun(sink, ci * 2 + static_cast<uint64_t>(overlap),
+                std::move(rec), res, exp->get());
       }
       return std::vector<std::string>{
           TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),
           TablePrinter::Num(qps[1], 3), TablePrinter::Num(qps[0], 3),
           TablePrinter::Num(qps[1] / qps[0], 2) + "x"};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -45,6 +55,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — concurrent kernel execution (transfer/compute "
               "overlap), RadixSpline INLJ, R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

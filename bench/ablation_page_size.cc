@@ -12,15 +12,17 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"page size", "mode", "binary Q/s", "binary tr/key"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint64_t page : {uint64_t{2} * kMiB, uint64_t{64} * kMiB, kGiB}) {
     for (auto mode : {core::InljConfig::PartitionMode::kNone,
                       core::InljConfig::PartitionMode::kWindowed}) {
-      cells.push_back([&flags, r_tuples, page, mode] {
+      cells.push_back([&flags, &sink, ci, r_tuples, page, mode] {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
         cfg.index_type = index::IndexType::kBinarySearch;
         cfg.host_page_size = page;
@@ -28,13 +30,18 @@ int Main(int argc, char** argv) {
         cfg.inlj.window_tuples = uint64_t{4} << 20;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) return std::vector<std::string>{};
+        MaybeObserve(sink, **exp);
         sim::RunResult res = (*exp)->RunInlj().value();
+        obs::RecordBuilder rec = StartRecord("ablation_page_size", cfg);
+        rec.AddParam("host_page_size", cfg.host_page_size);
+        EmitRun(sink, ci, std::move(rec), res, exp->get());
         return std::vector<std::string>{
             FormatBytes(static_cast<double>(page)),
             core::PartitionModeName(mode),
             TablePrinter::Num(res.qps(), 3),
             TablePrinter::Num(res.translations_per_key(), 3)};
       });
+      ++ci;
     }
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
@@ -44,6 +51,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — host huge-page size (TLB coverage held at "
               "32 GiB), R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

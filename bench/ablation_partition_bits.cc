@@ -17,15 +17,18 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"partitions", "binary Q/s", "binary tr/key",
                       "radix_spline Q/s", "radix_spline tr/key"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (int bits = 1; bits <= 13; bits += 2) {
-    cells.push_back([&flags, r_tuples, bits] {
+    cells.push_back([&flags, &sink, ci, r_tuples, bits] {
       std::vector<std::string> row{std::to_string(uint64_t{1} << bits)};
+      uint64_t sub = 0;
       for (index::IndexType type : {index::IndexType::kBinarySearch,
                                     index::IndexType::kRadixSpline}) {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
@@ -36,13 +39,21 @@ int Main(int argc, char** argv) {
         cfg.sample_scheme =
             core::ExperimentConfig::SampleSchemeOverride::kThinned;
         auto exp = core::Experiment::Create(cfg);
-        if (!exp.ok()) continue;
+        if (!exp.ok()) {
+          ++sub;
+          continue;
+        }
+        MaybeObserve(sink, **exp);
         sim::RunResult res = (*exp)->RunInlj().value();
         row.push_back(TablePrinter::Num(res.qps(), 3));
         row.push_back(TablePrinter::Num(res.translations_per_key(), 3));
+        obs::RecordBuilder rec = StartRecord("ablation_partition_bits", cfg);
+        rec.AddParam("max_partition_bits", bits);
+        EmitRun(sink, ci * 2 + sub++, std::move(rec), res, exp->get());
       }
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -51,6 +62,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — radix partition count, windowed INLJ, "
               "R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -27,6 +27,7 @@ using workload::Key;
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
@@ -52,7 +53,10 @@ int Main(int argc, char** argv) {
                       "end-to-end Q/s", "translations/key"});
 
   // Runs the join kernel over `keys` (with row ids) living at `region`,
-  // after charging `reorder_seconds` of preprocessing.
+  // after charging `reorder_seconds` of preprocessing. This bench drives
+  // the kernel directly (no core::Experiment run), so the JSON record is
+  // assembled from a hand-built RunResult; order_key follows call order.
+  uint64_t order_key = 0;
   auto run_case = [&](const char* label, const std::vector<Key>& keys,
                       const std::vector<uint64_t>& rows,
                       mem::VirtAddr addr, double reorder_seconds) {
@@ -66,6 +70,20 @@ int Main(int argc, char** argv) {
     join.counters = join.counters.Scaled(scale);
     const double t_join = gpu.TimeOf(join);
     const double total = t_join + reorder_seconds;
+    if (sink.active()) {
+      sim::RunResult res;
+      res.label = label;
+      res.seconds = total;
+      res.counters = join.counters;
+      res.probe_tuples = s.full_size;
+      if (reorder_seconds > 0) res.AddStage("reorder", reorder_seconds);
+      res.AddStage("join", t_join);
+      obs::RecordBuilder rec = StartRecord("ablation_sorted_keys", cfg);
+      rec.AddParam("probe_order", label);
+      rec.metrics().SetScalar("reorder_seconds", reorder_seconds, "s");
+      rec.metrics().SetScalar("join_seconds", t_join, "s");
+      EmitRun(sink, order_key++, std::move(rec), res);
+    }
     table.AddRow({label,
                   reorder_seconds > 0
                       ? FormatSeconds(reorder_seconds)
@@ -128,6 +146,7 @@ int Main(int argc, char** argv) {
   std::printf("\nSorting and partitioning both restore TLB locality; "
               "partitioning gets there\nmoving each tuple once instead of "
               "eight times.\n");
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -19,27 +19,34 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
   TablePrinter table({"sub-warp width", "Q/s", "host random read",
                       "translations/key"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (int width : {1, 2, 4, 8, 16, 32}) {
-    cells.push_back([&flags, r_tuples, width] {
+    cells.push_back([&flags, &sink, ci, r_tuples, width] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.index_type = index::IndexType::kHarmonia;
       cfg.harmonia.sub_warp_width = width;
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
       auto exp = core::Experiment::Create(cfg);
       if (!exp.ok()) return std::vector<std::string>{};
+      MaybeObserve(sink, **exp);
       sim::RunResult res = (*exp)->RunInlj().value();
+      obs::RecordBuilder rec = StartRecord("ablation_subwarp", cfg);
+      rec.AddParam("sub_warp_width", width);
+      EmitRun(sink, ci, std::move(rec), res, exp->get());
       return std::vector<std::string>{
           std::to_string(width), TablePrinter::Num(res.qps(), 3),
           FormatBytes(
               static_cast<double>(res.counters.host_random_read_bytes)),
           TablePrinter::Num(res.translations_per_key(), 3)};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     if (!row.empty()) table.AddRow(std::move(row));
@@ -48,6 +55,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — Harmonia sub-warp width, unpartitioned INLJ, "
               "R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -13,15 +13,18 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;  // beyond 32 GiB
 
   TablePrinter table({"co-resident warps", "binary tr/key", "binary Q/s",
                       "harmonia tr/key", "harmonia Q/s"});
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (int warps : {0, 4, 16, 64, 256}) {
-    cells.push_back([&flags, r_tuples, warps] {
+    cells.push_back([&flags, &sink, ci, r_tuples, warps] {
       std::vector<std::string> row{std::to_string(warps)};
+      uint64_t sub = 0;
       for (index::IndexType type : {index::IndexType::kBinarySearch,
                                     index::IndexType::kHarmonia}) {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
@@ -29,13 +32,21 @@ int Main(int argc, char** argv) {
         cfg.platform.gpu.tlb_co_resident_warps = warps;
         cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
         auto exp = core::Experiment::Create(cfg);
-        if (!exp.ok()) continue;
+        if (!exp.ok()) {
+          ++sub;
+          continue;
+        }
+        MaybeObserve(sink, **exp);
         sim::RunResult res = (*exp)->RunInlj().value();
         row.push_back(TablePrinter::Num(res.translations_per_key(), 2));
         row.push_back(TablePrinter::Num(res.qps(), 3));
+        obs::RecordBuilder rec = StartRecord("ablation_tlb_model", cfg);
+        rec.AddParam("tlb_co_resident_warps", warps);
+        EmitRun(sink, ci * 2 + sub++, std::move(rec), res, exp->get());
       }
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -44,6 +55,7 @@ int Main(int argc, char** argv) {
   std::printf("Ablation — TLB co-resident-warp interference model, naive "
               "INLJ, R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -1,13 +1,18 @@
 #ifndef GPUJOIN_BENCH_BENCH_COMMON_H_
 #define GPUJOIN_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "obs/emitter.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
 #include "util/units.h"
@@ -58,6 +63,9 @@ inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
                     "simulated probe sample size (tuples)",
                     /*min=*/32, /*max=*/int64_t{1} << 40);
   flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
+  flags.DefineString("json", "",
+                     "also emit one JSON record per sweep point (JSON "
+                     "Lines) to this path; see scripts/validate_metrics.py");
   flags.DefineInt64("seed", 1, "workload seed");
   flags.DefineInt64("threads", 0,
                     "sweep worker threads (0 = hardware concurrency; "
@@ -97,6 +105,83 @@ inline core::ExperimentConfig PaperConfig(const Flags& flags,
   cfg.s_sample = static_cast<uint64_t>(flags.GetInt64("s_sample"));
   cfg.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
   return cfg;
+}
+
+// Collects the JSON records of one bench invocation (--json <path>) and
+// writes them as JSON Lines. Sweep cells run on worker threads in
+// arbitrary order, so Add() takes an order key (the cell's sweep index)
+// and Flush() sorts before writing — output is deterministic for any
+// --threads value.
+class MetricsSink {
+ public:
+  explicit MetricsSink(const Flags& flags) : path_(flags.GetString("json")) {}
+
+  bool active() const { return !path_.empty(); }
+
+  void Add(uint64_t order_key, std::string json_line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.emplace_back(order_key, std::move(json_line));
+  }
+
+  // Sorts by order key and writes one record per line. No-op (true) when
+  // inactive; false with a message on stderr if the file can't be written.
+  bool Flush() {
+    if (!active()) return true;
+    std::sort(records_.begin(), records_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json file: %s\n", path_.c_str());
+      return false;
+    }
+    for (const auto& [key, line] : records_) {
+      std::fprintf(f, "%s\n", line.c_str());
+    }
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::vector<std::pair<uint64_t, std::string>> records_;
+};
+
+// Attaches the TraceRecorder + PhaseTimeline pair to `exp` when JSON
+// emission is on. Table-only invocations stay unobserved — counters are
+// bit-identical either way, this just skips the bookkeeping.
+inline void MaybeObserve(const MetricsSink& sink, core::Experiment& exp) {
+  if (sink.active()) exp.EnableObservability();
+}
+
+// Starts the JSON record for one sweep point: bench name, platform and
+// the workload parameters every experiment shares. The caller adds its
+// sweep-specific params on top, then finishes with EmitRun().
+inline obs::RecordBuilder StartRecord(std::string_view bench,
+                                      const core::ExperimentConfig& cfg) {
+  obs::RecordBuilder rec{std::string(bench)};
+  rec.SetPlatform(cfg.platform);
+  rec.AddParam("r_tuples", cfg.r_tuples);
+  rec.AddParam("s_tuples", cfg.s_tuples);
+  rec.AddParam("s_sample", cfg.s_sample);
+  rec.AddParam("zipf_exponent", cfg.zipf_exponent);
+  rec.AddParam("seed", cfg.seed);
+  rec.AddParam("index_type", index::IndexTypeName(cfg.index_type));
+  rec.AddParam("partition_mode", core::PartitionModeName(cfg.inlj.mode));
+  return rec;
+}
+
+// Completes a record with the run outcome (and the trace of an observed
+// experiment) and queues it on the sink. No-op when the sink is inactive.
+inline void EmitRun(MetricsSink& sink, uint64_t order_key,
+                    obs::RecordBuilder&& rec, const sim::RunResult& result,
+                    core::Experiment* exp = nullptr) {
+  if (!sink.active()) return;
+  rec.SetRun(result);
+  if (exp != nullptr && exp->trace_recorder() != nullptr) {
+    rec.SetTrace(*exp->trace_recorder());
+  }
+  sink.Add(order_key, rec.ToJsonLine());
 }
 
 }  // namespace gpujoin::bench

@@ -11,6 +11,7 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   TablePrinter volume({"R (GiB)", "index", "INLJ transfer", "hash join "
                        "transfer", "reduction"});
@@ -20,18 +21,31 @@ int Main(int argc, char** argv) {
   // One cell per (R, index) pair; an empty row means the configuration
   // did not fit in memory and is skipped, like the serial loop did.
   std::vector<std::function<std::vector<std::string>()>> volume_cells;
+  uint64_t ci = 0;
   for (uint64_t r_tuples :
        {uint64_t{1} << 32, uint64_t{14898093260}, uint64_t{16106127360}}) {
     for (index::IndexType type : AllIndexTypes()) {
-      volume_cells.push_back([&flags, r_tuples, type] {
+      volume_cells.push_back([&flags, &sink, ci, r_tuples, type] {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
         cfg.index_type = type;
         cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
         cfg.inlj.window_tuples = uint64_t{4} << 20;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) return std::vector<std::string>{};
+        MaybeObserve(sink, **exp);
         sim::RunResult inlj = (*exp)->RunInlj().value();
+        {
+          // Emit before RunHashJoin resets the shared trace recorder.
+          obs::RecordBuilder rec = StartRecord("disc_transfer_volume", cfg);
+          rec.AddParam("op", "inlj");
+          EmitRun(sink, ci * 2, std::move(rec), inlj, exp->get());
+        }
         sim::RunResult hj = (*exp)->RunHashJoin().value();
+        {
+          obs::RecordBuilder rec = StartRecord("disc_transfer_volume", cfg);
+          rec.AddParam("op", "hash_join");
+          EmitRun(sink, ci * 2 + 1, std::move(rec), hj, exp->get());
+        }
         return std::vector<std::string>{
             GiBStr(r_tuples), index::IndexTypeName(type),
             FormatBytes(
@@ -44,12 +58,14 @@ int Main(int argc, char** argv) {
                         inlj.counters.interconnect_bytes()),
                 1) + "x"};
       });
+      ++ci;
     }
   }
 
   std::vector<std::function<std::vector<std::string>()>> drop_cells;
+  uint64_t di = 0;
   for (index::IndexType type : AllIndexTypes()) {
-    drop_cells.push_back([&flags, type] {
+    drop_cells.push_back([&flags, &sink, di, type] {
       core::ExperimentConfig below = PaperConfig(flags, uint64_t{1} << 31);
       below.index_type = type;
       below.inlj.mode = core::InljConfig::PartitionMode::kNone;
@@ -65,13 +81,23 @@ int Main(int argc, char** argv) {
         return std::vector<std::string>{index::IndexTypeName(type), "-",
                                         "OOM", "-"};
       }
-      const double q_below = (*exp_below)->RunInlj().value().qps();
-      const double q_above = (*exp_above)->RunInlj().value().qps();
+      MaybeObserve(sink, **exp_below);
+      MaybeObserve(sink, **exp_above);
+      const sim::RunResult below_run = (*exp_below)->RunInlj().value();
+      const sim::RunResult above_run = (*exp_above)->RunInlj().value();
+      EmitRun(sink, 1000 + di * 2, StartRecord("disc_transfer_volume", below),
+              below_run, exp_below->get());
+      EmitRun(sink, 1000 + di * 2 + 1,
+              StartRecord("disc_transfer_volume", above), above_run,
+              exp_above->get());
+      const double q_below = below_run.qps();
+      const double q_above = above_run.qps();
       return std::vector<std::string>{
           index::IndexTypeName(type), TablePrinter::Num(q_below, 3),
           TablePrinter::Num(q_above, 3),
           TablePrinter::Num(q_below / q_above, 1) + "x"};
     });
+    ++di;
   }
 
   const int threads = SweepThreads(flags);
@@ -87,6 +113,7 @@ int Main(int argc, char** argv) {
   std::printf("\nSec. 6 — naive INLJ throughput drop across the TLB "
               "boundary\n");
   PrintTable(drop, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

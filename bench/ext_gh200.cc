@@ -15,13 +15,15 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   TablePrinter table({"R (GiB)", "selectivity", "naive RS Q/s",
                       "windowed RS Q/s", "hash_join Q/s", "INLJ speedup"});
 
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint64_t r_tuples : PaperRSizes()) {
-    cells.push_back([&flags, r_tuples] {
+    cells.push_back([&flags, &sink, ci, r_tuples] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.platform = sim::GH200C2C();
 
@@ -29,13 +31,24 @@ int Main(int argc, char** argv) {
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
       auto naive = core::Experiment::Create(cfg);
       if (!naive.ok()) return std::vector<std::string>{};
-      const double naive_qps = (*naive)->RunInlj().value().qps();
+      MaybeObserve(sink, **naive);
+      const sim::RunResult naive_run = (*naive)->RunInlj().value();
+      const double naive_qps = naive_run.qps();
+      EmitRun(sink, ci * 4, StartRecord("ext_gh200", cfg), naive_run,
+              naive->get());
 
       cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
       cfg.inlj.window_tuples = uint64_t{4} << 20;
       auto windowed = core::Experiment::Create(cfg);
-      const double windowed_qps = (*windowed)->RunInlj().value().qps();
-      const double hj_qps = (*windowed)->RunHashJoin().value().qps();
+      MaybeObserve(sink, **windowed);
+      const sim::RunResult windowed_run = (*windowed)->RunInlj().value();
+      const double windowed_qps = windowed_run.qps();
+      EmitRun(sink, ci * 4 + 1, StartRecord("ext_gh200", cfg), windowed_run,
+              windowed->get());
+      const sim::RunResult hj_run = (*windowed)->RunHashJoin().value();
+      const double hj_qps = hj_run.qps();
+      EmitRun(sink, ci * 4 + 2, StartRecord("ext_gh200", cfg), hj_run,
+              windowed->get());
 
       return std::vector<std::string>{
           GiBStr(r_tuples),
@@ -47,6 +60,7 @@ int Main(int argc, char** argv) {
           TablePrinter::Num(hj_qps, 3),
           TablePrinter::Num(windowed_qps / hj_qps, 1) + "x"};
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     if (!row.empty()) table.AddRow(std::move(row));
@@ -61,6 +75,7 @@ int Main(int argc, char** argv) {
               FormatBytes(static_cast<double>(
                               sim::GH200Gpu().tlb_coverage))
                   .c_str());
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

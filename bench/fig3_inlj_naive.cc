@@ -16,6 +16,7 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   TablePrinter table({"R (GiB)", "selectivity", "btree Q/s", "binary Q/s",
                       "harmonia Q/s", "radix_spline Q/s", "hash_join Q/s"});
@@ -23,8 +24,9 @@ int Main(int argc, char** argv) {
   // One sweep cell per R size; cells are independent and run
   // concurrently under --threads, with rows emitted in R order.
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint64_t r_tuples : PaperRSizes()) {
-    cells.push_back([&flags, r_tuples] {
+    cells.push_back([&flags, &sink, ci, r_tuples] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
 
@@ -37,6 +39,7 @@ int Main(int argc, char** argv) {
 
       sim::RunResult hj;
       bool have_hj = false;
+      uint64_t sub = 0;
       for (index::IndexType type : AllIndexTypes()) {
         cfg.index_type = type;
         auto exp = core::Experiment::Create(cfg);
@@ -45,17 +48,25 @@ int Main(int argc, char** argv) {
           // the largest R (paper Sec. 3.2: "size limit of R is
           // reduced").
           row.push_back("OOM");
+          ++sub;
           continue;
         }
-        row.push_back(TablePrinter::Num((*exp)->RunInlj().value().qps(), 3));
+        MaybeObserve(sink, **exp);
+        const sim::RunResult inlj = (*exp)->RunInlj().value();
+        row.push_back(TablePrinter::Num(inlj.qps(), 3));
+        EmitRun(sink, ci * 8 + sub++, StartRecord("fig3_inlj_naive", cfg),
+                inlj, exp->get());
         if (!have_hj) {
           hj = (*exp)->RunHashJoin().value();
           have_hj = true;
+          EmitRun(sink, ci * 8 + 7, StartRecord("fig3_inlj_naive", cfg), hj,
+                  exp->get());
         }
       }
       row.push_back(TablePrinter::Num(hj.qps(), 3));
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -64,6 +75,7 @@ int Main(int argc, char** argv) {
   std::printf("Fig. 3 — INLJ (no partitioning) vs hash join, V100 + "
               "NVLink 2.0, |S| = 2^26\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

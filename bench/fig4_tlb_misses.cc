@@ -14,29 +14,37 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   TablePrinter table({"R (GiB)", "btree tr/key", "binary tr/key",
                       "harmonia tr/key", "radix_spline tr/key"});
 
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint64_t r_tuples : PaperRSizes()) {
-    cells.push_back([&flags, r_tuples] {
+    cells.push_back([&flags, &sink, ci, r_tuples] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.inlj.mode = core::InljConfig::PartitionMode::kNone;
 
       std::vector<std::string> row{GiBStr(r_tuples)};
+      uint64_t sub = 0;
       for (index::IndexType type : AllIndexTypes()) {
         cfg.index_type = type;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) {
           row.push_back("OOM");
+          ++sub;
           continue;
         }
-        row.push_back(TablePrinter::Num(
-            (*exp)->RunInlj().value().translations_per_key(), 3));
+        MaybeObserve(sink, **exp);
+        const sim::RunResult result = (*exp)->RunInlj().value();
+        row.push_back(TablePrinter::Num(result.translations_per_key(), 3));
+        EmitRun(sink, ci * 8 + sub++, StartRecord("fig4_tlb_misses", cfg),
+                result, exp->get());
       }
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -45,6 +53,7 @@ int Main(int argc, char** argv) {
   std::printf("Fig. 4 — address translation requests per lookup "
               "(unpartitioned INLJ)\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -14,13 +14,15 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   TablePrinter table({"R (GiB)", "selectivity", "btree Q/s", "binary Q/s",
                       "harmonia Q/s", "radix_spline Q/s", "hash_join Q/s"});
 
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (uint64_t r_tuples : PaperRSizes()) {
-    cells.push_back([&flags, r_tuples] {
+    cells.push_back([&flags, &sink, ci, r_tuples] {
       core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
       cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
 
@@ -33,22 +35,31 @@ int Main(int argc, char** argv) {
 
       sim::RunResult hj;
       bool have_hj = false;
+      uint64_t sub = 0;
       for (index::IndexType type : AllIndexTypes()) {
         cfg.index_type = type;
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) {
           row.push_back("OOM");
+          ++sub;
           continue;
         }
-        row.push_back(TablePrinter::Num((*exp)->RunInlj().value().qps(), 3));
+        MaybeObserve(sink, **exp);
+        const sim::RunResult inlj = (*exp)->RunInlj().value();
+        row.push_back(TablePrinter::Num(inlj.qps(), 3));
+        EmitRun(sink, ci * 8 + sub++,
+                StartRecord("fig5_inlj_partitioned", cfg), inlj, exp->get());
         if (!have_hj) {
           hj = (*exp)->RunHashJoin().value();
           have_hj = true;
+          EmitRun(sink, ci * 8 + 7,
+                  StartRecord("fig5_inlj_partitioned", cfg), hj, exp->get());
         }
       }
       row.push_back(TablePrinter::Num(hj.qps(), 3));
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -57,6 +68,7 @@ int Main(int argc, char** argv) {
   std::printf("Fig. 5 — INLJ with materialized key partitioning vs hash "
               "join, V100 + NVLink 2.0\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

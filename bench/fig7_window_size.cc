@@ -13,6 +13,7 @@ namespace {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   // 100 GiB of 8-byte keys.
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
@@ -21,12 +22,14 @@ int Main(int argc, char** argv) {
                       "binary Q/s", "harmonia Q/s", "radix_spline Q/s"});
 
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (int log_w = 18; log_w <= 26; ++log_w) {
-    cells.push_back([&flags, r_tuples, log_w] {
+    cells.push_back([&flags, &sink, ci, r_tuples, log_w] {
       const uint64_t window = uint64_t{1} << log_w;
       std::vector<std::string> row{
           "2^" + std::to_string(log_w),
           TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0)};
+      uint64_t sub = 0;
       for (index::IndexType type : AllIndexTypes()) {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
         cfg.index_type = type;
@@ -35,12 +38,19 @@ int Main(int argc, char** argv) {
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) {
           row.push_back("OOM");
+          ++sub;
           continue;
         }
-        row.push_back(TablePrinter::Num((*exp)->RunInlj().value().qps(), 3));
+        MaybeObserve(sink, **exp);
+        const sim::RunResult result = (*exp)->RunInlj().value();
+        row.push_back(TablePrinter::Num(result.qps(), 3));
+        obs::RecordBuilder rec = StartRecord("fig7_window_size", cfg);
+        rec.AddParam("window_tuples", cfg.inlj.window_tuples);
+        EmitRun(sink, ci * 8 + sub++, std::move(rec), result, exp->get());
       }
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -49,6 +59,7 @@ int Main(int argc, char** argv) {
   std::printf("Fig. 7 — windowed partitioning: window size vs Q/s, "
               "R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

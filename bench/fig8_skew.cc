@@ -16,6 +16,7 @@ constexpr double kDnfSeconds = 3600;  // report DNF beyond one hour
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const uint64_t r_tuples = uint64_t{100} * kGiB / 8;
 
@@ -23,11 +24,13 @@ int Main(int argc, char** argv) {
                       "radix_spline Q/s", "hash_join Q/s"});
 
   std::vector<std::function<std::vector<std::string>()>> cells;
+  uint64_t ci = 0;
   for (double zipf : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
-    cells.push_back([&flags, r_tuples, zipf] {
+    cells.push_back([&flags, &sink, ci, r_tuples, zipf] {
       std::vector<std::string> row{TablePrinter::Num(zipf, 2)};
       sim::RunResult hj;
       bool have_hj = false;
+      uint64_t sub = 0;
       for (index::IndexType type : AllIndexTypes()) {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
         cfg.index_type = type;
@@ -38,12 +41,19 @@ int Main(int argc, char** argv) {
         auto exp = core::Experiment::Create(cfg);
         if (!exp.ok()) {
           row.push_back("OOM");
+          ++sub;
           continue;
         }
-        row.push_back(TablePrinter::Num((*exp)->RunInlj().value().qps(), 3));
+        MaybeObserve(sink, **exp);
+        const sim::RunResult inlj = (*exp)->RunInlj().value();
+        row.push_back(TablePrinter::Num(inlj.qps(), 3));
+        EmitRun(sink, ci * 8 + sub++, StartRecord("fig8_skew", cfg), inlj,
+                exp->get());
         if (!have_hj) {
           hj = (*exp)->RunHashJoin().value();
           have_hj = true;
+          EmitRun(sink, ci * 8 + 7, StartRecord("fig8_skew", cfg), hj,
+                  exp->get());
         }
       }
       if (hj.seconds > kDnfSeconds) {
@@ -54,6 +64,7 @@ int Main(int argc, char** argv) {
       }
       return row;
     });
+    ++ci;
   }
   for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
     table.AddRow(std::move(row));
@@ -62,6 +73,7 @@ int Main(int argc, char** argv) {
   std::printf("Fig. 8 — Zipf-skewed lookup keys, windowed INLJ (32 MiB "
               "window), R = 100 GiB\n");
   PrintTable(table, flags);
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

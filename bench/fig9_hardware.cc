@@ -35,10 +35,12 @@ double CrossoverGiB(const Series& s) {
 int Main(int argc, char** argv) {
   Flags flags;
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
 
   const std::vector<sim::PlatformSpec> platforms = {sim::V100NvLink2(),
                                                     sim::A100PciE4()};
 
+  uint64_t pi = 0;
   for (const auto& platform : platforms) {
     TablePrinter table({"R (GiB)", "selectivity", "radix_spline Q/s",
                         "harmonia Q/s", "hash_join Q/s"});
@@ -49,8 +51,9 @@ int Main(int argc, char** argv) {
       double hj_qps = 0;
     };
     std::vector<std::function<Cell()>> cells;
+    uint64_t ci = 0;
     for (uint64_t r_tuples : PaperRSizes()) {
-      cells.push_back([&flags, &platform, r_tuples] {
+      cells.push_back([&flags, &sink, &platform, pi, ci, r_tuples] {
         core::ExperimentConfig cfg = PaperConfig(flags, r_tuples);
         cfg.platform = platform;
         cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
@@ -63,24 +66,34 @@ int Main(int argc, char** argv) {
                            static_cast<double>(r_tuples);
         cell.row.push_back(TablePrinter::Num(sel, 2) + "%");
 
+        const uint64_t base = (pi * 100 + ci) * 8;
+        uint64_t sub = 0;
         for (index::IndexType type : {index::IndexType::kRadixSpline,
                                       index::IndexType::kHarmonia}) {
           cfg.index_type = type;
           auto exp = core::Experiment::Create(cfg);
           if (!exp.ok()) {
             cell.row.push_back("OOM");
+            ++sub;
             continue;
           }
-          const double qps = (*exp)->RunInlj().value().qps();
-          cell.row.push_back(TablePrinter::Num(qps, 3));
+          MaybeObserve(sink, **exp);
+          const sim::RunResult inlj = (*exp)->RunInlj().value();
+          cell.row.push_back(TablePrinter::Num(inlj.qps(), 3));
+          EmitRun(sink, base + sub++, StartRecord("fig9_hardware", cfg),
+                  inlj, exp->get());
           if (type == index::IndexType::kRadixSpline) {
-            cell.inlj_qps = qps;
-            cell.hj_qps = (*exp)->RunHashJoin().value().qps();
+            cell.inlj_qps = inlj.qps();
+            const sim::RunResult hj = (*exp)->RunHashJoin().value();
+            cell.hj_qps = hj.qps();
+            EmitRun(sink, base + 7, StartRecord("fig9_hardware", cfg), hj,
+                    exp->get());
           }
         }
         cell.row.push_back(TablePrinter::Num(cell.hj_qps, 3));
         return cell;
       });
+      ++ci;
     }
 
     Series series;
@@ -104,7 +117,9 @@ int Main(int argc, char** argv) {
     } else {
       std::printf("no crossover in the measured range\n\n");
     }
+    ++pi;
   }
+  if (!sink.Flush()) return 1;
   return 0;
 }
 

@@ -7,8 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "obs/emitter.h"
 
 #include "index/binary_search.h"
 #include "index/btree.h"
@@ -277,7 +282,75 @@ void BM_HashTableInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_HashTableInsert);
 
+// Console reporter that additionally captures each measurement so the
+// binary can emit schema-v1 JSON Lines records alongside google-
+// benchmark's own console output (see obs/emitter.h). The records carry
+// the benchmark case as a param and the timings as metrics — there is no
+// simulated run here, so "run"/"counters" are absent by design.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::RecordBuilder rec("micro_simulator");
+      rec.AddParam("case", run.benchmark_name());
+      rec.metrics().SetScalar("real_time_per_iter", run.GetAdjustedRealTime(),
+                              benchmark::GetTimeUnitString(run.time_unit));
+      rec.metrics().SetScalar("cpu_time_per_iter", run.GetAdjustedCPUTime(),
+                              benchmark::GetTimeUnitString(run.time_unit));
+      rec.metrics().SetCounter("iterations",
+                               static_cast<uint64_t>(run.iterations), "1");
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        rec.metrics().SetScalar("items_per_second", items->second.value,
+                                "1/s");
+      }
+      lines_.push_back(rec.ToJsonLine());
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
 }  // namespace
 }  // namespace gpujoin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), with a --json <path> flag (same contract as the other
+// bench binaries) stripped from argv before google-benchmark parses it.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int run_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&run_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(run_argc, args.data())) return 1;
+  gpujoin::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    for (const std::string& line : reporter.lines()) {
+      std::fprintf(f, "%s\n", line.c_str());
+    }
+    std::fclose(f);
+  }
+  return 0;
+}

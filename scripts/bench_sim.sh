@@ -16,9 +16,34 @@ cmake --build "$BUILD_DIR" -j --target micro_simulator
 "$BUILD_DIR"/bench/micro_simulator \
   --benchmark_filter="$FILTER" \
   --benchmark_min_time=1.0 \
-  --benchmark_format=json \
-  2>/dev/null | tee /tmp/bench_sim_latest.json
+  --json /tmp/bench_sim_latest.metrics.json \
+  2>/dev/null
 
-echo >&2
-echo "JSON written to /tmp/bench_sim_latest.json — merge the cpu_time" >&2
-echo "values into results/BENCH_sim.json under 'optimized'." >&2
+python3 scripts/validate_metrics.py /tmp/bench_sim_latest.metrics.json
+
+# Merge the new cpu_time values into results/BENCH_sim.json under
+# 'optimized_cpu_time_ns', recomputing the speedups.
+python3 - <<'EOF'
+import json
+
+with open("results/BENCH_sim.json") as f:
+    merged = json.load(f)
+
+with open("/tmp/bench_sim_latest.metrics.json") as f:
+    for line in f:
+        rec = json.loads(line)
+        name = rec["params"]["case"]
+        cpu = rec["metrics"]["cpu_time_per_iter"]
+        entry = merged["benchmarks"].get(name)
+        if entry is None or cpu["unit"] != "ns":
+            continue
+        entry["optimized_cpu_time_ns"] = round(cpu["value"], 2)
+        seed = entry.get("seed_cpu_time_ns")
+        if seed:
+            entry["speedup"] = round(seed / entry["optimized_cpu_time_ns"], 2)
+
+with open("results/BENCH_sim.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("results/BENCH_sim.json updated")
+EOF

@@ -27,15 +27,24 @@ run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 # stay byte-identical to the checked-in golden table.
 scripts/fault_smoke.sh build-release
 
+# Metrics emission smoke: a small bench run with --json must produce
+# records that pass the schema_version 1 validator.
+METRICS_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP"' EXIT
+build-release/bench/ablation_fault_recovery --json "$METRICS_TMP" \
+  > /dev/null
+python3 scripts/validate_metrics.py "$METRICS_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
   run_config "build-san-${san//,/}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DGPUJOIN_SANITIZE=${san}"
   # The fault paths allocate, unwind and recover in ways the rest of the
-  # suite doesn't; give them a dedicated pass under each sanitizer.
+  # suite doesn't, and the observer fan-out / JSON emission paths are new;
+  # give them a dedicated pass under each sanitizer.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test'
 done
 
 echo "=== all configurations passed ==="

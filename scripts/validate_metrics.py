@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Validates JSON Lines metric emissions (bench binaries' --json output)
+against the schema_version 1 record layout (src/obs/emitter.h).
+
+Usage: scripts/validate_metrics.py FILE [FILE...]
+Exits non-zero and prints one line per violation if any record is
+malformed. Standard library only.
+"""
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+COUNTER_FIELDS = [
+    "host_random_read_bytes", "host_seq_read_bytes", "host_write_bytes",
+    "translation_requests", "tlb_hits", "hbm_read_bytes", "hbm_write_bytes",
+    "l1_hits", "l2_hits", "l2_misses", "warp_steps", "memory_transactions",
+    "kernel_launches", "serial_dependent_loads", "faults_injected",
+    "translation_timeouts", "remote_read_errors", "degradation_episodes",
+    "alloc_faults", "fault_retries", "fault_backoff_nanos",
+    "degraded_host_bytes",
+]
+
+RUN_FIELDS = {
+    "label": str, "seconds": (int, float), "qps": (int, float),
+    "probe_tuples": int, "result_tuples": int,
+    "translations_per_key": (int, float), "spilled_tuples": int,
+    "spill_buckets": int, "degraded_windows": int, "fallback_windows": int,
+    "result_buffer_on_host": bool,
+}
+
+PHASE_FIELDS = {
+    "name": str, "seconds": (int, float), "enter_count": int,
+    "observed_transactions": int, "observed_stream_bytes": int,
+}
+
+TRACE_REGION_FIELDS = [
+    "transactions", "l1_hits", "l2_hits", "memory_transactions",
+    "stream_bytes", "writes",
+]
+
+METRIC_KINDS = {"scalar", "counter", "ratio"}
+
+
+def err(errors, where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def check_uint(errors, where, obj, field):
+    v = obj.get(field)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        err(errors, where, f"{field!r} must be a non-negative integer, "
+            f"got {v!r}")
+
+
+def check_counters(errors, where, counters):
+    if not isinstance(counters, dict):
+        err(errors, where, "counters must be an object")
+        return
+    for field in COUNTER_FIELDS:
+        if field not in counters:
+            err(errors, where, f"counters missing {field!r}")
+        else:
+            check_uint(errors, where, counters, field)
+    for extra in set(counters) - set(COUNTER_FIELDS):
+        err(errors, where, f"counters has unknown field {extra!r}")
+
+
+def check_typed(errors, where, obj, spec):
+    for field, types in spec.items():
+        v = obj.get(field)
+        if field not in obj:
+            err(errors, where, f"missing {field!r}")
+        elif types is not bool and isinstance(v, bool):
+            err(errors, where, f"{field!r} must be {types}, got bool")
+        elif not isinstance(v, types):
+            err(errors, where, f"{field!r} must be {types}, got {type(v)}")
+
+
+def check_platform(errors, where, platform):
+    if not isinstance(platform, dict):
+        err(errors, where, "platform must be an object")
+        return
+    if not isinstance(platform.get("name"), str):
+        err(errors, where, "platform.name must be a string")
+    for section, fields in (
+        ("gpu", ["num_sms", "clock_hz", "l1_size", "l2_size",
+                 "cacheline_bytes", "hbm_bandwidth", "hbm_capacity",
+                 "tlb_coverage", "warp_step_throughput"]),
+        ("interconnect", ["peak_bandwidth", "seq_bandwidth",
+                          "random_bandwidth", "latency",
+                          "translation_latency",
+                          "translation_concurrency"]),
+    ):
+        sub = platform.get(section)
+        if not isinstance(sub, dict):
+            err(errors, where, f"platform.{section} must be an object")
+            continue
+        if not isinstance(sub.get("name"), str):
+            err(errors, where, f"platform.{section}.name must be a string")
+        for field in fields:
+            v = sub.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                err(errors, where,
+                    f"platform.{section}.{field} must be a number, "
+                    f"got {v!r}")
+
+
+def check_metrics(errors, where, metrics):
+    if not isinstance(metrics, dict):
+        err(errors, where, "metrics must be an object")
+        return
+    for name, m in metrics.items():
+        w = f"{where} metric {name!r}"
+        if not isinstance(m, dict):
+            err(errors, w, "must be an object")
+            continue
+        kind = m.get("kind")
+        if kind not in METRIC_KINDS:
+            err(errors, w, f"kind must be one of {sorted(METRIC_KINDS)}, "
+                f"got {kind!r}")
+            continue
+        if not isinstance(m.get("unit"), str):
+            err(errors, w, "unit must be a string")
+        if kind == "counter":
+            check_uint(errors, w, m, "value")
+        else:
+            v = m.get("value")
+            if v is not None and (not isinstance(v, (int, float))
+                                  or isinstance(v, bool)):
+                err(errors, w, f"value must be a number or null, got {v!r}")
+        if kind == "ratio":
+            for field in ("numerator", "denominator"):
+                v = m.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    err(errors, w, f"{field} must be a number, got {v!r}")
+
+
+def check_record(errors, where, rec):
+    if not isinstance(rec, dict):
+        err(errors, where, "record must be a JSON object")
+        return
+    if rec.get("schema_version") != SCHEMA_VERSION:
+        err(errors, where, f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {rec.get('schema_version')!r}")
+    bench = rec.get("bench")
+    if not isinstance(bench, str) or not bench:
+        err(errors, where, "bench must be a non-empty string")
+    if not isinstance(rec.get("params"), dict):
+        err(errors, where, "params must be an object")
+
+    if "platform" in rec:
+        check_platform(errors, where, rec["platform"])
+
+    has_run = "run" in rec
+    for section in ("counters", "stages", "phases"):
+        if (section in rec) != has_run:
+            err(errors, where,
+                f"{section!r} must appear exactly when 'run' does")
+    if has_run:
+        run = rec["run"]
+        if not isinstance(run, dict):
+            err(errors, where, "run must be an object")
+        else:
+            check_typed(errors, f"{where} run", run, RUN_FIELDS)
+        check_counters(errors, f"{where} run", rec.get("counters", {}))
+
+        stages = rec.get("stages")
+        if not isinstance(stages, list):
+            err(errors, where, "stages must be an array")
+        else:
+            for i, stage in enumerate(stages):
+                w = f"{where} stage[{i}]"
+                if not isinstance(stage, dict):
+                    err(errors, w, "must be an object")
+                    continue
+                check_typed(errors, w, stage,
+                            {"name": str, "seconds": (int, float)})
+
+        phases = rec.get("phases")
+        if not isinstance(phases, list):
+            err(errors, where, "phases must be an array")
+        else:
+            for i, phase in enumerate(phases):
+                w = f"{where} phase[{i}]"
+                if not isinstance(phase, dict):
+                    err(errors, w, "must be an object")
+                    continue
+                check_typed(errors, w, phase, PHASE_FIELDS)
+                window = phase.get("window", "missing")
+                if window is not None and (not isinstance(window, int)
+                                           or isinstance(window, bool)):
+                    err(errors, w, f"window must be an integer or null, "
+                        f"got {window!r}")
+                check_counters(errors, w, phase.get("counters", {}))
+
+    if "trace" in rec:
+        trace = rec["trace"]
+        regions = trace.get("regions") if isinstance(trace, dict) else None
+        if not isinstance(regions, dict):
+            err(errors, where, "trace.regions must be an object")
+        else:
+            for name, stats in regions.items():
+                w = f"{where} trace region {name!r}"
+                if not isinstance(stats, dict):
+                    err(errors, w, "must be an object")
+                    continue
+                for field in TRACE_REGION_FIELDS:
+                    check_uint(errors, w, stats, field)
+
+    if "metrics" in rec:
+        check_metrics(errors, where, rec["metrics"])
+
+
+def validate_file(path):
+    errors = []
+    records = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}:{lineno}"
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    err(errors, where, f"invalid JSON: {e}")
+                    continue
+                records += 1
+                check_record(errors, where, rec)
+    except OSError as e:
+        errors.append(f"{path}: {e}")
+    return records, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    total_records = 0
+    total_errors = []
+    for path in argv[1:]:
+        records, errors = validate_file(path)
+        total_records += records
+        total_errors.extend(errors)
+    for e in total_errors:
+        print(e, file=sys.stderr)
+    if total_errors:
+        print(f"FAIL: {len(total_errors)} violation(s) across "
+              f"{total_records} record(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {total_records} record(s) valid "
+          f"(schema_version {SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

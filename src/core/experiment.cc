@@ -101,16 +101,53 @@ Status Experiment::Build() {
   return Status::Ok();
 }
 
+void Experiment::EnableObservability() {
+  if (trace_ == nullptr) {
+    trace_ = std::make_unique<sim::TraceRecorder>(&space_);
+    gpu_->memory().AddObserver(trace_.get());
+  }
+  if (timeline_ == nullptr) {
+    timeline_ = std::make_unique<obs::PhaseTimeline>(&gpu_->memory(),
+                                                     &gpu_->cost_model());
+    timeline_->AttachTo(&gpu_->memory());
+  }
+}
+
+void Experiment::DisableObservability() {
+  if (trace_ != nullptr) {
+    gpu_->memory().RemoveObserver(trace_.get());
+    trace_.reset();
+  }
+  if (timeline_ != nullptr) {
+    timeline_->DetachFrom(&gpu_->memory());
+    timeline_.reset();
+  }
+}
+
 Result<sim::RunResult> Experiment::RunInlj() {
   gpu_->memory().ClearHardwareState();
   if (fault_injector_ != nullptr) fault_injector_->Reset();
-  return IndexNestedLoopJoin::Run(*gpu_, *index_, s_, config_.inlj);
+  if (trace_ != nullptr) trace_->Reset();
+  if (timeline_ != nullptr) timeline_->Reset();
+  Result<sim::RunResult> result =
+      IndexNestedLoopJoin::Run(*gpu_, *index_, s_, config_.inlj);
+  if (result.ok() && timeline_ != nullptr) {
+    result->phase_spans = timeline_->Spans();
+  }
+  return result;
 }
 
 Result<sim::RunResult> Experiment::RunHashJoin() {
   gpu_->memory().ClearHardwareState();
   if (fault_injector_ != nullptr) fault_injector_->Reset();
-  return join::HashJoin::Run(*gpu_, *r_, s_, config_.hash_join);
+  if (trace_ != nullptr) trace_->Reset();
+  if (timeline_ != nullptr) timeline_->Reset();
+  Result<sim::RunResult> result =
+      join::HashJoin::Run(*gpu_, *r_, s_, config_.hash_join);
+  if (result.ok() && timeline_ != nullptr) {
+    result->phase_spans = timeline_->Spans();
+  }
+  return result;
 }
 
 }  // namespace gpujoin::core

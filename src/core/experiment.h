@@ -11,10 +11,12 @@
 #include "index/radix_spline.h"
 #include "join/hash_join.h"
 #include "mem/address_space.h"
+#include "obs/phase_timeline.h"
 #include "sim/fault.h"
 #include "sim/gpu.h"
 #include "sim/run_result.h"
 #include "sim/specs.h"
+#include "sim/trace.h"
 #include "util/status.h"
 #include "util/units.h"
 #include "workload/key_column.h"
@@ -92,6 +94,20 @@ class Experiment {
   // table would exceed GPU memory.
   Result<sim::RunResult> RunHashJoin();
 
+  // Attaches an owned TraceRecorder and PhaseTimeline to the simulated
+  // memory system (idempotent). Both observe simultaneously through the
+  // MemoryModel's observer fan-out; subsequent runs fill
+  // RunResult::phase_spans and the trace's per-region stats. Counters are
+  // unaffected either way (regression-tested bit-identical).
+  void EnableObservability();
+  // Detaches and destroys both (no-op when not enabled).
+  void DisableObservability();
+
+  // Null unless EnableObservability() ran. The trace holds the stats of
+  // the most recent run (each run resets it first).
+  sim::TraceRecorder* trace_recorder() { return trace_.get(); }
+  obs::PhaseTimeline* phase_timeline() { return timeline_.get(); }
+
   sim::Gpu& gpu() { return *gpu_; }
   const index::Index& index() const { return *index_; }
   const workload::KeyColumn& r() const { return *r_; }
@@ -107,6 +123,8 @@ class Experiment {
   mem::AddressSpace space_;
   std::unique_ptr<sim::Gpu> gpu_;
   std::unique_ptr<sim::FaultInjector> fault_injector_;
+  std::unique_ptr<sim::TraceRecorder> trace_;
+  std::unique_ptr<obs::PhaseTimeline> timeline_;
   std::unique_ptr<workload::KeyColumn> r_;
   std::unique_ptr<index::Index> index_;
   workload::ProbeRelation s_;

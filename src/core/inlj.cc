@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "partition/radix_partitioner.h"
+#include "sim/phase.h"
 #include "util/bit_util.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -235,6 +236,7 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
         // the sampled windows must not inherit each other's state.
         if (w > 0) gpu.memory().FlushCaches();
 
+        sim::WindowScope window(gpu.memory().phase_sink(), w);
         sim::KernelRun part{"partition", {}};
         sim::KernelRun join{"join", {}};
         Status st = RunChunk(gpu, index, s, partitioner, config, begin,

@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 
+#include "sim/phase.h"
 #include "util/rng.h"
 
 namespace gpujoin::core::internal {
@@ -24,35 +25,45 @@ sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
                 : static_cast<uint64_t>(filter_selectivity * 0x1p64);
   uint64_t matches = 0;
   sim::KernelRun run = gpu.RunKernel("inlj", count, [&](sim::Warp& warp) {
+    sim::PhaseSink* const sink = warp.memory().phase_sink();
     const uint64_t base = warp.base_item();
     const int lanes = warp.lane_count();
-    // Probe tuples arrive as a coalesced stream from wherever they live
-    // (CPU memory for the raw stream, GPU memory for partitioned windows).
-    warp.memory().Stream(keys_addr + base * tuple_bytes,
-                         lanes * tuple_bytes, sim::AccessType::kRead);
+    {
+      // Probe tuples arrive as a coalesced stream from wherever they live
+      // (CPU memory for the raw stream, GPU memory for partitioned
+      // windows).
+      sim::PhaseScope phase(sink, "probe.stage_in");
+      warp.memory().Stream(keys_addr + base * tuple_bytes,
+                           lanes * tuple_bytes, sim::AccessType::kRead);
+    }
 
     std::array<Key, sim::Warp::kWidth> probe{};
     std::array<uint64_t, sim::Warp::kWidth> pos{};
-    // Apply the upstream filter: surviving lanes look up, the others idle
-    // alongside them (filter divergence — the warp is not compacted).
-    uint32_t lookup_mask = 0;
-    for (int lane = 0; lane < lanes; ++lane) {
-      probe[lane] = keys[base + lane];
-      const uint64_t row =
-          row_ids != nullptr ? row_ids[base + lane] : base + lane;
-      if (no_filter ||
-          SplitMix64(row * 0xc2b2ae3d27d4eb4fULL) <= filter_threshold) {
-        lookup_mask |= 1u << lane;
+    uint32_t found = 0;
+    {
+      sim::PhaseScope phase(sink, "probe.lookup");
+      // Apply the upstream filter: surviving lanes look up, the others
+      // idle alongside them (filter divergence — the warp is not
+      // compacted).
+      uint32_t lookup_mask = 0;
+      for (int lane = 0; lane < lanes; ++lane) {
+        probe[lane] = keys[base + lane];
+        const uint64_t row =
+            row_ids != nullptr ? row_ids[base + lane] : base + lane;
+        if (no_filter ||
+            SplitMix64(row * 0xc2b2ae3d27d4eb4fULL) <= filter_threshold) {
+          lookup_mask |= 1u << lane;
+        }
       }
-    }
-    warp.AddSteps(1);  // predicate evaluation
+      warp.AddSteps(1);  // predicate evaluation
 
-    const uint32_t found =
-        index.LookupWarp(warp, probe.data(), lookup_mask, pos.data());
+      found = index.LookupWarp(warp, probe.data(), lookup_mask, pos.data());
+    }
 
     const uint64_t n_found =
         static_cast<uint64_t>(std::popcount(found));
     if (n_found > 0) {
+      sim::PhaseScope phase(sink, "probe.materialize");
       warp.memory().Stream(result_addr + matches * 16, n_found * 16,
                            sim::AccessType::kWrite);
       matches += n_found;

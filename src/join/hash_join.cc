@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "sim/phase.h"
 #include "util/check.h"
 #include "util/units.h"
 
@@ -43,6 +44,7 @@ Result<sim::RunResult> HashJoin::Run(sim::Gpu& gpu,
   // memory.
   sim::KernelRun build =
       gpu.RunKernel("hj_build", s.sample_size(), [&](sim::Warp& warp) {
+        sim::PhaseScope phase(warp.memory().phase_sink(), "hj.build");
         const uint64_t base = warp.base_item();
         const int count = warp.lane_count();
         warp.memory().Stream(s.keys.addr_of(base), count * sizeof(Key),
@@ -89,6 +91,7 @@ Result<sim::RunResult> HashJoin::Run(sim::Gpu& gpu,
   uint64_t sample_matches = 0;
   sim::KernelRun probe =
       gpu.RunKernel("hj_probe", probe_sample, [&](sim::Warp& warp) {
+        sim::PhaseScope phase(warp.memory().phase_sink(), "hj.probe");
         const uint64_t base = warp.base_item();
         const int count = warp.lane_count();
         warp.memory().Stream(r.addr_of(base), count * sizeof(Key),

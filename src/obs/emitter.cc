@@ -1,0 +1,187 @@
+#include "obs/emitter.h"
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+void WriteCounterSet(JsonWriter& w, const sim::CounterSet& c) {
+  w.BeginObject();
+  w.Key("host_random_read_bytes").Uint(c.host_random_read_bytes);
+  w.Key("host_seq_read_bytes").Uint(c.host_seq_read_bytes);
+  w.Key("host_write_bytes").Uint(c.host_write_bytes);
+  w.Key("translation_requests").Uint(c.translation_requests);
+  w.Key("tlb_hits").Uint(c.tlb_hits);
+  w.Key("hbm_read_bytes").Uint(c.hbm_read_bytes);
+  w.Key("hbm_write_bytes").Uint(c.hbm_write_bytes);
+  w.Key("l1_hits").Uint(c.l1_hits);
+  w.Key("l2_hits").Uint(c.l2_hits);
+  w.Key("l2_misses").Uint(c.l2_misses);
+  w.Key("warp_steps").Uint(c.warp_steps);
+  w.Key("memory_transactions").Uint(c.memory_transactions);
+  w.Key("kernel_launches").Uint(c.kernel_launches);
+  w.Key("serial_dependent_loads").Uint(c.serial_dependent_loads);
+  w.Key("faults_injected").Uint(c.faults_injected);
+  w.Key("translation_timeouts").Uint(c.translation_timeouts);
+  w.Key("remote_read_errors").Uint(c.remote_read_errors);
+  w.Key("degradation_episodes").Uint(c.degradation_episodes);
+  w.Key("alloc_faults").Uint(c.alloc_faults);
+  w.Key("fault_retries").Uint(c.fault_retries);
+  w.Key("fault_backoff_nanos").Uint(c.fault_backoff_nanos);
+  w.Key("degraded_host_bytes").Uint(c.degraded_host_bytes);
+  w.EndObject();
+}
+
+void WritePlatformSpec(JsonWriter& w, const sim::PlatformSpec& p) {
+  w.BeginObject();
+  w.Key("name").String(p.name);
+  w.Key("gpu").BeginObject();
+  w.Key("name").String(p.gpu.name);
+  w.Key("num_sms").Int(p.gpu.num_sms);
+  w.Key("clock_hz").Double(p.gpu.clock_hz);
+  w.Key("l1_size").Uint(p.gpu.l1_size);
+  w.Key("l2_size").Uint(p.gpu.l2_size);
+  w.Key("cacheline_bytes").Uint(p.gpu.cacheline_bytes);
+  w.Key("hbm_bandwidth").Double(p.gpu.hbm_bandwidth);
+  w.Key("hbm_capacity").Uint(p.gpu.hbm_capacity);
+  w.Key("tlb_coverage").Uint(p.gpu.tlb_coverage);
+  w.Key("warp_step_throughput").Double(p.gpu.warp_step_throughput);
+  w.EndObject();
+  w.Key("interconnect").BeginObject();
+  w.Key("name").String(p.interconnect.name);
+  w.Key("peak_bandwidth").Double(p.interconnect.peak_bandwidth);
+  w.Key("seq_bandwidth").Double(p.interconnect.seq_bandwidth);
+  w.Key("random_bandwidth").Double(p.interconnect.random_bandwidth);
+  w.Key("latency").Double(p.interconnect.latency);
+  w.Key("translation_latency").Double(p.interconnect.translation_latency);
+  w.Key("translation_concurrency")
+      .Double(p.interconnect.translation_concurrency);
+  w.EndObject();
+  w.EndObject();
+}
+
+void RecordBuilder::SetPlatform(const sim::PlatformSpec& platform) {
+  platform_ = platform;
+  has_platform_ = true;
+}
+
+void RecordBuilder::AddParam(std::string_view name, std::string_view value) {
+  params_.emplace_back(std::string(name), JsonWriter::Encode(value));
+}
+
+void RecordBuilder::AddParam(std::string_view name, uint64_t value) {
+  params_.emplace_back(std::string(name), JsonWriter::Encode(value));
+}
+
+void RecordBuilder::AddParam(std::string_view name, int64_t value) {
+  params_.emplace_back(std::string(name), JsonWriter::Encode(value));
+}
+
+void RecordBuilder::AddParam(std::string_view name, double value) {
+  params_.emplace_back(std::string(name), JsonWriter::Encode(value));
+}
+
+void RecordBuilder::AddParam(std::string_view name, bool value) {
+  params_.emplace_back(std::string(name), JsonWriter::Encode(value));
+}
+
+void RecordBuilder::SetRun(const sim::RunResult& result) {
+  run_ = result;
+  has_run_ = true;
+}
+
+void RecordBuilder::SetTrace(const sim::TraceRecorder& trace) {
+  trace_regions_.assign(trace.by_region().begin(), trace.by_region().end());
+  has_trace_ = true;
+}
+
+std::string RecordBuilder::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(kMetricsSchemaVersion);
+  w.Key("bench").String(bench_);
+
+  w.Key("params").BeginObject();
+  for (const auto& [name, json] : params_) {
+    w.Key(name).Raw(json);
+  }
+  w.EndObject();
+
+  if (has_platform_) {
+    w.Key("platform");
+    WritePlatformSpec(w, platform_);
+  }
+
+  if (has_run_) {
+    w.Key("run").BeginObject();
+    w.Key("label").String(run_.label);
+    w.Key("seconds").Double(run_.seconds);
+    w.Key("qps").Double(run_.qps());
+    w.Key("probe_tuples").Uint(run_.probe_tuples);
+    w.Key("result_tuples").Uint(run_.result_tuples);
+    w.Key("translations_per_key").Double(run_.translations_per_key());
+    w.Key("spilled_tuples").Uint(run_.spilled_tuples);
+    w.Key("spill_buckets").Uint(run_.spill_buckets);
+    w.Key("degraded_windows").Uint(run_.degraded_windows);
+    w.Key("fallback_windows").Uint(run_.fallback_windows);
+    w.Key("result_buffer_on_host").Bool(run_.result_buffer_on_host);
+    w.EndObject();
+
+    w.Key("counters");
+    WriteCounterSet(w, run_.counters);
+
+    w.Key("stages").BeginArray();
+    for (const auto& [name, seconds] : run_.stages) {
+      w.BeginObject();
+      w.Key("name").String(name);
+      w.Key("seconds").Double(seconds);
+      w.EndObject();
+    }
+    w.EndArray();
+
+    w.Key("phases").BeginArray();
+    for (const sim::PhaseSpan& span : run_.phase_spans) {
+      w.BeginObject();
+      w.Key("name").String(span.name);
+      if (span.window == sim::PhaseSpan::kNoWindow) {
+        w.Key("window").Null();
+      } else {
+        w.Key("window").Int(span.window);
+      }
+      w.Key("seconds").Double(span.seconds);
+      w.Key("enter_count").Uint(span.enter_count);
+      w.Key("observed_transactions").Uint(span.observed_transactions);
+      w.Key("observed_stream_bytes").Uint(span.observed_stream_bytes);
+      w.Key("counters");
+      WriteCounterSet(w, span.delta);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  if (has_trace_) {
+    w.Key("trace").BeginObject();
+    w.Key("regions").BeginObject();
+    for (const auto& [name, stats] : trace_regions_) {
+      w.Key(name.empty() ? "<unknown>" : name).BeginObject();
+      w.Key("transactions").Uint(stats.transactions);
+      w.Key("l1_hits").Uint(stats.l1_hits);
+      w.Key("l2_hits").Uint(stats.l2_hits);
+      w.Key("memory_transactions").Uint(stats.memory_transactions);
+      w.Key("stream_bytes").Uint(stats.stream_bytes);
+      w.Key("writes").Uint(stats.writes);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+
+  if (!metrics_.empty()) {
+    w.Key("metrics");
+    metrics_.WriteJson(w);
+  }
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gpujoin::obs

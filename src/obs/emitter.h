@@ -1,0 +1,91 @@
+#ifndef GPUJOIN_OBS_EMITTER_H_
+#define GPUJOIN_OBS_EMITTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/counters.h"
+#include "sim/phase.h"
+#include "sim/run_result.h"
+#include "sim/specs.h"
+#include "sim/trace.h"
+
+namespace gpujoin::obs {
+
+class JsonWriter;
+
+// Version of the emitted record layout. Bump when a field is renamed,
+// retyped or removed; adding optional fields is compatible.
+// scripts/validate_metrics.py checks records against this schema.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+// Serializes every CounterSet field by name as one JSON object value.
+void WriteCounterSet(JsonWriter& w, const sim::CounterSet& c);
+
+// Serializes a platform spec (GPU + interconnect model parameters).
+void WritePlatformSpec(JsonWriter& w, const sim::PlatformSpec& p);
+
+// Assembles one schema-versioned JSON record for one sweep point of one
+// bench binary. Usage:
+//
+//   RecordBuilder rec("fig5_throughput");
+//   rec.SetPlatform(platform);
+//   rec.AddParam("r_tuples", r);             // workload / sweep params
+//   rec.SetRun(result);                      // RunResult incl. phase spans
+//   rec.SetTrace(trace);                     // optional region stats
+//   sink.Add(order_key, rec.ToJsonLine());   // one line, no trailing \n
+//
+// Record layout (schema_version 1):
+//   {"schema_version":1, "bench":..., "params":{...}, "platform":{...},
+//    "run":{...}, "counters":{...}, "stages":[...], "phases":[...],
+//    "trace":{"regions":{...}}, "metrics":{...}}
+// "platform", "run", "counters", "stages", "phases" appear once SetRun /
+// SetPlatform ran; "trace" and "metrics" only when supplied.
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void SetPlatform(const sim::PlatformSpec& platform);
+
+  // Sweep-point parameters, kept in insertion order.
+  void AddParam(std::string_view name, std::string_view value);
+  void AddParam(std::string_view name, const char* value) {
+    AddParam(name, std::string_view(value));
+  }
+  void AddParam(std::string_view name, uint64_t value);
+  void AddParam(std::string_view name, int64_t value);
+  void AddParam(std::string_view name, int value) {
+    AddParam(name, static_cast<int64_t>(value));
+  }
+  void AddParam(std::string_view name, double value);
+  void AddParam(std::string_view name, bool value);
+
+  void SetRun(const sim::RunResult& result);
+  void SetTrace(const sim::TraceRecorder& trace);
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // One JSON Lines record (single line, no trailing newline).
+  std::string ToJsonLine() const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;  // name -> JSON
+  bool has_platform_ = false;
+  sim::PlatformSpec platform_;
+  bool has_run_ = false;
+  sim::RunResult run_;
+  bool has_trace_ = false;
+  std::vector<std::pair<std::string, sim::TraceRecorder::RegionStats>>
+      trace_regions_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_EMITTER_H_

@@ -1,0 +1,65 @@
+#ifndef GPUJOIN_OBS_JSON_H_
+#define GPUJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpujoin::obs {
+
+// Minimal streaming JSON writer for metric emission. Deterministic output:
+// no whitespace, doubles in shortest round-trip form (std::to_chars), so
+// two runs with identical inputs produce byte-identical records — which is
+// what lets scripts diff emitted JSON across runs.
+//
+// The writer does not validate nesting beyond what it needs for comma
+// placement; callers are expected to produce well-formed sequences
+// (scripts/validate_metrics.py checks the result against the schema).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Writes an object key; the next value call is its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Int(int64_t value);
+  // Non-finite doubles have no JSON representation; they emit null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Splices a pre-serialized JSON value verbatim.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  // Serializes one scalar on its own (used to stash parameter values
+  // before the full record is assembled).
+  static std::string Encode(std::string_view value);
+  static std::string Encode(uint64_t value);
+  static std::string Encode(int64_t value);
+  static std::string Encode(double value);
+  static std::string Encode(bool value);
+
+ private:
+  // Inserts the comma separating this value from its predecessor at the
+  // current nesting depth, except right after a key.
+  void BeforeValue();
+
+  std::string out_;
+  // One flag per open container: whether a value was already written at
+  // that depth (so the next one needs a leading comma).
+  std::vector<bool> has_value_;
+  bool after_key_ = false;
+};
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_JSON_H_

@@ -1,0 +1,87 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kScalar:
+      return "scalar";
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kRatio:
+      return "ratio";
+  }
+  return "unknown";
+}
+
+void MetricsRegistry::SetScalar(std::string_view name, double value,
+                                std::string_view unit) {
+  Metric& m = metrics_[std::string(name)];
+  m = Metric{};
+  m.kind = MetricKind::kScalar;
+  m.unit = std::string(unit);
+  m.value = value;
+}
+
+void MetricsRegistry::SetCounter(std::string_view name, uint64_t value,
+                                 std::string_view unit) {
+  Metric& m = metrics_[std::string(name)];
+  m = Metric{};
+  m.kind = MetricKind::kCounter;
+  m.unit = std::string(unit);
+  m.count = value;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta,
+                                 std::string_view unit) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != MetricKind::kCounter) {
+    SetCounter(name, delta, unit);
+    return;
+  }
+  it->second.count += delta;
+}
+
+void MetricsRegistry::SetRatio(std::string_view name, double numerator,
+                               double denominator, std::string_view unit) {
+  Metric& m = metrics_[std::string(name)];
+  m = Metric{};
+  m.kind = MetricKind::kRatio;
+  m.unit = std::string(unit);
+  m.numerator = numerator;
+  m.denominator = denominator;
+  m.value = denominator != 0 ? numerator / denominator : 0;
+}
+
+const Metric* MetricsRegistry::Find(std::string_view name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  for (const auto& [name, m] : metrics_) {
+    w.Key(name).BeginObject();
+    w.Key("kind").String(MetricKindName(m.kind));
+    w.Key("unit").String(m.unit);
+    switch (m.kind) {
+      case MetricKind::kScalar:
+        w.Key("value").Double(m.value);
+        break;
+      case MetricKind::kCounter:
+        w.Key("value").Uint(m.count);
+        break;
+      case MetricKind::kRatio:
+        w.Key("value").Double(m.value);
+        w.Key("numerator").Double(m.numerator);
+        w.Key("denominator").Double(m.denominator);
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+}  // namespace gpujoin::obs

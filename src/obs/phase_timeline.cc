@@ -1,0 +1,98 @@
+#include "obs/phase_timeline.h"
+
+#include "sim/cost_model.h"
+#include "sim/memory_model.h"
+
+namespace gpujoin::obs {
+
+void PhaseTimeline::AttachTo(sim::MemoryModel* m) {
+  m->AddObserver(this);
+  m->SetPhaseSink(this);
+}
+
+void PhaseTimeline::DetachFrom(sim::MemoryModel* m) {
+  m->RemoveObserver(this);
+  if (m->phase_sink() == this) m->SetPhaseSink(nullptr);
+}
+
+size_t PhaseTimeline::SpanIndex(std::string_view name, int64_t window) {
+  auto key = std::make_pair(std::string(name), window);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  sim::PhaseSpan span;
+  span.name = key.first;
+  span.window = window;
+  spans_.push_back(std::move(span));
+  const size_t index = spans_.size() - 1;
+  by_key_.emplace(std::move(key), index);
+  return index;
+}
+
+void PhaseTimeline::Open(std::string_view name, int64_t window) {
+  Frame f;
+  f.span_index = SpanIndex(name, window);
+  f.begin = memory_->TakeSnapshot();
+  f.begin_transactions = transactions_seen_;
+  f.begin_stream_bytes = stream_bytes_seen_;
+  open_.push_back(std::move(f));
+}
+
+void PhaseTimeline::Close() {
+  if (open_.empty()) return;  // unbalanced End: ignore
+  Frame f = std::move(open_.back());
+  open_.pop_back();
+  sim::PhaseSpan& span = spans_[f.span_index];
+  // Snapshot delta of the same monotone counters: exact, clamp-free.
+  span.delta += memory_->TakeSnapshot() - f.begin;
+  span.observed_transactions += transactions_seen_ - f.begin_transactions;
+  span.observed_stream_bytes += stream_bytes_seen_ - f.begin_stream_bytes;
+  ++span.enter_count;
+}
+
+void PhaseTimeline::BeginPhase(std::string_view name) {
+  Open(name, current_window_);
+}
+
+void PhaseTimeline::EndPhase() { Close(); }
+
+void PhaseTimeline::BeginWindow(uint64_t ordinal) {
+  current_window_ = static_cast<int64_t>(ordinal);
+  Open("window", current_window_);
+}
+
+void PhaseTimeline::EndWindow() {
+  Close();
+  current_window_ = sim::PhaseSpan::kNoWindow;
+}
+
+void PhaseTimeline::OnTransaction(mem::VirtAddr /*addr*/,
+                                  sim::ServiceLevel /*level*/,
+                                  bool /*is_write*/) {
+  ++transactions_seen_;
+}
+
+void PhaseTimeline::OnStream(mem::VirtAddr /*addr*/, uint64_t bytes,
+                             bool /*is_write*/) {
+  stream_bytes_seen_ += bytes;
+}
+
+std::vector<sim::PhaseSpan> PhaseTimeline::Spans() const {
+  std::vector<sim::PhaseSpan> out = spans_;
+  if (cost_ != nullptr) {
+    for (sim::PhaseSpan& span : out) {
+      span.seconds = cost_->Seconds(span.delta);
+    }
+  }
+  return out;
+}
+
+void PhaseTimeline::Reset() {
+  spans_.clear();
+  by_key_.clear();
+  open_.clear();
+  current_window_ = sim::PhaseSpan::kNoWindow;
+  transactions_seen_ = 0;
+  stream_bytes_seen_ = 0;
+}
+
+}  // namespace gpujoin::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "sim/phase.h"
 #include "util/bit_util.h"
 #include "util/check.h"
 
@@ -102,25 +103,37 @@ Result<PartitionedKeys> RadixPartitioner::Partition(
 
   sim::KernelRun kernel = gpu.RunRaw("radix_partition", [&](sim::MemoryModel&
                                                                 mm) {
+    sim::PhaseSink* const sink = mm.phase_sink();
     // Stage-in: the probe stream arrives from CPU memory once; the
     // partition passes then run entirely in GPU memory.
     if (host_source) {
+      sim::PhaseScope phase(sink, "partition.stage_in");
       mm.Stream(src_addr, count * sizeof(Key), sim::AccessType::kRead);
       mm.AddHbmTraffic(0, count * sizeof(Key));
     }
-    // Histogram pass.
-    mm.AddHbmTraffic(count * sizeof(Key), p * sizeof(uint32_t));
-    // Prefix sum over the histogram (tiny).
-    mm.AddHbmTraffic(p * sizeof(uint32_t), p * sizeof(uint32_t));
-    // Scatter pass with SWWC buffers: reads the keys, writes coalesced
-    // (key, row_id) pairs.
-    mm.AddHbmTraffic(count * sizeof(Key),
-                     count * (sizeof(Key) + sizeof(uint64_t)));
-    // Compute proxy: ~4 instructions per tuple across the passes.
-    mm.AddWarpSteps(bits::CeilDiv(count, sim::Warp::kWidth) * 4);
+    {
+      // Histogram pass.
+      sim::PhaseScope phase(sink, "partition.histogram");
+      mm.AddHbmTraffic(count * sizeof(Key), p * sizeof(uint32_t));
+    }
+    {
+      // Prefix sum over the histogram (tiny).
+      sim::PhaseScope phase(sink, "partition.prefix_sum");
+      mm.AddHbmTraffic(p * sizeof(uint32_t), p * sizeof(uint32_t));
+    }
+    {
+      // Scatter pass with SWWC buffers: reads the keys, writes coalesced
+      // (key, row_id) pairs. The compute proxy (~4 instructions per tuple
+      // across the passes) is charged here, in the dominant pass.
+      sim::PhaseScope phase(sink, "partition.scatter");
+      mm.AddHbmTraffic(count * sizeof(Key),
+                       count * (sizeof(Key) + sizeof(uint64_t)));
+      mm.AddWarpSteps(bits::CeilDiv(count, sim::Warp::kWidth) * 4);
+    }
     if (spilled > 0) {
       // Overflowed tuples take the uncoalesced spill path: re-written
       // into a chained bucket, plus one chain-pointer line per bucket.
+      sim::PhaseScope phase(sink, "partition.spill");
       mm.AddHbmTraffic(spill_buckets * mm.gpu_spec().cacheline_bytes,
                        spilled * 16 +
                            spill_buckets * mm.gpu_spec().cacheline_bytes);

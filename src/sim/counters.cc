@@ -11,6 +11,14 @@ namespace {
 uint64_t ScaleCounter(uint64_t v, double f) {
   return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
 }
+
+// Saturating subtraction: counter deltas are meant to be taken between a
+// later and an earlier snapshot of the same monotone counters, where
+// lhs >= rhs always holds and the clamp never fires. When callers compare
+// counters of two *different* runs (Fig. 4/6 style deltas), a field can
+// legitimately be smaller on the left; raw unsigned subtraction then
+// wraps to ~2^64 and poisons every derived metric. Clamp at zero instead.
+uint64_t SubClamped(uint64_t a, uint64_t b) { return a >= b ? a - b : 0; }
 }  // namespace
 
 CounterSet& CounterSet::operator+=(const CounterSet& o) {
@@ -40,29 +48,39 @@ CounterSet& CounterSet::operator+=(const CounterSet& o) {
 }
 
 CounterSet CounterSet::operator-(const CounterSet& o) const {
-  CounterSet r = *this;
-  r.host_random_read_bytes -= o.host_random_read_bytes;
-  r.host_seq_read_bytes -= o.host_seq_read_bytes;
-  r.host_write_bytes -= o.host_write_bytes;
-  r.translation_requests -= o.translation_requests;
-  r.tlb_hits -= o.tlb_hits;
-  r.hbm_read_bytes -= o.hbm_read_bytes;
-  r.hbm_write_bytes -= o.hbm_write_bytes;
-  r.l1_hits -= o.l1_hits;
-  r.l2_hits -= o.l2_hits;
-  r.l2_misses -= o.l2_misses;
-  r.warp_steps -= o.warp_steps;
-  r.memory_transactions -= o.memory_transactions;
-  r.kernel_launches -= o.kernel_launches;
-  r.serial_dependent_loads -= o.serial_dependent_loads;
-  r.faults_injected -= o.faults_injected;
-  r.translation_timeouts -= o.translation_timeouts;
-  r.remote_read_errors -= o.remote_read_errors;
-  r.degradation_episodes -= o.degradation_episodes;
-  r.alloc_faults -= o.alloc_faults;
-  r.fault_retries -= o.fault_retries;
-  r.fault_backoff_nanos -= o.fault_backoff_nanos;
-  r.degraded_host_bytes -= o.degraded_host_bytes;
+  CounterSet r;
+  r.host_random_read_bytes =
+      SubClamped(host_random_read_bytes, o.host_random_read_bytes);
+  r.host_seq_read_bytes =
+      SubClamped(host_seq_read_bytes, o.host_seq_read_bytes);
+  r.host_write_bytes = SubClamped(host_write_bytes, o.host_write_bytes);
+  r.translation_requests =
+      SubClamped(translation_requests, o.translation_requests);
+  r.tlb_hits = SubClamped(tlb_hits, o.tlb_hits);
+  r.hbm_read_bytes = SubClamped(hbm_read_bytes, o.hbm_read_bytes);
+  r.hbm_write_bytes = SubClamped(hbm_write_bytes, o.hbm_write_bytes);
+  r.l1_hits = SubClamped(l1_hits, o.l1_hits);
+  r.l2_hits = SubClamped(l2_hits, o.l2_hits);
+  r.l2_misses = SubClamped(l2_misses, o.l2_misses);
+  r.warp_steps = SubClamped(warp_steps, o.warp_steps);
+  r.memory_transactions =
+      SubClamped(memory_transactions, o.memory_transactions);
+  r.kernel_launches = SubClamped(kernel_launches, o.kernel_launches);
+  r.serial_dependent_loads =
+      SubClamped(serial_dependent_loads, o.serial_dependent_loads);
+  r.faults_injected = SubClamped(faults_injected, o.faults_injected);
+  r.translation_timeouts =
+      SubClamped(translation_timeouts, o.translation_timeouts);
+  r.remote_read_errors =
+      SubClamped(remote_read_errors, o.remote_read_errors);
+  r.degradation_episodes =
+      SubClamped(degradation_episodes, o.degradation_episodes);
+  r.alloc_faults = SubClamped(alloc_faults, o.alloc_faults);
+  r.fault_retries = SubClamped(fault_retries, o.fault_retries);
+  r.fault_backoff_nanos =
+      SubClamped(fault_backoff_nanos, o.fault_backoff_nanos);
+  r.degraded_host_bytes =
+      SubClamped(degraded_host_bytes, o.degraded_host_bytes);
   return r;
 }
 

@@ -65,7 +65,15 @@ struct CounterSet {
   uint64_t hbm_bytes() const { return hbm_read_bytes + hbm_write_bytes; }
 
   CounterSet& operator+=(const CounterSet& o);
+
+  // Per-field *saturating* difference. Snapshot deltas (later - earlier of
+  // the same monotone counters) are exact; comparing two unrelated runs
+  // clamps each field at zero instead of wrapping past 2^64.
   CounterSet operator-(const CounterSet& o) const;
+
+  // Field-wise equality (used by the observer bit-identity regression
+  // tests: attaching tracing must never change a counter).
+  bool operator==(const CounterSet& o) const = default;
 
   // Scales every counter by `factor` (used to extrapolate a sampled run to
   // the full workload size). Rounds to nearest.

@@ -38,9 +38,8 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
     // installed), so a repeated touch is an L1 hit of the MRU entry.
     l1_.TouchMru();
     ++counters_.l1_hits;
-    if (observer_ != nullptr) {
-      observer_->OnTransaction(line_id << line_shift_, ServiceLevel::kL1,
-                               is_write);
+    if (!observers_.empty()) {
+      NotifyTransaction(line_id << line_shift_, ServiceLevel::kL1, is_write);
     }
     return;
   }
@@ -48,15 +47,15 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
   const mem::VirtAddr addr = line_id << line_shift_;
   if (l1_.Access(line_id)) {
     ++counters_.l1_hits;
-    if (observer_ != nullptr) {
-      observer_->OnTransaction(addr, ServiceLevel::kL1, is_write);
+    if (!observers_.empty()) {
+      NotifyTransaction(addr, ServiceLevel::kL1, is_write);
     }
     return;
   }
   if (l2_.Access(line_id)) {
     ++counters_.l2_hits;
-    if (observer_ != nullptr) {
-      observer_->OnTransaction(addr, ServiceLevel::kL2, is_write);
+    if (!observers_.empty()) {
+      NotifyTransaction(addr, ServiceLevel::kL2, is_write);
     }
     return;
   }
@@ -64,12 +63,12 @@ void MemoryModel::TouchLine(uint64_t line_id, AccessType type, bool random) {
 
   const mem::MemKind kind = space_->KindOf(addr);
   const uint64_t line = gpu_.cacheline_bytes;
-  if (observer_ != nullptr) {
-    observer_->OnTransaction(addr,
-                             kind == mem::MemKind::kDevice
-                                 ? ServiceLevel::kHbm
-                                 : ServiceLevel::kInterconnect,
-                             is_write);
+  if (!observers_.empty()) {
+    NotifyTransaction(addr,
+                      kind == mem::MemKind::kDevice
+                          ? ServiceLevel::kHbm
+                          : ServiceLevel::kInterconnect,
+                      is_write);
   }
   if (kind == mem::MemKind::kDevice) {
     if (type == AccessType::kRead) {
@@ -194,8 +193,9 @@ void MemoryModel::Gather(const mem::VirtAddr* addrs, uint32_t mask,
 void MemoryModel::Stream(mem::VirtAddr base, uint64_t bytes,
                          AccessType type) {
   if (bytes == 0) return;
-  if (observer_ != nullptr) {
-    observer_->OnStream(base, bytes, type == AccessType::kWrite);
+  if (!observers_.empty()) {
+    const bool is_write = type == AccessType::kWrite;
+    for (AccessObserver* o : observers_) o->OnStream(base, bytes, is_write);
   }
   const uint64_t line = gpu_.cacheline_bytes;
   const uint64_t first_line = base / line;
@@ -280,6 +280,26 @@ Status MemoryModel::FaultCheckDeviceAlloc(uint64_t bytes,
         std::to_string(bytes) + " bytes)");
   }
   return Status::Ok();
+}
+
+void MemoryModel::AddObserver(AccessObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+void MemoryModel::RemoveObserver(AccessObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void MemoryModel::SetObserver(AccessObserver* observer) {
+  observers_.clear();
+  AddObserver(observer);
 }
 
 void MemoryModel::ClearHardwareState() {

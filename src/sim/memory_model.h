@@ -17,6 +17,8 @@
 
 namespace gpujoin::sim {
 
+class PhaseSink;
+
 enum class AccessType : uint8_t { kRead, kWrite };
 
 // The GPU's view of memory: an L1/L2 cache hierarchy in front of device
@@ -81,9 +83,23 @@ class MemoryModel {
 
   void AddKernelLaunch() { ++counters_.kernel_launches; }
 
-  // Attaches an access observer (e.g. a TraceRecorder) that sees every
-  // transaction; pass nullptr to detach. Not owned.
-  void SetObserver(AccessObserver* observer) { observer_ = observer; }
+  // Observer fan-out: every attached observer (e.g. a TraceRecorder and a
+  // PhaseTimeline at the same time) sees every transaction and stream.
+  // Observers are not owned; attach order is notification order. Adding a
+  // nullptr or an already-attached observer is a no-op.
+  void AddObserver(AccessObserver* observer);
+  void RemoveObserver(AccessObserver* observer);
+  // Single-observer convenience (pre-fan-out API): detaches every
+  // observer, then attaches `observer` (nullptr just detaches all).
+  void SetObserver(AccessObserver* observer);
+  size_t observer_count() const { return observers_.size(); }
+
+  // Attaches the receiver of pipeline phase marks (see sim/phase.h); pass
+  // nullptr to detach. Not owned. Kernels read this via phase_sink() and
+  // bracket their stages with PhaseScope/WindowScope, which are no-ops
+  // when detached — counters are never touched by phase marks either way.
+  void SetPhaseSink(PhaseSink* sink) { phase_sink_ = sink; }
+  PhaseSink* phase_sink() const { return phase_sink_; }
 
   // Attaches a fault injector consulted on the interconnect path
   // (translations, host-bound lines) and on device reservations; pass
@@ -190,8 +206,16 @@ class MemoryModel {
   Cache l1_;
   Cache l2_;
   Tlb tlb_;
+  // Notifies all attached observers. Callers guard on observers_.empty()
+  // so the detached hot path stays a single branch.
+  void NotifyTransaction(mem::VirtAddr addr, ServiceLevel level,
+                         bool is_write) {
+    for (AccessObserver* o : observers_) o->OnTransaction(addr, level, is_write);
+  }
+
   CounterSet counters_;
-  AccessObserver* observer_ = nullptr;
+  std::vector<AccessObserver*> observers_;
+  PhaseSink* phase_sink_ = nullptr;
   FaultInjector* fault_ = nullptr;
 
   // Same-line fast path: the line of the previous TouchLine is always

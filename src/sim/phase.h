@@ -1,0 +1,94 @@
+#ifndef GPUJOIN_SIM_PHASE_H_
+#define GPUJOIN_SIM_PHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/counters.h"
+
+namespace gpujoin::sim {
+
+// One aggregated simulated-time span of a pipeline stage, produced by an
+// attached obs::PhaseTimeline. Spans with the same (name, window) are
+// accumulated: the join kernel opens "probe.lookup" once per warp, but
+// the timeline reports one span per stage per window.
+//
+// Spans are recorded at *simulated-sample* scale (the counters the stage
+// actually accumulated while simulating), not extrapolated to the full
+// workload — they are a profile of where simulated time goes, parallel
+// to the extrapolated RunResult totals.
+struct PhaseSpan {
+  // No tumbling window (unpartitioned / fully-partitioned pipelines, or
+  // stages outside the window loop).
+  static constexpr int64_t kNoWindow = -1;
+
+  std::string name;
+  int64_t window = kNoWindow;  // tumbling-window ordinal, or kNoWindow
+  CounterSet delta;            // counters accumulated inside the span
+  double seconds = 0;          // cost-model time of `delta` (0 if no model)
+  uint64_t enter_count = 0;    // how many begin/end pairs were aggregated
+  // Traffic seen through the AccessObserver fan-out while the span was
+  // open (line transactions and bulk stream bytes).
+  uint64_t observed_transactions = 0;
+  uint64_t observed_stream_bytes = 0;
+};
+
+// Receiver for pipeline stage marks. The simulated kernels bracket their
+// stages (partition histogram, scatter, index probe, materialize, each
+// tumbling window) with Begin/End calls; a MemoryModel forwards them to
+// the attached sink, so profiling costs one branch per mark when
+// detached and never touches the CounterSet either way.
+class PhaseSink {
+ public:
+  virtual ~PhaseSink() = default;
+
+  // Begin/End nest like a stack; End closes the innermost open phase.
+  virtual void BeginPhase(std::string_view name) = 0;
+  virtual void EndPhase() = 0;
+
+  // Brackets one tumbling window of the windowed INLJ. Phases opened
+  // inside are attributed to this window ordinal; the window itself is
+  // recorded as an aggregate "window" span.
+  virtual void BeginWindow(uint64_t ordinal) = 0;
+  virtual void EndWindow() = 0;
+};
+
+// RAII phase mark, null-safe: `PhaseScope s(memory.phase_sink(), "x");`
+// is a no-op when no sink is attached.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseSink* sink, std::string_view name) : sink_(sink) {
+    if (sink_ != nullptr) sink_->BeginPhase(name);
+  }
+  ~PhaseScope() {
+    if (sink_ != nullptr) sink_->EndPhase();
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseSink* sink_;
+};
+
+// RAII tumbling-window mark, null-safe like PhaseScope.
+class WindowScope {
+ public:
+  WindowScope(PhaseSink* sink, uint64_t ordinal) : sink_(sink) {
+    if (sink_ != nullptr) sink_->BeginWindow(ordinal);
+  }
+  ~WindowScope() {
+    if (sink_ != nullptr) sink_->EndWindow();
+  }
+
+  WindowScope(const WindowScope&) = delete;
+  WindowScope& operator=(const WindowScope&) = delete;
+
+ private:
+  PhaseSink* sink_;
+};
+
+}  // namespace gpujoin::sim
+
+#endif  // GPUJOIN_SIM_PHASE_H_

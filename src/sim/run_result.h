@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/counters.h"
+#include "sim/phase.h"
 
 namespace gpujoin::sim {
 
@@ -51,6 +52,11 @@ struct RunResult {
   void AddStage(std::string name, double t) {
     stages.emplace_back(std::move(name), t);
   }
+
+  // Per-stage profile recorded by an attached obs::PhaseTimeline (empty
+  // when the experiment ran unobserved). Spans are at simulated-sample
+  // scale, not extrapolated — see sim/phase.h.
+  std::vector<PhaseSpan> phase_spans;
 };
 
 }  // namespace gpujoin::sim

@@ -7,6 +7,10 @@ namespace gpujoin {
 
 namespace {
 
+// Unit selection is sign-preserving: the magnitude picks the suffix and
+// the precision, and the sign rides along. An exact zero never invents a
+// suffix ("0 B", not "0.0 ns"), and an empty suffix leaves no trailing
+// space ("999", not "999 ").
 std::string FormatWithSuffix(double value, const char* const* suffixes,
                              int num_suffixes, double base) {
   int idx = 0;
@@ -15,13 +19,15 @@ std::string FormatWithSuffix(double value, const char* const* suffixes,
     v /= base;
     ++idx;
   }
+  const char* suffix = suffixes[idx];
+  const char* sep = suffix[0] == '\0' ? "" : " ";
   char buf[64];
   if (v == 0 || std::fabs(v) >= 100) {
-    std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffixes[idx]);
+    std::snprintf(buf, sizeof(buf), "%.0f%s%s", v, sep, suffix);
   } else if (std::fabs(v) >= 10) {
-    std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffixes[idx]);
+    std::snprintf(buf, sizeof(buf), "%.1f%s%s", v, sep, suffix);
   } else {
-    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+    std::snprintf(buf, sizeof(buf), "%.2f%s%s", v, sep, suffix);
   }
   return buf;
 }
@@ -40,12 +46,17 @@ std::string FormatCount(double count) {
 }
 
 std::string FormatSeconds(double seconds) {
+  // The magnitude selects the unit so negative durations (deltas between
+  // two runs) read as "-2.000 s", not "-2000000000.0 ns".
+  const double mag = std::fabs(seconds);
   char buf[64];
-  if (seconds >= 1.0) {
+  if (seconds == 0) {
+    return "0 s";
+  } else if (mag >= 1.0) {
     std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
-  } else if (seconds >= 1e-3) {
+  } else if (mag >= 1e-3) {
     std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
-  } else if (seconds >= 1e-6) {
+  } else if (mag >= 1e-6) {
     std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
   } else {
     std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);

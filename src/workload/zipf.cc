@@ -1,5 +1,6 @@
 #include "workload/zipf.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -56,9 +57,19 @@ uint64_t ZipfSampler::Sample(Xoshiro256& rng) const {
 }
 
 double ZipfSampler::HottestProbability() const {
-  // The rejection-inversion integral from 0.5 to n+0.5 approximates the
-  // generalized harmonic number well for all n we use.
-  const double sum = h_n_ - H(0.5);
+  // The sampler draws rank k with probability k^-s / H_{n,s} exactly, so
+  // the hottest rank's frequency is 1 / H_{n,s}. Approximating H_{n,s} by
+  // the rejection-inversion integral alone (H(n+0.5) - H(0.5)) is ~1% off
+  // around the s = 1 singularity — the midpoint rule is worst on the
+  // first, steepest terms. Sum those terms exactly and use the integral
+  // only for the flat tail, where its error is negligible; the tail goes
+  // through the same Taylor-guarded helpers as sampling, so s = 1 is not
+  // special.
+  static constexpr uint64_t kExactHead = 1024;
+  const uint64_t head = std::min(n_, kExactHead);
+  double sum = 0;
+  for (uint64_t k = 1; k <= head; ++k) sum += Pmf(static_cast<double>(k));
+  if (head < n_) sum += h_n_ - H(static_cast<double>(head) + 0.5);
   return 1.0 / sum;
 }
 

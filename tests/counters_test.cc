@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/counters.h"
+
+namespace gpujoin::sim {
+namespace {
+
+CounterSet Filled(uint64_t v) {
+  CounterSet c;
+  c.host_random_read_bytes = v;
+  c.host_seq_read_bytes = v;
+  c.host_write_bytes = v;
+  c.translation_requests = v;
+  c.tlb_hits = v;
+  c.hbm_read_bytes = v;
+  c.hbm_write_bytes = v;
+  c.l1_hits = v;
+  c.l2_hits = v;
+  c.l2_misses = v;
+  c.warp_steps = v;
+  c.memory_transactions = v;
+  c.kernel_launches = v;
+  c.serial_dependent_loads = v;
+  c.faults_injected = v;
+  c.translation_timeouts = v;
+  c.remote_read_errors = v;
+  c.degradation_episodes = v;
+  c.alloc_faults = v;
+  c.fault_retries = v;
+  c.fault_backoff_nanos = v;
+  c.degraded_host_bytes = v;
+  return c;
+}
+
+TEST(CounterSetDelta, ExactWhenMonotone) {
+  const CounterSet later = Filled(10);
+  const CounterSet earlier = Filled(3);
+  const CounterSet delta = later - earlier;
+  EXPECT_EQ(delta, Filled(7));
+}
+
+TEST(CounterSetDelta, ClampsAtZeroWhenRhsLarger) {
+  // Comparing two unrelated runs where the subtrahend is bigger must
+  // saturate per field, not wrap to ~2^64.
+  const CounterSet small = Filled(3);
+  const CounterSet big = Filled(10);
+  const CounterSet delta = small - big;
+  EXPECT_EQ(delta, CounterSet{});
+}
+
+TEST(CounterSetDelta, ClampsPerFieldIndependently) {
+  CounterSet a;
+  a.translation_requests = 100;
+  a.l1_hits = 5;
+  CounterSet b;
+  b.translation_requests = 40;
+  b.l1_hits = 50;  // larger than a's — this field clamps, others don't
+  const CounterSet delta = a - b;
+  EXPECT_EQ(delta.translation_requests, 60u);
+  EXPECT_EQ(delta.l1_hits, 0u);
+  EXPECT_EQ(delta.interconnect_bytes(), 0u);
+}
+
+TEST(CounterSetDelta, NeverWrapsNearUint64Max) {
+  CounterSet a;
+  CounterSet b;
+  b.warp_steps = UINT64_MAX;
+  const CounterSet delta = a - b;
+  EXPECT_EQ(delta.warp_steps, 0u);
+}
+
+TEST(CounterSet, AccumulateThenSubtractRoundTrips) {
+  CounterSet total = Filled(5);
+  const CounterSet more = Filled(2);
+  total += more;
+  EXPECT_EQ(total, Filled(7));
+  EXPECT_EQ(total - more, Filled(5));
+}
+
+TEST(CounterSet, EqualityIsFieldWise) {
+  CounterSet a = Filled(1);
+  CounterSet b = Filled(1);
+  EXPECT_EQ(a, b);
+  b.degraded_host_bytes = 2;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace gpujoin::sim

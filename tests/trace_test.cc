@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "core/experiment.h"
 #include "index/radix_spline.h"
 #include "join/cpu_reference.h"
 #include "mem/address_space.h"
+#include "obs/phase_timeline.h"
 #include "sim/gpu.h"
+#include "sim/phase.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -89,6 +92,64 @@ TEST_F(TraceTest, ExplainsIndexLookupTraffic) {
 
   EXPECT_GT(trace_.ForRegion("rs.radix").transactions, 0u);
   EXPECT_GT(trace_.ForRegion("R.dense_keys").transactions, 0u);
+}
+
+TEST_F(TraceTest, CoexistsWithPhaseTimeline) {
+  // Observer fan-out: a TraceRecorder and a PhaseTimeline attached to the
+  // same model both see every event.
+  obs::PhaseTimeline timeline(&model_);
+  timeline.AttachTo(&model_);
+  EXPECT_EQ(model_.observer_count(), 2u);
+
+  {
+    PhaseScope phase(model_.phase_sink(), "probe.lookup");
+    model_.Access(host_.base, 8, AccessType::kRead);
+    model_.Stream(device_.base, 1024, AccessType::kWrite);
+  }
+
+  EXPECT_EQ(trace_.ForRegion("base_data").transactions, 1u);
+  EXPECT_EQ(trace_.ForRegion("results").stream_bytes, 1024u);
+  const auto spans = timeline.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].observed_transactions, 1u);
+  EXPECT_EQ(spans[0].observed_stream_bytes, 1024u);
+
+  timeline.DetachFrom(&model_);
+  EXPECT_EQ(model_.observer_count(), 1u);  // the trace recorder stays
+}
+
+TEST(ObserverBitIdentity, CountersIdenticalWithAndWithoutObservers) {
+  // The regression the observability layer is built around: attaching a
+  // TraceRecorder + PhaseTimeline must not change a single counter of an
+  // otherwise identical run.
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 30;
+  cfg.s_tuples = uint64_t{1} << 20;
+  cfg.s_sample = uint64_t{1} << 12;
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  cfg.inlj.window_tuples = uint64_t{1} << 18;
+
+  auto plain = core::Experiment::Create(cfg);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  const RunResult plain_run = (*plain)->RunInlj().value();
+  ASSERT_TRUE((*plain)->trace_recorder() == nullptr);
+  EXPECT_TRUE(plain_run.phase_spans.empty());
+
+  auto observed = core::Experiment::Create(cfg);
+  ASSERT_TRUE(observed.ok());
+  (*observed)->EnableObservability();
+  const RunResult observed_run = (*observed)->RunInlj().value();
+  EXPECT_FALSE(observed_run.phase_spans.empty());
+
+  EXPECT_EQ(plain_run.counters, observed_run.counters);
+  EXPECT_DOUBLE_EQ(plain_run.seconds, observed_run.seconds);
+  EXPECT_EQ(plain_run.result_tuples, observed_run.result_tuples);
+
+  // And the hash join path too.
+  const RunResult plain_hj = (*plain)->RunHashJoin().value();
+  const RunResult observed_hj = (*observed)->RunHashJoin().value();
+  EXPECT_EQ(plain_hj.counters, observed_hj.counters);
 }
 
 TEST(ServiceLevelNames, AllNamed) {

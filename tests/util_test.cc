@@ -146,10 +146,37 @@ TEST(Units, FormatBytes) {
   EXPECT_EQ(FormatBytes(3.5 * kGiB), "3.50 GiB");
 }
 
+TEST(Units, FormatBytesBoundaries) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(1023), "1023 B");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+}
+
+TEST(Units, FormatCountBoundaries) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1.00 K");
+}
+
+TEST(Units, FormatNegativeValues) {
+  // Deltas between two runs can be negative; the sign must ride along
+  // with the magnitude-selected unit instead of corrupting it.
+  EXPECT_EQ(FormatBytes(-2048), "-2.00 KiB");
+  EXPECT_EQ(FormatCount(-1500), "-1.50 K");
+  EXPECT_EQ(FormatCount(-999), "-999");
+}
+
 TEST(Units, FormatSeconds) {
   EXPECT_EQ(FormatSeconds(2.0), "2.000 s");
   EXPECT_EQ(FormatSeconds(0.002), "2.000 ms");
   EXPECT_EQ(FormatSeconds(2e-6), "2.000 us");
+}
+
+TEST(Units, FormatSecondsBoundaries) {
+  EXPECT_EQ(FormatSeconds(0), "0 s");
+  EXPECT_EQ(FormatSeconds(-2.0), "-2.000 s");
+  EXPECT_EQ(FormatSeconds(-0.002), "-2.000 ms");
+  EXPECT_EQ(FormatSeconds(5e-10), "0.5 ns");
 }
 
 // --- flags ------------------------------------------------------------

@@ -137,6 +137,34 @@ TEST(Zipf, FollowsPowerLaw) {
   EXPECT_NEAR(ratio, 10.0, 3.0);
 }
 
+TEST(Zipf, HottestProbabilityContinuousAcrossExponentOne) {
+  // s == 1 is a separate analytic branch (logarithmic harmonic sum);
+  // property-check it against the empirical rank-0 frequency and against
+  // its neighbors so the branch can't drift from the generic formula.
+  const uint64_t n = 10000;
+  const double p_low = ZipfSampler(n, 0.999).HottestProbability();
+  const double p_one = ZipfSampler(n, 1.0).HottestProbability();
+  const double p_high = ZipfSampler(n, 1.001).HottestProbability();
+  EXPECT_LT(p_low, p_one);
+  EXPECT_LT(p_one, p_high);
+  EXPECT_NEAR(p_low, p_one, 5e-4);
+  EXPECT_NEAR(p_high, p_one, 5e-4);
+
+  int seed = 7;
+  for (double exponent : {0.999, 1.0, 1.001}) {
+    ZipfSampler zipf(n, exponent);
+    Xoshiro256 rng(seed++);
+    int rank0 = 0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i) {
+      if (zipf.Sample(rng) == 0) ++rank0;
+    }
+    EXPECT_NEAR(zipf.HottestProbability(),
+                static_cast<double>(rank0) / draws, 0.01)
+        << "exponent " << exponent;
+  }
+}
+
 TEST(Zipf, HugeDomainsSampleInConstantTime) {
   // The paper's R reaches 2^33.9 tuples; sampling must not need tables.
   ZipfSampler zipf(uint64_t{1} << 34, 1.75);
