@@ -41,10 +41,13 @@ int Main(int argc, char** argv) {
         EmitRun(sink, ci * 2 + static_cast<uint64_t>(overlap),
                 std::move(rec), res, exp->get());
       }
+      // A failed Experiment::Create leaves its qps slot at 0; dividing
+      // through would print inf/nan in the speedup column.
       return std::vector<std::string>{
           TablePrinter::Num(static_cast<double>(window * 8) / kMiB, 0),
           TablePrinter::Num(qps[1], 3), TablePrinter::Num(qps[0], 3),
-          TablePrinter::Num(qps[1] / qps[0], 2) + "x"};
+          qps[0] > 0 ? TablePrinter::Num(qps[1] / qps[0], 2) + "x"
+                     : std::string("n/a")};
     });
     ++ci;
   }

@@ -40,6 +40,7 @@ int Main(int argc, char** argv) {
       cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
       cfg.inlj.window_tuples = uint64_t{4} << 20;
       auto windowed = core::Experiment::Create(cfg);
+      if (!windowed.ok()) return std::vector<std::string>{};
       MaybeObserve(sink, **windowed);
       const sim::RunResult windowed_run = (*windowed)->RunInlj().value();
       const double windowed_qps = windowed_run.qps();
@@ -58,7 +59,8 @@ int Main(int argc, char** argv) {
           TablePrinter::Num(naive_qps, 3),
           TablePrinter::Num(windowed_qps, 3),
           TablePrinter::Num(hj_qps, 3),
-          TablePrinter::Num(windowed_qps / hj_qps, 1) + "x"};
+          hj_qps > 0 ? TablePrinter::Num(windowed_qps / hj_qps, 1) + "x"
+                     : std::string("n/a")};
     });
     ++ci;
   }

@@ -38,6 +38,11 @@ int Main(int argc, char** argv) {
 
         cfg.inlj.mode = core::InljConfig::PartitionMode::kFull;
         auto part = core::Experiment::Create(cfg);
+        if (!part.ok()) {
+          row.push_back("OOM");
+          ++sub;
+          continue;
+        }
         MaybeObserve(sink, **part);
         const sim::RunResult part_run = (*part)->RunInlj().value();
 

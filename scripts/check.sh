@@ -35,6 +35,14 @@ build-release/bench/ablation_fault_recovery --json "$METRICS_TMP" \
   > /dev/null
 python3 scripts/validate_metrics.py "$METRICS_TMP"
 
+# Serving-layer smoke: a short latency sweep must run end to end and emit
+# schema-valid records (histogram metric kind included).
+SERVE_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP"' EXIT
+build-release/bench/serve_latency --requests 2000 --json "$SERVE_TMP" \
+  > /dev/null
+python3 scripts/validate_metrics.py "$SERVE_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -44,7 +52,7 @@ for san in "${SANITIZERS[@]}"; do
   # suite doesn't, and the observer fan-out / JSON emission paths are new;
   # give them a dedicated pass under each sanitizer.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test'
 done
 
 echo "=== all configurations passed ==="

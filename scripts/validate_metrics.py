@@ -39,7 +39,9 @@ TRACE_REGION_FIELDS = [
     "stream_bytes", "writes",
 ]
 
-METRIC_KINDS = {"scalar", "counter", "ratio"}
+METRIC_KINDS = {"scalar", "counter", "ratio", "histogram"}
+
+HISTOGRAM_FIELDS = ["sum", "min", "max", "p50", "p95", "p99"]
 
 
 def err(errors, where, msg):
@@ -124,6 +126,12 @@ def check_metrics(errors, where, metrics):
             err(errors, w, "unit must be a string")
         if kind == "counter":
             check_uint(errors, w, m, "value")
+        elif kind == "histogram":
+            check_uint(errors, w, m, "count")
+            for field in HISTOGRAM_FIELDS:
+                v = m.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    err(errors, w, f"{field} must be a number, got {v!r}")
         else:
             v = m.get("value")
             if v is not None and (not isinstance(v, (int, float))

@@ -124,13 +124,17 @@ void Experiment::DisableObservability() {
   }
 }
 
-Result<sim::RunResult> Experiment::RunInlj() {
+void Experiment::ResetForRun() {
   gpu_->memory().ClearHardwareState();
   if (fault_injector_ != nullptr) fault_injector_->Reset();
   if (trace_ != nullptr) trace_->Reset();
   if (timeline_ != nullptr) timeline_->Reset();
+}
+
+Result<sim::RunResult> Experiment::RunInlj(std::vector<JoinMatch>* collect) {
+  ResetForRun();
   Result<sim::RunResult> result =
-      IndexNestedLoopJoin::Run(*gpu_, *index_, s_, config_.inlj);
+      IndexNestedLoopJoin::Run(*gpu_, *index_, s_, config_.inlj, collect);
   if (result.ok() && timeline_ != nullptr) {
     result->phase_spans = timeline_->Spans();
   }
@@ -138,10 +142,7 @@ Result<sim::RunResult> Experiment::RunInlj() {
 }
 
 Result<sim::RunResult> Experiment::RunHashJoin() {
-  gpu_->memory().ClearHardwareState();
-  if (fault_injector_ != nullptr) fault_injector_->Reset();
-  if (trace_ != nullptr) trace_->Reset();
-  if (timeline_ != nullptr) timeline_->Reset();
+  ResetForRun();
   Result<sim::RunResult> result =
       join::HashJoin::Run(*gpu_, *r_, s_, config_.hash_join);
   if (result.ok() && timeline_ != nullptr) {

@@ -87,8 +87,15 @@ class Experiment {
   // Runs the configured INLJ variant. Hardware state (caches, TLB) and
   // the fault injector are reset first so runs are independent and
   // mutually reproducible. Fails when an injected fault is unrecoverable
-  // under the configured recovery policy.
-  Result<sim::RunResult> RunInlj();
+  // under the configured recovery policy. A non-null `collect` receives
+  // every sample-scale match (see IndexNestedLoopJoin::Run).
+  Result<sim::RunResult> RunInlj(std::vector<JoinMatch>* collect = nullptr);
+
+  // The reset each Run* performs (hardware state, fault injector,
+  // observers). Drivers that feed the simulated GPU directly — the
+  // serving layer's RequestServer — call this once before their run so
+  // they start from the same state as a batch run.
+  void ResetForRun();
 
   // Runs the hash-join baseline on the same data. Fails if the hash
   // table would exceed GPU memory.

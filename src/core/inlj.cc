@@ -1,100 +1,20 @@
 #include "core/inlj.h"
 
 #include "core/join_kernel.h"
+#include "core/window_join.h"
 
 #include <algorithm>
-#include <array>
-#include <bit>
 #include <cmath>
 #include <string>
 #include <vector>
 
-#include "partition/radix_partitioner.h"
 #include "sim/phase.h"
 #include "util/bit_util.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace gpujoin::core {
 
 namespace {
-
-using partition::PartitionedKeys;
-using partition::RadixPartitioner;
-using workload::Key;
-
-// Degradation events observed while running (simulated-sample scale;
-// extrapolated to full scale by the caller).
-struct ChunkStats {
-  uint64_t spilled_tuples = 0;
-  uint64_t spill_buckets = 0;
-  uint64_t degraded_windows = 0;
-  uint64_t fallback_windows = 0;
-};
-
-// Partitions and joins s[begin, begin+count) as one unit of work,
-// applying the recovery ladder on failure:
-//   partition-bucket overflow  -> spill chains (inside the partitioner)
-//   allocation failure         -> halve the chunk and retry each half
-//   still unpartitionable      -> join this chunk unpartitioned
-//   anything else / fail-stop  -> propagate the error Status
-// `top_level` marks the original window so a window halved more than once
-// counts as one degraded window.
-Status RunChunk(sim::Gpu& gpu, const index::Index& index,
-                const workload::ProbeRelation& s,
-                const RadixPartitioner& partitioner,
-                const InljConfig& config, uint64_t begin, uint64_t count,
-                mem::VirtAddr result_base, sim::KernelRun* part,
-                sim::KernelRun* join, uint64_t* matches, ChunkStats* stats,
-                bool top_level) {
-  partition::PartitionOptions popts;
-  popts.bucket_slack = config.bucket_slack;
-  popts.spill_on_overflow = config.recovery.spill_on_overflow;
-
-  Result<PartitionedKeys> parts = partitioner.Partition(
-      gpu, s.keys.data().data() + begin, count, s.keys.addr_of(begin),
-      begin, part, popts);
-  if (parts.ok()) {
-    stats->spilled_tuples += parts->spilled_tuples;
-    stats->spill_buckets += parts->spill_buckets;
-    join->Merge(internal::RunJoinKernel(
-        gpu, index, parts->keys.data(), parts->row_ids.data(), count,
-        parts->tuple_addr(0), result_base, config.probe_filter_selectivity,
-        matches));
-    return gpu.memory().fault_status();
-  }
-
-  // An unrecoverable injected fault (retry budget exhausted) ends the
-  // run regardless of policy.
-  Status fatal = gpu.memory().fault_status();
-  if (!fatal.ok()) return fatal;
-  if (parts.status().code() != StatusCode::kResourceExhausted) {
-    return parts.status();
-  }
-
-  if (config.recovery.shrink_window_on_alloc_failure && count >= 64) {
-    if (top_level) ++stats->degraded_windows;
-    const uint64_t half = count / 2;
-    Status st = RunChunk(gpu, index, s, partitioner, config, begin, half,
-                         result_base, part, join, matches, stats,
-                         /*top_level=*/false);
-    if (!st.ok()) return st;
-    return RunChunk(gpu, index, s, partitioner, config, begin + half,
-                    count - half, result_base, part, join, matches, stats,
-                    /*top_level=*/false);
-  }
-
-  if (config.recovery.fallback_to_unpartitioned) {
-    ++stats->fallback_windows;
-    join->Merge(internal::RunJoinKernel(
-        gpu, index, s.keys.data().data() + begin, nullptr, count,
-        s.keys.addr_of(begin), result_base, config.probe_filter_selectivity,
-        matches));
-    return gpu.memory().fault_status();
-  }
-
-  return parts.status();
-}
 
 uint64_t ScaleStat(uint64_t v, double f) {
   return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
@@ -116,7 +36,8 @@ const char* PartitionModeName(InljConfig::PartitionMode mode) {
 
 Result<sim::RunResult> IndexNestedLoopJoin::Run(
     sim::Gpu& gpu, const index::Index& index,
-    const workload::ProbeRelation& s, const InljConfig& config) {
+    const workload::ProbeRelation& s, const InljConfig& config,
+    std::vector<JoinMatch>* collect) {
   if (config.mode == InljConfig::PartitionMode::kWindowed) {
     if (config.window_tuples < sim::Warp::kWidth) {
       return Status::InvalidArgument(
@@ -126,45 +47,26 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
     }
   }
 
-  mem::AddressSpace& space = gpu.memory().space();
   const double scale = s.scale();
   const uint64_t sample = s.sample_size();
-
-  // Result buffer: GPU memory by default (Sec. 3.2), CPU memory when
-  // spilling (footnote 1). A fault-injected device allocation failure
-  // degrades to the CPU-memory placement when the policy allows it.
-  mem::Region result_region;
-  bool result_fell_back_to_host = false;
-  {
-    Result<mem::Region> r = gpu.memory().TryReserve(
-        sample * 16,
-        config.spill_results_to_host ? mem::MemKind::kHost
-                                     : mem::MemKind::kDevice,
-        "inlj.result");
-    if (r.ok()) {
-      result_region = *r;
-    } else if (config.recovery.spill_results_on_alloc_failure) {
-      result_region =
-          space.Reserve(sample * 16, mem::MemKind::kHost, "inlj.result");
-      result_fell_back_to_host = true;
-    } else {
-      return r.status();
-    }
-  }
 
   sim::RunResult result;
   result.label = std::string("inlj_") + index.name();
   result.probe_tuples = s.full_size;
-  result.result_buffer_on_host = result_fell_back_to_host;
   uint64_t matches = 0;
-  ChunkStats stats;
+  WindowStats stats;
 
   switch (config.mode) {
     case InljConfig::PartitionMode::kNone: {
+      Result<internal::ResultBuffer> buffer =
+          internal::ReserveResultBuffer(gpu, sample, config);
+      if (!buffer.ok()) return buffer.status();
+      result.result_buffer_on_host = buffer->on_host;
       sim::KernelRun join = internal::RunJoinKernel(
           gpu, index, s.keys.data().data(), nullptr, sample,
-          s.keys.addr_of(0), result_region.base,
-          config.probe_filter_selectivity, &matches);
+          s.keys.addr_of(0), buffer->region.base,
+          config.probe_filter_selectivity, &matches, /*row_id_base=*/0,
+          collect);
       Status st = gpu.memory().fault_status();
       if (!st.ok()) return st;
       join.counters = join.counters.Scaled(scale);
@@ -175,15 +77,20 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
     }
 
     case InljConfig::PartitionMode::kFull: {
+      Result<internal::ResultBuffer> buffer =
+          internal::ReserveResultBuffer(gpu, sample, config);
+      if (!buffer.ok()) return buffer.status();
+      result.result_buffer_on_host = buffer->on_host;
       Result<partition::RadixPartitionSpec> spec = partition::PlanPartitionBits(
           index.column(), config.max_partition_bits, config.ignore_lsb);
       if (!spec.ok()) return spec.status();
-      const RadixPartitioner partitioner(*spec);
+      const partition::RadixPartitioner partitioner(*spec);
       sim::KernelRun part{"partition", {}};
       sim::KernelRun join{"join", {}};
-      Status st = RunChunk(gpu, index, s, partitioner, config, 0, sample,
-                           result_region.base, &part, &join, &matches,
-                           &stats, /*top_level=*/true);
+      Status st = internal::RunChunk(gpu, index, s, partitioner, config, 0,
+                                     sample, buffer->region.base, &part,
+                                     &join, &matches, &stats,
+                                     /*top_level=*/true, collect);
       if (!st.ok()) return st;
       part.counters = part.counters.Scaled(scale);
       join.counters = join.counters.Scaled(scale);
@@ -202,10 +109,10 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
     }
 
     case InljConfig::PartitionMode::kWindowed: {
-      Result<partition::RadixPartitionSpec> spec = partition::PlanPartitionBits(
-          index.column(), config.max_partition_bits, config.ignore_lsb);
-      if (!spec.ok()) return spec.status();
-      const RadixPartitioner partitioner(*spec);
+      Result<WindowJoiner> joiner =
+          WindowJoiner::Create(gpu, index, s, config, sample);
+      if (!joiner.ok()) return joiner.status();
+      result.result_buffer_on_host = joiner->result_on_host();
 
       // Simulate windows over the sample. For range-restricted samples
       // (full density over a 1/scale slice of R), a simulated window of
@@ -227,24 +134,17 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
 
       sim::CounterSet part_avg;
       sim::CounterSet join_avg;
-      uint64_t simulated_tuples = 0;
+      double t_part = 0;
+      double t_join = 0;
       for (uint64_t w = 0; w < n_sim; ++w) {
         const uint64_t begin = w * w_sim;
         const uint64_t count = std::min(w_sim, sample - begin);
-        simulated_tuples += count;
-        // A real window's churn evicts the previous window's cache lines;
-        // the sampled windows must not inherit each other's state.
-        if (w > 0) gpu.memory().FlushCaches();
-
-        sim::WindowScope window(gpu.memory().phase_sink(), w);
-        sim::KernelRun part{"partition", {}};
-        sim::KernelRun join{"join", {}};
-        Status st = RunChunk(gpu, index, s, partitioner, config, begin,
-                             count, result_region.base, &part, &join,
-                             &matches, &stats, /*top_level=*/true);
-        if (!st.ok()) return st;
-        part_avg += part.counters;
-        join_avg += join.counters;
+        Result<WindowRun> run = joiner->RunWindow(begin, count, w, collect);
+        if (!run.ok()) return run.status();
+        part_avg += run->partition.counters;
+        join_avg += run->join.counters;
+        matches += run->matches;
+        stats += run->stats;
       }
 
       // Average per-window counters, normalized to one full-size window.
@@ -257,9 +157,9 @@ Result<sim::RunResult> IndexNestedLoopJoin::Run(
       part_avg.kernel_launches = 1;
       join_avg.kernel_launches = 1;
 
-      const double t_part = gpu.cost_model().Seconds(part_avg) +
-                            gpu.platform().gpu.stream_sync_overhead;
-      const double t_join = gpu.cost_model().Seconds(join_avg);
+      t_part = gpu.cost_model().Seconds(part_avg) +
+               gpu.platform().gpu.stream_sync_overhead;
+      t_join = gpu.cost_model().Seconds(join_avg);
       if (config.overlap && n_full > 1) {
         // Two CUDA streams: window t's partition overlaps window t-1's
         // join (Sec. 5.1).

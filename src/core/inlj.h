@@ -2,7 +2,9 @@
 #define GPUJOIN_CORE_INLJ_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "core/match.h"
 #include "index/index.h"
 #include "sim/gpu.h"
 #include "sim/run_result.h"
@@ -103,12 +105,18 @@ const char* PartitionModeName(InljConfig::PartitionMode mode);
 // configured RecoveryPolicy (or exhausts its retry budget). Recoverable
 // anomalies degrade the run instead and are reported through the
 // RunResult robustness fields.
+//
+// When `collect` is non-null every sample-scale match is also appended
+// to it as a (probe_row, index_position) pair, regardless of partition
+// mode — the hook the differential tests use to check that all three
+// modes produce the same match set.
 class IndexNestedLoopJoin {
  public:
   static Result<sim::RunResult> Run(sim::Gpu& gpu,
                                     const index::Index& index,
                                     const workload::ProbeRelation& s,
-                                    const InljConfig& config = InljConfig());
+                                    const InljConfig& config = InljConfig(),
+                                    std::vector<JoinMatch>* collect = nullptr);
 };
 
 }  // namespace gpujoin::core

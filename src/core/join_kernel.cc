@@ -16,7 +16,8 @@ sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
                              uint64_t count, mem::VirtAddr keys_addr,
                              mem::VirtAddr result_addr,
                              double filter_selectivity,
-                             uint64_t* matches_out) {
+                             uint64_t* matches_out, uint64_t row_id_base,
+                             std::vector<JoinMatch>* collect) {
   const uint64_t tuple_bytes =
       row_ids != nullptr ? sizeof(Key) + 8 : sizeof(Key);
   const bool no_filter = filter_selectivity >= 1.0;
@@ -39,6 +40,7 @@ sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
 
     std::array<Key, sim::Warp::kWidth> probe{};
     std::array<uint64_t, sim::Warp::kWidth> pos{};
+    std::array<uint64_t, sim::Warp::kWidth> rows{};
     uint32_t found = 0;
     {
       sim::PhaseScope phase(sink, "probe.lookup");
@@ -48,10 +50,11 @@ sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
       uint32_t lookup_mask = 0;
       for (int lane = 0; lane < lanes; ++lane) {
         probe[lane] = keys[base + lane];
-        const uint64_t row =
-            row_ids != nullptr ? row_ids[base + lane] : base + lane;
+        rows[lane] = row_ids != nullptr ? row_ids[base + lane]
+                                        : row_id_base + base + lane;
         if (no_filter ||
-            SplitMix64(row * 0xc2b2ae3d27d4eb4fULL) <= filter_threshold) {
+            SplitMix64(rows[lane] * 0xc2b2ae3d27d4eb4fULL) <=
+                filter_threshold) {
           lookup_mask |= 1u << lane;
         }
       }
@@ -67,6 +70,13 @@ sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
       warp.memory().Stream(result_addr + matches * 16, n_found * 16,
                            sim::AccessType::kWrite);
       matches += n_found;
+      if (collect != nullptr) {
+        for (int lane = 0; lane < lanes; ++lane) {
+          if (found & (1u << lane)) {
+            collect->push_back({rows[lane], pos[lane]});
+          }
+        }
+      }
     }
   });
   *matches_out += matches;

@@ -2,7 +2,9 @@
 #define GPUJOIN_CORE_JOIN_KERNEL_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "core/match.h"
 #include "index/index.h"
 #include "sim/gpu.h"
 
@@ -12,18 +14,25 @@ namespace gpujoin::core::internal {
 // `count` probe keys starting at `keys` (simulated location `keys_addr`),
 // looks each up in the index, and materializes (row_id, position) pairs
 // for matches into `result_addr`. Row ids are explicit for partitioned
-// inputs (`row_ids` non-null, 16-byte tuples) and implicit (scan
-// position) otherwise.
+// inputs (`row_ids` non-null, 16-byte tuples) and implicit
+// (`row_id_base` + scan position) otherwise — chunked callers pass their
+// chunk offset so implicit row ids stay globally consistent with the
+// partitioned paths.
 //
 // `filter_selectivity` < 1 masks lanes out by a hash of their row id
 // *without* compacting the warp — filter divergence (paper Sec. 3.3.1).
+//
+// When `collect` is non-null every match is also appended to it (test /
+// serving observability; the hot path is untouched when null).
 sim::KernelRun RunJoinKernel(sim::Gpu& gpu, const index::Index& index,
                              const workload::Key* keys,
                              const uint64_t* row_ids, uint64_t count,
                              mem::VirtAddr keys_addr,
                              mem::VirtAddr result_addr,
                              double filter_selectivity,
-                             uint64_t* matches_out);
+                             uint64_t* matches_out,
+                             uint64_t row_id_base = 0,
+                             std::vector<JoinMatch>* collect = nullptr);
 
 }  // namespace gpujoin::core::internal
 

@@ -1,0 +1,25 @@
+#ifndef GPUJOIN_CORE_MATCH_H_
+#define GPUJOIN_CORE_MATCH_H_
+
+#include <cstdint>
+
+namespace gpujoin::core {
+
+// One materialized join match: the probe-side row and the matched
+// position in R. Collected optionally by the join kernel so differential
+// tests can compare the *match sets* of the partitioning strategies, not
+// just their cardinalities.
+struct JoinMatch {
+  uint64_t probe_row = 0;
+  uint64_t position = 0;
+
+  friend bool operator==(const JoinMatch&, const JoinMatch&) = default;
+  friend bool operator<(const JoinMatch& a, const JoinMatch& b) {
+    return a.probe_row != b.probe_row ? a.probe_row < b.probe_row
+                                      : a.position < b.position;
+  }
+};
+
+}  // namespace gpujoin::core
+
+#endif  // GPUJOIN_CORE_MATCH_H_

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include "obs/histogram.h"
 #include "obs/json.h"
 
 namespace gpujoin::obs {
@@ -12,6 +13,8 @@ const char* MetricKindName(MetricKind kind) {
       return "counter";
     case MetricKind::kRatio:
       return "ratio";
+    case MetricKind::kHistogram:
+      return "histogram";
   }
   return "unknown";
 }
@@ -55,6 +58,22 @@ void MetricsRegistry::SetRatio(std::string_view name, double numerator,
   m.value = denominator != 0 ? numerator / denominator : 0;
 }
 
+void MetricsRegistry::SetHistogram(std::string_view name,
+                                   const LogHistogram& hist,
+                                   std::string_view unit) {
+  Metric& m = metrics_[std::string(name)];
+  m = Metric{};
+  m.kind = MetricKind::kHistogram;
+  m.unit = std::string(unit);
+  m.count = hist.count();
+  m.sum = hist.sum();
+  m.min = hist.min();
+  m.max = hist.max();
+  m.p50 = hist.Quantile(0.50);
+  m.p95 = hist.Quantile(0.95);
+  m.p99 = hist.Quantile(0.99);
+}
+
 const Metric* MetricsRegistry::Find(std::string_view name) const {
   auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : &it->second;
@@ -77,6 +96,15 @@ void MetricsRegistry::WriteJson(JsonWriter& w) const {
         w.Key("value").Double(m.value);
         w.Key("numerator").Double(m.numerator);
         w.Key("denominator").Double(m.denominator);
+        break;
+      case MetricKind::kHistogram:
+        w.Key("count").Uint(m.count);
+        w.Key("sum").Double(m.sum);
+        w.Key("min").Double(m.min);
+        w.Key("max").Double(m.max);
+        w.Key("p50").Double(m.p50);
+        w.Key("p95").Double(m.p95);
+        w.Key("p99").Double(m.p99);
         break;
     }
     w.EndObject();

@@ -9,12 +9,14 @@
 namespace gpujoin::obs {
 
 class JsonWriter;
+class LogHistogram;
 
 // What a metric measures; decides how its value is stored and emitted.
 enum class MetricKind : uint8_t {
-  kScalar,   // point-in-time double (seconds, bytes/s, tuples/s)
-  kCounter,  // monotone event count, exact uint64
-  kRatio,    // numerator / denominator, both kept so 0/0 stays explicit
+  kScalar,     // point-in-time double (seconds, bytes/s, tuples/s)
+  kCounter,    // monotone event count, exact uint64
+  kRatio,      // numerator / denominator, both kept so 0/0 stays explicit
+  kHistogram,  // distribution summary: count/sum/min/max + p50/p95/p99
 };
 
 const char* MetricKindName(MetricKind kind);
@@ -25,9 +27,15 @@ struct Metric {
   MetricKind kind = MetricKind::kScalar;
   std::string unit;         // "s", "bytes", "1" for dimensionless, ...
   double value = 0;         // kScalar value, or kRatio num/den (0 if den 0)
-  uint64_t count = 0;       // kCounter value
+  uint64_t count = 0;       // kCounter value, or kHistogram sample count
   double numerator = 0;     // kRatio parts
   double denominator = 0;
+  double sum = 0;           // kHistogram summary
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
 };
 
 // Named metrics for one emitted record. Deterministically ordered (sorted
@@ -43,6 +51,9 @@ class MetricsRegistry {
                   std::string_view unit);
   void SetRatio(std::string_view name, double numerator, double denominator,
                 std::string_view unit);
+  // Snapshots a histogram's summary (count/sum/min/max, p50/p95/p99).
+  void SetHistogram(std::string_view name, const LogHistogram& hist,
+                    std::string_view unit);
 
   const Metric* Find(std::string_view name) const;
   size_t size() const { return metrics_.size(); }

@@ -14,9 +14,10 @@ Result<RadixPartitionSpec> PlanPartitionBits(
     const workload::KeyColumn& column, int max_bits, int ignore_lsb) {
   const Key max_key = column.max_key();
   if (max_key <= 0) {
-    return Status::InvalidArgument(
-        "cannot plan partition bits: empty key domain (max_key = " +
-        std::to_string(max_key) + ")");
+    // A zero-width key domain (all-zeros column, or a single key 0) has
+    // nothing to partition on; plan the trivial single-bucket layout
+    // instead of failing, so such columns still run under FailStop().
+    return RadixPartitionSpec{.bits = 1, .shift = 0};
   }
   const int key_bits =
       bits::Log2Floor(static_cast<uint64_t>(max_key)) + 1;
@@ -91,10 +92,16 @@ Result<PartitionedKeys> RadixPartitioner::Partition(
     }
     if (spilled > 0) {
       out.spilled_tuples = spilled;
-      out.spill_buckets = static_cast<uint32_t>(spill_buckets);
-      out.spill_region = space.Reserve(spill_buckets * cap * 16,
-                                       mem::MemKind::kDevice,
-                                       "partitioned.spill");
+      out.spill_buckets = spill_buckets;
+      // The spill chains are a device allocation like the main tuple
+      // region: route it through TryReserve so an injected allocation
+      // failure surfaces as ResourceExhausted and takes the recovery
+      // ladder, instead of silently bypassing fault injection.
+      Result<mem::Region> spill_region = gpu.memory().TryReserve(
+          spill_buckets * cap * 16, mem::MemKind::kDevice,
+          "partitioned.spill");
+      if (!spill_region.ok()) return spill_region.status();
+      out.spill_region = *spill_region;
     }
   }
 

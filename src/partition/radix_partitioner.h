@@ -31,7 +31,8 @@ struct RadixPartitionSpec {
 // Plans the partition bits for lookups into `column`: the top bits of the
 // key domain, capped at `max_bits`, never descending into the
 // `ignore_lsb` least significant bits (paper Sec. 4.3.1 ignores 4).
-// Fails with InvalidArgument for an empty key domain.
+// A zero-width key domain (max_key <= 0) degrades to the trivial
+// single-bucket plan {bits = 1, shift = 0} rather than failing.
 Result<RadixPartitionSpec> PlanPartitionBits(
     const workload::KeyColumn& column, int max_bits = 11, int ignore_lsb = 4);
 
@@ -67,7 +68,7 @@ struct PartitionedKeys {
   // above is unaffected — spilling is a placement/cost concern.
   mem::Region spill_region;
   uint64_t spilled_tuples = 0;
-  uint32_t spill_buckets = 0;
+  uint64_t spill_buckets = 0;
 
   mem::VirtAddr tuple_addr(uint64_t i) const { return region.base + i * 16; }
 };
@@ -90,9 +91,9 @@ class RadixPartitioner {
   // `run` for cost accounting.
   //
   // Fails with InvalidArgument for an empty input, and with
-  // ResourceExhausted when the output buffer allocation is refused by an
-  // attached FaultInjector or a bucket overflows under fail-stop options
-  // (see PartitionOptions).
+  // ResourceExhausted when the output-buffer or spill-chain allocation is
+  // refused by an attached FaultInjector or a bucket overflows under
+  // fail-stop options (see PartitionOptions).
   Result<PartitionedKeys> Partition(
       sim::Gpu& gpu, const Key* keys, uint64_t count,
       mem::VirtAddr src_addr, uint64_t first_row_id, sim::KernelRun* run,

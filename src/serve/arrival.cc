@@ -1,0 +1,77 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+
+namespace gpujoin::serve {
+
+const char* ArrivalModelName(ArrivalModel model) {
+  switch (model) {
+    case ArrivalModel::kDeterministic:
+      return "deterministic";
+    case ArrivalModel::kPoisson:
+      return "poisson";
+    case ArrivalModel::kOnOff:
+      return "onoff";
+  }
+  return "unknown";
+}
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  Reset();
+}
+
+void ArrivalGenerator::Reset() {
+  rng_ = Xoshiro256(config_.seed);
+  now_ = 0;
+  on_ = true;
+  phase_end_ =
+      config_.model == ArrivalModel::kOnOff
+          ? ExpGap(1.0 / config_.mean_on_seconds)
+          : 0;
+}
+
+double ArrivalGenerator::ExpGap(double rate) {
+  // Inverse-CDF draw; log1p(-u) is exact near u = 0 where log(1 - u)
+  // would cancel.
+  return -std::log1p(-rng_.NextDouble()) / rate;
+}
+
+double ArrivalGenerator::Next() {
+  switch (config_.model) {
+    case ArrivalModel::kDeterministic:
+      now_ += 1.0 / config_.rate;
+      return now_;
+
+    case ArrivalModel::kPoisson:
+      now_ += ExpGap(config_.rate);
+      return now_;
+
+    case ArrivalModel::kOnOff: {
+      // Arrivals run at rate * burst_factor inside on phases; an on
+      // fraction of 1/burst_factor keeps the long-run mean at `rate`.
+      const double on_rate = config_.rate * config_.burst_factor;
+      const double mean_off =
+          config_.mean_on_seconds * (config_.burst_factor - 1.0);
+      for (;;) {
+        if (!on_) {
+          now_ = phase_end_;
+          on_ = true;
+          phase_end_ = now_ + ExpGap(1.0 / config_.mean_on_seconds);
+          continue;
+        }
+        const double gap = ExpGap(on_rate);
+        if (now_ + gap <= phase_end_) {
+          now_ += gap;
+          return now_;
+        }
+        now_ = phase_end_;
+        on_ = false;
+        phase_end_ = now_ + ExpGap(1.0 / mean_off);
+      }
+    }
+  }
+  return now_;
+}
+
+}  // namespace gpujoin::serve

@@ -1,0 +1,58 @@
+#ifndef GPUJOIN_SERVE_ARRIVAL_H_
+#define GPUJOIN_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace gpujoin::serve {
+
+// How request arrival times are drawn. All models run on the simulated
+// clock and a seeded Xoshiro256 stream — no wall time anywhere, so a
+// given config replays the identical arrival sequence.
+enum class ArrivalModel : uint8_t {
+  kDeterministic,  // fixed 1/rate gaps (closed-form, for exact tests)
+  kPoisson,        // open-loop Poisson process at `rate`
+  kOnOff,          // bursty: exponential on/off phases, arrivals only
+                   // while on, long-run mean preserved at `rate`
+};
+
+const char* ArrivalModelName(ArrivalModel model);
+
+struct ArrivalConfig {
+  ArrivalModel model = ArrivalModel::kPoisson;
+  // Long-run mean arrival rate, requests per simulated second.
+  double rate = 1e5;
+  // kOnOff: arrival rate while on is rate * burst_factor; the off phase
+  // is sized so the long-run mean stays `rate` (on fraction
+  // 1/burst_factor). Must be > 1.
+  double burst_factor = 4.0;
+  // kOnOff: mean duration of an on phase in simulated seconds.
+  double mean_on_seconds = 1e-3;
+  uint64_t seed = 42;
+};
+
+// Generates a monotone stream of absolute arrival times starting at 0.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(const ArrivalConfig& config);
+
+  // Absolute simulated time of the next arrival.
+  double Next();
+
+  // Rewinds to the start of the (identical) arrival sequence.
+  void Reset();
+
+ private:
+  double ExpGap(double rate);
+
+  ArrivalConfig config_;
+  Xoshiro256 rng_;
+  double now_ = 0;
+  bool on_ = true;
+  double phase_end_ = 0;
+};
+
+}  // namespace gpujoin::serve
+
+#endif  // GPUJOIN_SERVE_ARRIVAL_H_

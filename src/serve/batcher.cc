@@ -1,0 +1,25 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace gpujoin::serve {
+
+MicroBatcher::MicroBatcher(const BatchPolicy& policy)
+    : policy_(policy),
+      batch_tuples_(std::clamp(policy.batch_tuples, policy.min_batch_tuples,
+                               policy.max_batch_tuples)) {}
+
+void MicroBatcher::ObserveBacklog(uint64_t backlog_tuples) {
+  if (!policy_.adaptive) return;
+  if (backlog_tuples > 2 * batch_tuples_ &&
+      batch_tuples_ < policy_.max_batch_tuples) {
+    batch_tuples_ = std::min(batch_tuples_ * 2, policy_.max_batch_tuples);
+    ++grows_;
+  } else if (backlog_tuples < batch_tuples_ / 4 &&
+             batch_tuples_ > policy_.min_batch_tuples) {
+    batch_tuples_ = std::max(batch_tuples_ / 2, policy_.min_batch_tuples);
+    ++shrinks_;
+  }
+}
+
+}  // namespace gpujoin::serve

@@ -1,0 +1,156 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace gpujoin::serve {
+
+Result<ServeReport> RequestServer::Run() {
+  if (serve_config_.requests == 0) {
+    return Status::InvalidArgument("serving run needs at least one request");
+  }
+  if (serve_config_.tuples_per_request == 0) {
+    return Status::InvalidArgument("tuples_per_request must be positive");
+  }
+  if (!(serve_config_.arrival.rate > 0)) {
+    return Status::InvalidArgument("arrival rate must be positive");
+  }
+  if (serve_config_.arrival.model == ArrivalModel::kOnOff &&
+      !(serve_config_.arrival.burst_factor > 1)) {
+    return Status::InvalidArgument(
+        "on/off arrivals need burst_factor > 1 (otherwise use poisson)");
+  }
+
+  const uint64_t sample = s_->sample_size();
+  const uint64_t tpr = serve_config_.tuples_per_request;
+
+  Result<core::WindowJoiner> joiner =
+      core::WindowJoiner::Create(*gpu_, *index_, *s_, inlj_config_, sample);
+  if (!joiner.ok()) return joiner.status();
+
+  ArrivalGenerator gen(serve_config_.arrival);
+  MicroBatcher batcher(serve_config_.batch);
+
+  ServeReport report;
+  report.offered_rate = serve_config_.arrival.rate;
+
+  // Pending request arrival times (each request carries `tpr` tuples)
+  // and dispatched-but-unfinished batches as (completion time, tuples).
+  // backlog = pending + in-flight tuples; it is what admission control
+  // bounds and what the adaptive batcher steers by.
+  std::deque<double> pending;
+  std::deque<std::pair<double, uint64_t>> in_flight;
+  uint64_t pending_tuples = 0;
+  uint64_t in_flight_tuples = 0;
+  double server_free = 0;
+  uint64_t cursor = 0;   // cyclic position in the probe sample
+  uint64_t ordinal = 0;  // window ordinal for the phase timeline
+
+  auto advance = [&](double now) {
+    while (!in_flight.empty() && in_flight.front().first <= now) {
+      in_flight_tuples -= in_flight.front().second;
+      in_flight.pop_front();
+    }
+  };
+
+  // Closes the batch of everything pending at `close_t`: services it as
+  // windows over the cyclic sample cursor, charges each request its
+  // sojourn time, and lets the batcher see the post-close backlog.
+  auto close_batch = [&](double close_t, bool by_deadline) -> Status {
+    const uint64_t n_requests = pending.size();
+    const uint64_t n_tuples = pending_tuples;
+    const double start = std::max(close_t, server_free);
+
+    double service = 0;
+    uint64_t remaining = n_tuples;
+    while (remaining > 0) {
+      const uint64_t take = std::min(remaining, sample - cursor);
+      Result<core::WindowRun> run = joiner->RunWindow(cursor, take, ordinal++);
+      if (!run.ok()) return run.status();
+      service += run->seconds();
+      cursor += take;
+      if (cursor == sample) cursor = 0;
+      remaining -= take;
+    }
+
+    const double end = start + service;
+    server_free = end;
+    for (double arrival : pending) {
+      report.latency.Record(end - arrival);
+      report.queue_seconds_total += start - arrival;
+    }
+    report.service_seconds_total +=
+        service * static_cast<double>(n_requests);
+    pending.clear();
+    pending_tuples = 0;
+    in_flight.emplace_back(end, n_tuples);
+    in_flight_tuples += n_tuples;
+
+    ++report.counters.batches;
+    report.counters.tuples_served += n_tuples;
+    if (by_deadline) {
+      ++report.counters.deadline_batches;
+    } else {
+      ++report.counters.size_batches;
+    }
+    report.sim_seconds = std::max(report.sim_seconds, end);
+
+    batcher.ObserveBacklog(pending_tuples + in_flight_tuples);
+    return Status();
+  };
+
+  for (uint64_t i = 0; i < serve_config_.requests; ++i) {
+    const double t = gen.Next();
+
+    // Deadlines that expire before this arrival close their batch first.
+    while (!pending.empty()) {
+      const double deadline = batcher.DeadlineFor(pending.front());
+      if (deadline >= t) break;
+      advance(deadline);
+      Status st = close_batch(deadline, /*by_deadline=*/true);
+      if (!st.ok()) return st;
+    }
+    advance(t);
+
+    if (serve_config_.max_backlog_tuples > 0 &&
+        pending_tuples + in_flight_tuples + tpr >
+            serve_config_.max_backlog_tuples) {
+      ++report.counters.requests_shed;
+      continue;
+    }
+    ++report.counters.requests_admitted;
+    pending.push_back(t);
+    pending_tuples += tpr;
+
+    if (batcher.SizeTriggered(pending_tuples)) {
+      Status st = close_batch(t, /*by_deadline=*/false);
+      if (!st.ok()) return st;
+    }
+  }
+
+  // Drain: the stream ended, so the remaining requests go out on their
+  // deadline.
+  while (!pending.empty()) {
+    const double deadline = batcher.DeadlineFor(pending.front());
+    advance(deadline);
+    Status st = close_batch(deadline, /*by_deadline=*/true);
+    if (!st.ok()) return st;
+  }
+
+  report.counters.window_grows = batcher.grows();
+  report.counters.window_shrinks = batcher.shrinks();
+  report.final_batch_tuples = batcher.batch_tuples();
+  if (report.sim_seconds > 0) {
+    report.achieved_requests_per_sec =
+        static_cast<double>(report.counters.requests_admitted) /
+        report.sim_seconds;
+    report.achieved_tuples_per_sec =
+        static_cast<double>(report.counters.tuples_served) /
+        report.sim_seconds;
+  }
+  return report;
+}
+
+}  // namespace gpujoin::serve

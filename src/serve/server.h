@@ -1,0 +1,94 @@
+#ifndef GPUJOIN_SERVE_SERVER_H_
+#define GPUJOIN_SERVE_SERVER_H_
+
+#include <cstdint>
+
+#include "core/inlj.h"
+#include "core/window_join.h"
+#include "obs/histogram.h"
+#include "serve/arrival.h"
+#include "serve/batcher.h"
+#include "sim/gpu.h"
+#include "util/status.h"
+#include "workload/relation.h"
+
+namespace gpujoin::serve {
+
+struct ServeConfig {
+  ArrivalConfig arrival;
+  BatchPolicy batch;
+  // Number of requests to generate (shed requests count toward this).
+  uint64_t requests = 20000;
+  // Probe tuples carried by each request.
+  uint64_t tuples_per_request = 4096;
+  // Admission bound: a request is shed when accepting it would push the
+  // backlog (pending + in-flight tuples) past this. 0 disables shedding.
+  uint64_t max_backlog_tuples = (uint64_t{256} << 20) / 8;  // 256 MiB
+};
+
+// Event counts in the style of core::RecoveryPolicy's degradation
+// counters: shedding is the serving layer's graceful-degradation rung.
+struct ServeCounters {
+  uint64_t requests_admitted = 0;
+  uint64_t requests_shed = 0;
+  uint64_t batches = 0;
+  uint64_t tuples_served = 0;
+  uint64_t deadline_batches = 0;  // closed by the deadline trigger
+  uint64_t size_batches = 0;      // closed by the size trigger
+  uint64_t window_grows = 0;
+  uint64_t window_shrinks = 0;
+};
+
+struct ServeReport {
+  ServeCounters counters;
+  // Total per-request sojourn time (arrival to batch completion),
+  // simulated seconds. Queueing and service sums are kept separately so
+  // callers can split the mean.
+  obs::LogHistogram latency;
+  double queue_seconds_total = 0;
+  double service_seconds_total = 0;
+  // Completion time of the last batch — the makespan the throughput
+  // figure divides by.
+  double sim_seconds = 0;
+  double offered_rate = 0;            // configured requests/s
+  double achieved_requests_per_sec = 0;
+  double achieved_tuples_per_sec = 0;
+  uint64_t final_batch_tuples = 0;    // adaptive batch size at the end
+};
+
+// Streams simulated request arrivals into the windowed INLJ: an open-loop
+// arrival process feeds a micro-batcher (size-or-deadline close, see
+// BatchPolicy), each closed batch runs as one window through
+// core::WindowJoiner over a cyclic cursor on the probe sample, and every
+// request's sojourn time lands in a log-bucketed histogram. A single
+// serving "GPU" drains batches in close order; admission control sheds
+// requests once the backlog bound is hit, so overload degrades to lost
+// requests instead of unbounded latency.
+//
+// Everything runs on the simulated clock (arrival gaps + cost-model
+// window times); a fixed config and seed reproduce the run bit for bit.
+class RequestServer {
+ public:
+  RequestServer(sim::Gpu& gpu, const index::Index& index,
+                const workload::ProbeRelation& s,
+                const core::InljConfig& inlj_config,
+                const ServeConfig& serve_config)
+      : gpu_(&gpu),
+        index_(&index),
+        s_(&s),
+        inlj_config_(inlj_config),
+        serve_config_(serve_config) {}
+
+  Result<ServeReport> Run();
+
+ private:
+  sim::Gpu* gpu_;
+  const index::Index* index_;
+  const workload::ProbeRelation* s_;
+  core::InljConfig inlj_config_;
+  ServeConfig serve_config_;
+};
+
+}  // namespace gpujoin::serve
+
+#endif  // GPUJOIN_SERVE_SERVER_H_

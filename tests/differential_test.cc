@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <vector>
@@ -188,6 +189,96 @@ TEST_P(StrategyAgreementTest, AllStrategiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StrategyAgreementTest,
                          ::testing::Range(uint64_t{200}, uint64_t{206}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Match-set differentials: beyond cardinality, the partition modes must
+// produce the exact same (probe_row, position) pairs. The sample scheme
+// is pinned (kAuto picks a different sample per mode, which would make
+// the sets trivially incomparable); partitioned modes permute the probe
+// order, so sets are compared sorted.
+std::vector<core::JoinMatch> CollectMatches(core::ExperimentConfig cfg,
+                                            core::InljConfig::PartitionMode
+                                                mode,
+                                            sim::RunResult* out = nullptr) {
+  cfg.inlj.mode = mode;
+  auto exp = core::Experiment::Create(cfg);
+  EXPECT_TRUE(exp.ok()) << exp.status().ToString();
+  std::vector<core::JoinMatch> matches;
+  auto res = (*exp)->RunInlj(&matches);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  if (res.ok() && out != nullptr) *out = *res;
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+class MatchSetTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  core::ExperimentConfig BaseConfig(uint64_t seed) {
+    core::ExperimentConfig cfg;
+    cfg.r_tuples = uint64_t{1} << 20;
+    cfg.s_tuples = uint64_t{1} << 16;
+    cfg.s_sample = uint64_t{1} << 13;
+    cfg.seed = seed;
+    cfg.sample_scheme =
+        core::ExperimentConfig::SampleSchemeOverride::kThinned;
+    cfg.inlj.window_tuples = uint64_t{1} << 11;
+    return cfg;
+  }
+};
+
+TEST_P(MatchSetTest, AllModesProduceIdenticalMatchSets) {
+  const core::ExperimentConfig cfg = BaseConfig(GetParam());
+  const auto none =
+      CollectMatches(cfg, core::InljConfig::PartitionMode::kNone);
+  const auto full =
+      CollectMatches(cfg, core::InljConfig::PartitionMode::kFull);
+  const auto windowed =
+      CollectMatches(cfg, core::InljConfig::PartitionMode::kWindowed);
+  ASSERT_FALSE(none.empty());
+  EXPECT_EQ(none.size(), cfg.s_sample);  // every probe key exists in R
+  EXPECT_TRUE(none == full);
+  EXPECT_TRUE(none == windowed);
+}
+
+TEST_P(MatchSetTest, SpillChainsPreserveTheMatchSet) {
+  // Heavy Zipf under single-pass bucket sizing overflows hot buckets
+  // into spill chains; the chained windows must still join exactly.
+  core::ExperimentConfig cfg = BaseConfig(GetParam());
+  cfg.zipf_exponent = 1.75;
+  const auto exact =
+      CollectMatches(cfg, core::InljConfig::PartitionMode::kWindowed);
+
+  cfg.inlj.bucket_slack = 1.25;
+  sim::RunResult spill_run;
+  const auto spilled = CollectMatches(
+      cfg, core::InljConfig::PartitionMode::kWindowed, &spill_run);
+  ASSERT_GT(spill_run.spilled_tuples, 0u);  // the spill path actually ran
+  EXPECT_TRUE(exact == spilled);
+}
+
+TEST_P(MatchSetTest, RecoveryFallbacksPreserveTheMatchSet) {
+  // Injected allocation failures drive window shrinking and the
+  // unpartitioned fallback; the degraded run must still join exactly.
+  core::ExperimentConfig cfg = BaseConfig(GetParam());
+  const auto clean =
+      CollectMatches(cfg, core::InljConfig::PartitionMode::kWindowed);
+
+  // Only a handful of device reservations happen per run (result buffer
+  // plus one per window), so the rate must be high for the ladder to
+  // fire deterministically across seeds.
+  cfg.fault.alloc_failure_rate = 0.75;
+  sim::RunResult faulty_run;
+  const auto faulty = CollectMatches(
+      cfg, core::InljConfig::PartitionMode::kWindowed, &faulty_run);
+  ASSERT_GT(faulty_run.degraded_windows + faulty_run.fallback_windows, 0u)
+      << "fault rate too low to exercise the recovery ladder";
+  EXPECT_TRUE(clean == faulty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchSetTest,
+                         ::testing::Range(uint64_t{300}, uint64_t{304}),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -32,6 +32,18 @@ TEST(PlanPartitionBits, SmallDomainsIgnoreLsb) {
   EXPECT_EQ(spec.shift, 4);
 }
 
+TEST(PlanPartitionBits, ZeroKeyDomainPlansTrivialSingleBucket) {
+  // A single key 0 has a zero-width domain: nothing to partition on, but
+  // the plan must still be runnable (one effective bucket) rather than an
+  // InvalidArgument that would fail such columns under FailStop().
+  mem::AddressSpace space;
+  workload::MaterializedKeyColumn col(&space, std::vector<Key>{0});
+  RadixPartitionSpec spec = PlanPartitionBits(col).value();
+  EXPECT_EQ(spec.bits, 1);
+  EXPECT_EQ(spec.shift, 0);
+  EXPECT_EQ(spec.PartitionOf(0), 0u);
+}
+
 TEST(PartitionOf, ExtractsConfiguredBits) {
   RadixPartitionSpec spec{.bits = 3, .shift = 4};
   EXPECT_EQ(spec.PartitionOf(0), 0u);

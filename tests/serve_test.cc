@@ -1,0 +1,243 @@
+// Serving-layer tests: arrival generators, the micro-batch policy, and
+// the end-to-end RequestServer against the windowed INLJ — batch
+// boundaries under deterministic arrivals, latency at low load, and
+// shedding with bounded tails past saturation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/window_join.h"
+#include "obs/histogram.h"
+#include "serve/arrival.h"
+#include "serve/batcher.h"
+#include "serve/server.h"
+
+namespace gpujoin::serve {
+namespace {
+
+TEST(LogHistogram, TracksExactSummaryAndBucketedQuantiles) {
+  obs::LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 0.1);
+  EXPECT_NEAR(h.sum(), 5.050, 1e-9);
+  // Buckets are ~9% wide: quantiles land within one bucket of truth.
+  EXPECT_NEAR(h.Quantile(0.50), 0.050, 0.005);
+  EXPECT_NEAR(h.Quantile(0.95), 0.095, 0.010);
+  EXPECT_NEAR(h.Quantile(0.99), 0.099, 0.010);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.1);
+}
+
+TEST(ArrivalGenerator, DeterministicGapsAndReplay) {
+  ArrivalConfig cfg;
+  cfg.model = ArrivalModel::kDeterministic;
+  cfg.rate = 1000;
+  ArrivalGenerator gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.Next(), 1e-3);
+  EXPECT_DOUBLE_EQ(gen.Next(), 2e-3);
+  gen.Reset();
+  EXPECT_DOUBLE_EQ(gen.Next(), 1e-3);
+}
+
+TEST(ArrivalGenerator, PoissonMeanRateConverges) {
+  ArrivalConfig cfg;
+  cfg.rate = 1e4;
+  cfg.seed = 7;
+  ArrivalGenerator gen(cfg);
+  double last = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) last = gen.Next();
+  // Mean of n exponential gaps concentrates around n/rate.
+  EXPECT_NEAR(last, n / cfg.rate, 0.1 * n / cfg.rate);
+}
+
+TEST(ArrivalGenerator, OnOffPreservesMeanRateAndIsBursty) {
+  ArrivalConfig cfg;
+  cfg.model = ArrivalModel::kOnOff;
+  cfg.rate = 1e4;
+  cfg.burst_factor = 8;
+  cfg.mean_on_seconds = 2e-3;
+  cfg.seed = 11;
+  ArrivalGenerator gen(cfg);
+  double last = 0;
+  double min_gap = 1e9;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double t = gen.Next();
+    min_gap = std::min(min_gap, t - last);
+    last = t;
+  }
+  ASSERT_GT(last, 0);
+  EXPECT_NEAR(last, n / cfg.rate, 0.2 * n / cfg.rate);
+  // Inside a burst, gaps run at 8x the mean rate.
+  EXPECT_LT(min_gap, 1.0 / cfg.rate);
+}
+
+TEST(MicroBatcher, AdaptsWithinTheSweetSpotBand) {
+  BatchPolicy policy;
+  policy.batch_tuples = policy.min_batch_tuples;
+  MicroBatcher b(policy);
+
+  // Deep backlog doubles the batch up to the 52 MiB cap.
+  for (int i = 0; i < 20; ++i) b.ObserveBacklog(b.batch_tuples() * 4);
+  EXPECT_EQ(b.batch_tuples(), policy.max_batch_tuples);
+  EXPECT_GT(b.grows(), 0u);
+
+  // An idle queue shrinks it back down to the 4 MiB floor.
+  for (int i = 0; i < 20; ++i) b.ObserveBacklog(0);
+  EXPECT_EQ(b.batch_tuples(), policy.min_batch_tuples);
+  EXPECT_GT(b.shrinks(), 0u);
+
+  MicroBatcher fixed({.adaptive = false});
+  for (int i = 0; i < 5; ++i) fixed.ObserveBacklog(1u << 30);
+  EXPECT_EQ(fixed.batch_tuples(), BatchPolicy{}.batch_tuples);
+}
+
+core::ExperimentConfig ServeExperimentConfig() {
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 22;
+  cfg.s_tuples = uint64_t{1} << 18;
+  cfg.s_sample = uint64_t{1} << 15;
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  return cfg;
+}
+
+// Time to service one `tuples`-sized window, on a fresh experiment, so
+// the serving expectations below are phrased against the cost model
+// rather than hard-coded times.
+double CalibrateWindowSeconds(uint64_t tuples) {
+  auto exp = core::Experiment::Create(ServeExperimentConfig());
+  EXPECT_TRUE(exp.ok());
+  (*exp)->ResetForRun();
+  auto joiner = core::WindowJoiner::Create(
+      (*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+      ServeExperimentConfig().inlj, (*exp)->s().sample_size());
+  EXPECT_TRUE(joiner.ok());
+  return joiner->RunWindow(0, tuples, 0).value().seconds();
+}
+
+TEST(RequestServer, DeterministicArrivalsCloseExactBatches) {
+  auto exp = core::Experiment::Create(ServeExperimentConfig());
+  ASSERT_TRUE(exp.ok());
+  (*exp)->ResetForRun();
+
+  ServeConfig sc;
+  sc.arrival.model = ArrivalModel::kDeterministic;
+  sc.arrival.rate = 1e5;
+  sc.requests = 1000;
+  sc.tuples_per_request = 512;
+  // Size trigger after exactly 4 requests; the deadline (much longer
+  // than 4 arrival gaps) never fires except for the final partial batch.
+  sc.batch.batch_tuples = 4 * sc.tuples_per_request;
+  sc.batch.min_batch_tuples = sc.batch.batch_tuples;
+  sc.batch.adaptive = false;
+  sc.batch.deadline_seconds = 1.0;
+  sc.max_backlog_tuples = 0;  // never shed
+
+  RequestServer server((*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+                       ServeExperimentConfig().inlj, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.counters.requests_admitted, sc.requests);
+  EXPECT_EQ(r.counters.requests_shed, 0u);
+  EXPECT_EQ(r.counters.batches, sc.requests / 4);
+  EXPECT_EQ(r.counters.size_batches, sc.requests / 4);
+  EXPECT_EQ(r.counters.deadline_batches, 0u);
+  EXPECT_EQ(r.counters.tuples_served, sc.requests * sc.tuples_per_request);
+  EXPECT_EQ(r.latency.count(), sc.requests);
+}
+
+TEST(RequestServer, LowRateLatencyApproachesOneWindowServiceTime) {
+  auto exp = core::Experiment::Create(ServeExperimentConfig());
+  ASSERT_TRUE(exp.ok());
+  (*exp)->ResetForRun();
+
+  ServeConfig sc;
+  sc.arrival.model = ArrivalModel::kDeterministic;
+  sc.tuples_per_request = 4096;
+  // One request fills a batch exactly, so each request's sojourn time is
+  // one window's service time — there is no queueing at low rate.
+  sc.batch.batch_tuples = sc.tuples_per_request;
+  sc.batch.min_batch_tuples = sc.batch.batch_tuples;
+  sc.batch.adaptive = false;
+  sc.requests = 200;
+  const double window = CalibrateWindowSeconds(sc.tuples_per_request);
+  sc.arrival.rate = 0.01 / window;  // 1% utilization
+  sc.max_backlog_tuples = 0;
+
+  RequestServer server((*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+                       ServeExperimentConfig().inlj, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.counters.requests_shed, 0u);
+  EXPECT_EQ(r.counters.batches, sc.requests);
+  const double p99 = r.latency.Quantile(0.99);
+  EXPECT_GT(p99, 0);
+  EXPECT_LE(p99, 2 * window);
+}
+
+TEST(RequestServer, OverloadShedsAndBoundsTheTail) {
+  auto exp = core::Experiment::Create(ServeExperimentConfig());
+  ASSERT_TRUE(exp.ok());
+  (*exp)->ResetForRun();
+
+  ServeConfig sc;
+  sc.tuples_per_request = 4096;
+  sc.batch.batch_tuples = uint64_t{1} << 15;
+  sc.batch.min_batch_tuples = sc.batch.batch_tuples;
+  sc.batch.adaptive = false;
+  sc.requests = 4000;
+  const double window = CalibrateWindowSeconds(sc.batch.batch_tuples);
+  const double capacity =
+      static_cast<double>(sc.batch.batch_tuples) / window;
+  sc.arrival.rate = 2.0 * capacity / sc.tuples_per_request;  // 2x saturation
+  sc.batch.deadline_seconds = window;
+  sc.max_backlog_tuples = 8 * sc.batch.batch_tuples;
+
+  RequestServer server((*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+                       ServeExperimentConfig().inlj, sc);
+  ServeReport r = server.Run().value();
+
+  // Admission control kicked in and kept the backlog (hence the tail)
+  // bounded: worst-case sojourn is draining a full backlog plus one
+  // batch's deadline and service.
+  EXPECT_GT(r.counters.requests_shed, 0u);
+  EXPECT_GT(r.counters.requests_admitted, 0u);
+  const double drain =
+      static_cast<double>(sc.max_backlog_tuples) / capacity;
+  EXPECT_LE(r.latency.Quantile(0.99),
+            drain + sc.batch.deadline_seconds + 2 * window);
+}
+
+TEST(RequestServer, AdaptiveBatchingGrowsUnderLoad) {
+  auto exp = core::Experiment::Create(ServeExperimentConfig());
+  ASSERT_TRUE(exp.ok());
+  (*exp)->ResetForRun();
+
+  ServeConfig sc;
+  sc.tuples_per_request = 4096;
+  sc.batch.batch_tuples = sc.batch.min_batch_tuples = uint64_t{1} << 13;
+  sc.batch.max_batch_tuples = uint64_t{1} << 17;
+  sc.requests = 4000;
+  const double window = CalibrateWindowSeconds(sc.batch.batch_tuples);
+  sc.arrival.rate = 1.5 * static_cast<double>(sc.batch.batch_tuples) /
+                    window / sc.tuples_per_request;
+  sc.batch.deadline_seconds = window;
+  sc.max_backlog_tuples = 0;
+
+  RequestServer server((*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+                       ServeExperimentConfig().inlj, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_GT(r.counters.window_grows, 0u);
+  EXPECT_GT(r.final_batch_tuples, sc.batch.min_batch_tuples);
+}
+
+}  // namespace
+}  // namespace gpujoin::serve
