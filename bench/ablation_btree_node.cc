@@ -46,14 +46,9 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Ablation — B+tree node size, windowed INLJ, R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Ablation — B+tree node size, windowed INLJ, R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

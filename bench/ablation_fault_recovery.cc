@@ -132,9 +132,7 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), rate_cells)) {
-    rate_table.AddRow(std::move(row));
-  }
+  SweepInto(flags, rate_cells, rate_table);
 
   // --- skew x bucket-sizing policy ------------------------------------
   // Single-pass bucket sizing (slack 1.25x the average) against heavy
@@ -198,9 +196,7 @@ int Main(int argc, char** argv) {
     });
     ++si;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), skew_cells)) {
-    skew_table.AddRow(std::move(row));
-  }
+  SweepInto(flags, skew_cells, skew_table);
 
   std::printf("Ablation — fault rate x recovery policy, windowed INLJ "
               "(32 MiB window), R = 8 GiB\n");

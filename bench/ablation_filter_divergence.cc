@@ -49,15 +49,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    if (!row.empty()) table.AddRow(std::move(row));
-  }
-
-  std::printf("Ablation — filter divergence on the probe side, RadixSpline "
-              "windowed INLJ, R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Ablation — filter divergence on the probe side, RadixSpline "
+              "windowed INLJ, R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

@@ -51,15 +51,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Ablation — concurrent kernel execution (transfer/compute "
-              "overlap), RadixSpline INLJ, R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Ablation — concurrent kernel execution (transfer/compute "
+              "overlap), RadixSpline INLJ, R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

@@ -48,15 +48,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    if (!row.empty()) table.AddRow(std::move(row));
-  }
-
-  std::printf("Ablation — Harmonia sub-warp width, unpartitioned INLJ, "
-              "R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Ablation — Harmonia sub-warp width, unpartitioned INLJ, "
+              "R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

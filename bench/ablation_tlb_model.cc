@@ -48,15 +48,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Ablation — TLB co-resident-warp interference model, naive "
-              "INLJ, R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Ablation — TLB co-resident-warp interference model, naive "
+              "INLJ, R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

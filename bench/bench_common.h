@@ -184,6 +184,30 @@ inline void EmitRun(MetricsSink& sink, uint64_t order_key,
   sink.Add(order_key, rec.ToJsonLine());
 }
 
+// Row-producing sweep cells, the shape every figure bench uses: one
+// cell per grid point, returning one table row (or {} to decline).
+using SweepCells = std::vector<std::function<std::vector<std::string>()>>;
+
+// Runs the cells on --threads workers and appends every non-empty row
+// to `table`, in cell order.
+inline void SweepInto(const Flags& flags, const SweepCells& cells,
+                      TablePrinter& table) {
+  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
+    if (!row.empty()) table.AddRow(std::move(row));
+  }
+}
+
+// The shared bench epilogue: sweep into `table`, print it under `title`
+// (honoring --csv) and flush the JSON sink. Returns main's exit code.
+inline int FinishBench(const Flags& flags, const SweepCells& cells,
+                       TablePrinter& table, const std::string& title,
+                       MetricsSink& sink) {
+  SweepInto(flags, cells, table);
+  std::printf("%s\n", title.c_str());
+  PrintTable(table, flags);
+  return sink.Flush() ? 0 : 1;
+}
+
 }  // namespace gpujoin::bench
 
 #endif  // GPUJOIN_BENCH_BENCH_COMMON_H_

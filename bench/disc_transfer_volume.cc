@@ -100,13 +100,8 @@ int Main(int argc, char** argv) {
     ++di;
   }
 
-  const int threads = SweepThreads(flags);
-  for (auto& row : core::RunSweep(threads, volume_cells)) {
-    if (!row.empty()) volume.AddRow(std::move(row));
-  }
-  for (auto& row : core::RunSweep(threads, drop_cells)) {
-    drop.AddRow(std::move(row));
-  }
+  SweepInto(flags, volume_cells, volume);
+  SweepInto(flags, drop_cells, drop);
 
   std::printf("Sec. 6 — transfer volume: windowed INLJ vs hash-join scan\n");
   PrintTable(volume, flags);

@@ -64,9 +64,7 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    if (!row.empty()) table.AddRow(std::move(row));
-  }
+  SweepInto(flags, cells, table);
 
   std::printf("Extension — GH200 + NVLink C2C projection (Table 1's next "
               "generation)\n");

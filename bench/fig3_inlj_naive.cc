@@ -68,15 +68,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 3 — INLJ (no partitioning) vs hash join, V100 + "
-              "NVLink 2.0, |S| = 2^26\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 3 — INLJ (no partitioning) vs hash join, V100 + "
+              "NVLink 2.0, |S| = 2^26",
+                     sink);
 }
 
 }  // namespace

@@ -46,15 +46,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 4 — address translation requests per lookup "
-              "(unpartitioned INLJ)\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 4 — address translation requests per lookup "
+              "(unpartitioned INLJ)",
+                     sink);
 }
 
 }  // namespace

@@ -61,15 +61,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 5 — INLJ with materialized key partitioning vs hash "
-              "join, V100 + NVLink 2.0\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 5 — INLJ with materialized key partitioning vs hash "
+              "join, V100 + NVLink 2.0",
+                     sink);
 }
 
 }  // namespace

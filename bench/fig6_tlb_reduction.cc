@@ -77,15 +77,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 6 — translation requests eliminated by partitioning "
-              "(%% vs Fig. 4)\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 6 — translation requests eliminated by partitioning "
+              "(%% vs Fig. 4)",
+                     sink);
 }
 
 }  // namespace

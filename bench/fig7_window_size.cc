@@ -52,15 +52,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 7 — windowed partitioning: window size vs Q/s, "
-              "R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 7 — windowed partitioning: window size vs Q/s, "
+              "R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

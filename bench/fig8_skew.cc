@@ -66,15 +66,10 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
-
-  std::printf("Fig. 8 — Zipf-skewed lookup keys, windowed INLJ (32 MiB "
-              "window), R = 100 GiB\n");
-  PrintTable(table, flags);
-  if (!sink.Flush()) return 1;
-  return 0;
+  return FinishBench(flags, cells, table,
+                     "Fig. 8 — Zipf-skewed lookup keys, windowed INLJ (32 MiB "
+              "window), R = 100 GiB",
+                     sink);
 }
 
 }  // namespace

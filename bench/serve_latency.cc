@@ -209,9 +209,7 @@ int Main(int argc, char** argv) {
     });
     ++ci;
   }
-  for (auto& row : core::RunSweep(SweepThreads(flags), cells)) {
-    table.AddRow(std::move(row));
-  }
+  SweepInto(flags, cells, table);
 
   std::printf("Serving-mode latency sweep — windowed INLJ behind a "
               "micro-batcher, R = 8 GiB\n");

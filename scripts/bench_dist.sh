@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_dist.json from the scale-out sweep
+# (bench/fig10_scaleout): 1-8 simulated GPUs x {uniform, Zipf 1.75}
+# probes x {NVLink 2.0, PCI-e 4.0} topologies, work stealing on/off on
+# the skewed configs. All numbers are simulated (deterministic for a
+# fixed seed and any --threads), so the merged file is reproducible bit
+# for bit on any machine.
+#
+# Usage: scripts/bench_dist.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target fig10_scaleout
+
+TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD_DIR"/bench/fig10_scaleout --json "$TMP" > /dev/null
+
+python3 scripts/validate_metrics.py "$TMP"
+
+# Distill the sweep records into one summary document: one row per
+# (topology, shard count, distribution, stealing) point, with the
+# per-shard and per-link breakdowns carried through.
+python3 - "$TMP" <<'EOF'
+import json
+import sys
+
+out = {"bench": "fig10_scaleout", "sweep": []}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        params = rec["params"]
+        run = rec["run"]
+        out["sweep"].append({
+            "topology": params["topology"],
+            "num_shards": params["num_shards"],
+            "zipf_exponent": params["zipf_exponent"],
+            "steal": params["steal"],
+            "steal_events": params["steal_events"],
+            "merge_seconds": params["merge_seconds"],
+            "seconds": run["seconds"],
+            "qps": run["qps"],
+            "probe_tuples": run["probe_tuples"],
+            "result_tuples": run["result_tuples"],
+            "shards": [
+                {k: s[k] for k in (
+                    "shard", "r_tuples", "tuples_routed",
+                    "tuples_stolen_out", "tuples_stolen_in", "steals_in",
+                    "windows", "matches", "busy_seconds")}
+                for s in rec["shards"]
+            ],
+            "links": rec["links"],
+        })
+
+with open("results/BENCH_dist.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("results/BENCH_dist.json updated")
+EOF

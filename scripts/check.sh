@@ -43,6 +43,14 @@ build-release/bench/serve_latency --requests 2000 --json "$SERVE_TMP" \
   > /dev/null
 python3 scripts/validate_metrics.py "$SERVE_TMP"
 
+# Sharded-engine smoke: the scale-out sweep must run end to end and its
+# per-shard/per-link sections must pass the validator.
+DIST_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP"' EXIT
+build-release/bench/fig10_scaleout --s_sample $((1 << 16)) \
+  --json "$DIST_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$DIST_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -52,7 +60,7 @@ for san in "${SANITIZERS[@]}"; do
   # suite doesn't, and the observer fan-out / JSON emission paths are new;
   # give them a dedicated pass under each sanitizer.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test'
 done
 
 echo "=== all configurations passed ==="

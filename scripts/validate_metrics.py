@@ -144,6 +144,54 @@ def check_metrics(errors, where, metrics):
                     err(errors, w, f"{field} must be a number, got {v!r}")
 
 
+SHARD_FIELDS = {
+    "shard": int, "r_tuples": int, "tuples_routed": int,
+    "tuples_stolen_out": int, "tuples_stolen_in": int, "steals_in": int,
+    "windows": int, "matches": int, "busy_seconds": (int, float),
+}
+
+LINK_FIELDS = {
+    "name": str, "bytes": int, "utilization": (int, float),
+}
+
+
+def check_shards(errors, where, shards):
+    if not isinstance(shards, list) or not shards:
+        err(errors, where, "shards must be a non-empty array")
+        return
+    seen_ids = set()
+    for i, shard in enumerate(shards):
+        w = f"{where} shard[{i}]"
+        if not isinstance(shard, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, shard, SHARD_FIELDS)
+        sid = shard.get("shard")
+        if isinstance(sid, int) and not isinstance(sid, bool):
+            if sid in seen_ids:
+                err(errors, w, f"duplicate shard id {sid}")
+            seen_ids.add(sid)
+        check_counters(errors, w, shard.get("counters", {}))
+        if "phases" in shard and not isinstance(shard["phases"], list):
+            err(errors, w, "phases must be an array")
+
+
+def check_links(errors, where, links):
+    if not isinstance(links, list) or not links:
+        err(errors, where, "links must be a non-empty array")
+        return
+    for i, link in enumerate(links):
+        w = f"{where} link[{i}]"
+        if not isinstance(link, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, link, LINK_FIELDS)
+        util = link.get("utilization")
+        if isinstance(util, (int, float)) and not isinstance(util, bool) \
+                and util < 0:
+            err(errors, w, f"utilization must be >= 0, got {util!r}")
+
+
 def check_record(errors, where, rec):
     if not isinstance(rec, dict):
         err(errors, where, "record must be a JSON object")
@@ -218,6 +266,17 @@ def check_record(errors, where, rec):
 
     if "metrics" in rec:
         check_metrics(errors, where, rec["metrics"])
+
+    # Sharded-engine sections (bench/fig10_scaleout): per-shard and
+    # per-link breakdowns travel together.
+    for section in ("shards", "links"):
+        if (section in rec) != ("shards" in rec and "links" in rec):
+            err(errors, where, "'shards' and 'links' must appear together")
+            break
+    if "shards" in rec:
+        check_shards(errors, where, rec["shards"])
+    if "links" in rec:
+        check_links(errors, where, rec["links"])
 
 
 def validate_file(path):

@@ -1,0 +1,617 @@
+#include "dist/shard_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "index/binary_search.h"
+#include "util/bit_util.h"
+
+namespace gpujoin::dist {
+
+namespace {
+
+uint64_t ScaleStat(uint64_t v, double f) {
+  return static_cast<uint64_t>(std::llround(static_cast<double>(v) * f));
+}
+
+uint64_t HostBytes(const sim::CounterSet& c) {
+  return c.host_random_read_bytes + c.host_seq_read_bytes +
+         c.host_write_bytes;
+}
+
+// Bytes one stolen probe tuple drags across the fabric: the key on the
+// way out, the matched position on the way back.
+constexpr uint64_t kStealBytesPerTuple =
+    sizeof(workload::Key) + sizeof(uint64_t);
+
+}  // namespace
+
+Result<std::unique_ptr<ShardScheduler>> ShardScheduler::Create(
+    const core::ExperimentConfig& cfg, const ShardConfig& dcfg) {
+  if (cfg.inlj.mode != core::InljConfig::PartitionMode::kWindowed) {
+    return Status::InvalidArgument(
+        "the sharded engine runs the windowed INLJ; set "
+        "inlj.mode = kWindowed");
+  }
+  Result<Topology> topo = Topology::Create(dcfg.topology, dcfg.num_shards);
+  if (!topo.ok()) return topo.status();
+  std::unique_ptr<ShardScheduler> engine(
+      new ShardScheduler(cfg, dcfg, *std::move(topo)));
+  Status st = engine->Build();
+  if (!st.ok()) return st;
+  return engine;
+}
+
+Status ShardScheduler::Build() {
+  mem::AddressSpace::Options options;
+  options.host_page_size = cfg_.host_page_size;
+
+  // Coordinator-side workload: the full R (procedural, read by the
+  // router and by shard slices) and the probe sample, generated exactly
+  // as core::Experiment does so a sharded run answers the same query.
+  base_space_ = std::make_unique<mem::AddressSpace>(options);
+  if (cfg_.jittered_keys) {
+    base_r_ = std::make_unique<workload::JitteredKeyColumn>(
+        base_space_.get(), cfg_.r_tuples, /*stride=*/16, cfg_.seed);
+  } else {
+    base_r_ = std::make_unique<workload::DenseKeyColumn>(base_space_.get(),
+                                                         cfg_.r_tuples);
+  }
+
+  workload::ProbeConfig probe_config;
+  probe_config.full_size = cfg_.s_tuples;
+  probe_config.sample_size = cfg_.s_sample;
+  probe_config.zipf_exponent = cfg_.zipf_exponent;
+  probe_config.seed = cfg_.seed;
+  // kAuto resolves to *thinned* here, unlike the single-device windowed
+  // path: a range-restricted sample spans 1/scale of R's key domain, so
+  // routing it by key would collapse the whole stream onto one or two
+  // shards — the opposite of what the full uniform workload does. The
+  // thinned sample draws over all of R and preserves the cross-shard
+  // spread; the explicit kRangeRestricted override is still honored for
+  // single-shard fidelity studies.
+  probe_config.scheme =
+      cfg_.sample_scheme ==
+              core::ExperimentConfig::SampleSchemeOverride::kRangeRestricted
+          ? workload::SampleScheme::kRangeRestricted
+          : workload::SampleScheme::kThinned;
+  s_ = workload::MakeProbeRelation(base_space_.get(), *base_r_, probe_config);
+
+  Result<ShardPlan> plan = ShardPlanner::Plan(*base_r_, dcfg_.num_shards);
+  if (!plan.ok()) return plan.status();
+  plan_ = *std::move(plan);
+
+  // The window grid. Per device the formulas are the batch pipeline's
+  // (core/inlj.cc) — every device has a window capacity of w_full_
+  // tuples, sized down for multiple shards only so the aggregate
+  // full-scale window never exceeds |S| (the single-device pipeline
+  // clamps the same way). One global window is num_shards devices
+  // filling their windows at once; with one shard everything below
+  // reduces to the batch grid exactly.
+  const uint64_t shards = dcfg_.num_shards;
+  const double scale = s_.scale();
+  const uint64_t sample = s_.sample_size();
+  w_full_ = std::min(cfg_.inlj.window_tuples,
+                     bits::CeilDiv(cfg_.s_tuples, shards));
+  w_dev_ = std::min(w_full_, sample);
+  if (s_.scheme == workload::SampleScheme::kRangeRestricted) {
+    w_dev_ = std::clamp<uint64_t>(
+        static_cast<uint64_t>(
+            std::llround(static_cast<double>(w_full_) / scale)),
+        32, sample);
+  }
+  // A simulated global window must fit in the sample; shrink the device
+  // window so all shards' shares stay full-density.
+  w_dev_ = std::max<uint64_t>(1, std::min(w_dev_, sample / shards));
+  window_scale_ =
+      static_cast<double>(w_full_) / static_cast<double>(w_dev_);
+  stride_ = shards * w_dev_;
+  n_sim_ = bits::CeilDiv(sample, stride_);
+  n_full_ = bits::CeilDiv(cfg_.s_tuples, shards * w_full_);
+
+  for (int i = 0; i < dcfg_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options);
+    // Mirror core::Experiment::Build's construction order so the shard's
+    // address layout matches a single-device experiment's (the N=1
+    // bit-identity guarantee rests on this).
+    shard->gpu = std::make_unique<sim::Gpu>(&shard->space, cfg_.platform);
+    if (cfg_.fault.enabled()) {
+      shard->fault = std::make_unique<sim::FaultInjector>(cfg_.fault);
+      shard->gpu->memory().SetFaultInjector(shard->fault.get());
+    }
+    shard->r = std::make_unique<ShardKeyColumn>(
+        &shard->space, *base_r_, plan_.pos_begin[i], plan_.shard_r_tuples(i));
+    switch (cfg_.index_type) {
+      case index::IndexType::kBinarySearch:
+        shard->index =
+            std::make_unique<index::BinarySearchIndex>(shard->r.get());
+        break;
+      case index::IndexType::kBTree:
+        shard->index = std::make_unique<index::BTreeIndex>(
+            &shard->space, shard->r.get(), cfg_.btree);
+        break;
+      case index::IndexType::kHarmonia:
+        shard->index = std::make_unique<index::HarmoniaIndex>(
+            &shard->space, shard->r.get(), cfg_.harmonia);
+        break;
+      case index::IndexType::kRadixSpline:
+        shard->index = index::RadixSplineIndex::Build(
+            &shard->space, shard->r.get(), cfg_.radix_spline);
+        break;
+    }
+    // Probe buffer the router fills; capacity = the whole sample (any
+    // single shard could own every key of a window).
+    shard->s.keys = mem::SimArray<workload::Key>(
+        &shard->space, s_.sample_size(), mem::MemKind::kHost, "S.keys");
+    shard->s.full_size = cfg_.s_tuples;
+    shard->s.scheme = s_.scheme;
+    shard->out.shard = i;
+    shard->out.r_tuples = plan_.shard_r_tuples(i);
+    shards_.push_back(std::move(shard));
+  }
+
+  const int threads =
+      dcfg_.threads > 0
+          ? dcfg_.threads
+          : std::min(dcfg_.num_shards, util::ThreadPool::HardwareConcurrency());
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+  return Status::Ok();
+}
+
+Status ShardScheduler::CreateJoiners() {
+  for (auto& shard : shards_) {
+    Result<core::WindowJoiner> joiner = core::WindowJoiner::Create(
+        *shard->gpu, *shard->index, shard->s, cfg_.inlj, s_.sample_size());
+    if (!joiner.ok()) return joiner.status();
+    shard->joiner =
+        std::make_unique<core::WindowJoiner>(*std::move(joiner));
+  }
+  return Status::Ok();
+}
+
+Status ShardScheduler::ResetShardsForRun() {
+  for (auto& shard : shards_) {
+    shard->gpu->memory().ClearHardwareState();
+    if (shard->fault != nullptr) shard->fault->Reset();
+    if (shard->timeline != nullptr) shard->timeline->Reset();
+    shard->cursor = 0;
+    shard->row_map.clear();
+    shard->ewma_rate = 0;
+    shard->chunks_run = 0;
+    shard->part_sum = sim::CounterSet{};
+    shard->join_sum = sim::CounterSet{};
+    shard->stats = core::WindowStats{};
+    ShardStats fresh;
+    fresh.shard = shard->out.shard;
+    fresh.r_tuples = shard->out.r_tuples;
+    shard->out = fresh;
+  }
+  return Status::Ok();
+}
+
+void ShardScheduler::EnableObservability() {
+  for (auto& shard : shards_) {
+    if (shard->timeline == nullptr) {
+      shard->timeline = std::make_unique<obs::PhaseTimeline>(
+          &shard->gpu->memory(), &shard->gpu->cost_model());
+      shard->timeline->AttachTo(&shard->gpu->memory());
+    }
+  }
+}
+
+std::vector<ShardScheduler::SliceRef> ShardScheduler::RouteSlice(
+    uint64_t begin, uint64_t count, bool serving) {
+  const int n = num_shards();
+  const workload::Key* keys = s_.keys.data().data();
+
+  std::vector<uint64_t> cnt(n, 0);
+  if (n == 1) {
+    cnt[0] = count;
+  } else {
+    for (uint64_t i = begin; i < begin + count; ++i) {
+      ++cnt[plan_.OwnerOf(keys[i])];
+    }
+  }
+
+  std::vector<SliceRef> slices(n);
+  for (int i = 0; i < n; ++i) {
+    Shard& shard = *shards_[i];
+    // The serving path reuses the buffers forever: wrap to the front
+    // when the tail can't hold this slice (RunWindow needs a contiguous
+    // range; a slice never exceeds the capacity).
+    if (serving && shard.cursor + cnt[i] > shard.s.sample_size()) {
+      shard.cursor = 0;
+    }
+    slices[i] = {shard.cursor, cnt[i]};
+  }
+
+  std::vector<uint64_t> write_at(n);
+  for (int i = 0; i < n; ++i) write_at[i] = slices[i].start;
+  for (uint64_t i = begin; i < begin + count; ++i) {
+    const int owner = n == 1 ? 0 : plan_.OwnerOf(keys[i]);
+    Shard& shard = *shards_[owner];
+    shard.s.keys[write_at[owner]++] = keys[i];
+    if (!serving) shard.row_map.push_back(i);
+  }
+  for (int i = 0; i < n; ++i) {
+    shards_[i]->cursor = slices[i].start + cnt[i];
+    shards_[i]->out.tuples_routed += cnt[i];
+  }
+  return slices;
+}
+
+std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
+    const std::vector<SliceRef>& slices, uint64_t* steal_events) {
+  const int n = num_shards();
+  std::vector<std::vector<Chunk>> stolen(n);
+  std::vector<uint64_t> remaining(n);
+  uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    remaining[i] = slices[i].count;
+    total += slices[i].count;
+  }
+
+  if (dcfg_.steal.enabled && n > 1 && total > 0) {
+    // Estimated per-tuple rates: the smoothed observation once a shard
+    // has run (the EWMA amortizes per-window fixed costs, so a shard
+    // serializing extra windows reports a proportionally higher load);
+    // before any observation, a uniform lower bound from the per-window
+    // sync overhead — enough to rebalance routed-count skew in the very
+    // first window.
+    const double floor_rate =
+        cfg_.platform.gpu.stream_sync_overhead /
+        static_cast<double>(w_dev_);
+    double known_sum = 0;
+    int known = 0;
+    for (const auto& shard : shards_) {
+      if (shard->ewma_rate > 0) {
+        known_sum += shard->ewma_rate;
+        ++known;
+      }
+    }
+    const double fallback = known > 0 ? known_sum / known : floor_rate;
+    std::vector<double> rate(n);
+    std::vector<double> load(n);
+    for (int i = 0; i < n; ++i) {
+      rate[i] =
+          shards_[i]->ewma_rate > 0 ? shards_[i]->ewma_rate : fallback;
+      load[i] = static_cast<double>(remaining[i]) * rate[i];
+    }
+    uint64_t bucket = dcfg_.steal.bucket_tuples;
+    if (bucket == 0) bucket = std::max<uint64_t>(256, w_dev_ / 2);
+    // Greedy rebalance, bounded: peel buckets off the most loaded
+    // shard's tail onto the least loaded one while it shortens the
+    // window's critical path.
+    for (int iter = 0; iter < 8 * n; ++iter) {
+      int victim = 0;
+      int thief = 0;
+      for (int i = 1; i < n; ++i) {
+        if (load[i] > load[victim]) victim = i;
+        if (load[i] < load[thief]) thief = i;
+      }
+      double mean = 0;
+      for (int i = 0; i < n; ++i) mean += load[i];
+      mean /= n;
+      if (victim == thief || remaining[victim] == 0 ||
+          load[victim] <= dcfg_.steal.trigger * mean) {
+        break;
+      }
+      const uint64_t g = std::min(bucket, remaining[victim]);
+      const double handoff =
+          topo_.PeerSeconds(victim, thief, g * kStealBytesPerTuple);
+      const double cost = static_cast<double>(g) * rate[victim] *
+                              dcfg_.steal.remote_penalty +
+                          handoff;
+      // Not worth it when the thief would become the new bottleneck.
+      if (load[thief] + cost >= load[victim]) break;
+      remaining[victim] -= g;
+      load[victim] -= static_cast<double>(g) * rate[victim];
+      load[thief] += cost;
+      stolen[victim].push_back(
+          {victim, thief, slices[victim].start + remaining[victim], g});
+      ++(*steal_events);
+    }
+  }
+
+  // Emit execution chunks, splitting anything larger than the device
+  // window capacity into serialized device windows (each pays its own
+  // launch and sync — the cost that makes routed-count skew hurt).
+  std::vector<std::vector<Chunk>> chunks(n);
+  auto emit = [this, &chunks](const Chunk& c) {
+    for (uint64_t off = 0; off < c.count; off += w_dev_) {
+      chunks[c.owner].push_back({c.owner, c.thief, c.start + off,
+                                 std::min(w_dev_, c.count - off)});
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    if (remaining[i] > 0) emit({i, i, slices[i].start, remaining[i]});
+    for (const Chunk& c : stolen[i]) emit(c);
+  }
+  return chunks;
+}
+
+Result<double> ShardScheduler::ExecuteWindow(
+    const std::vector<std::vector<Chunk>>& chunks, uint64_t ordinal,
+    util::ThreadPool* pool,
+    std::vector<std::vector<core::JoinMatch>>* collect_shards,
+    std::vector<uint64_t>* host_bytes_by_link,
+    std::vector<uint64_t>* window_matches) {
+  const int n = num_shards();
+  std::vector<std::vector<ChunkResult>> results(n);
+  std::vector<Status> statuses(n);
+
+  // One task per shard that owns work; a task touches only its own
+  // shard's device, joiner and match buffer, so tasks are independent
+  // and results do not depend on the thread count.
+  for (int i = 0; i < n; ++i) {
+    if (chunks[i].empty()) continue;
+    pool->Submit([this, i, ordinal, &chunks, &results, &statuses,
+                  collect_shards] {
+      Shard& shard = *shards_[i];
+      for (const Chunk& chunk : chunks[i]) {
+        Result<core::WindowRun> run = shard.joiner->RunWindow(
+            chunk.start, chunk.count, ordinal,
+            collect_shards != nullptr ? &(*collect_shards)[i] : nullptr);
+        if (!run.ok()) {
+          statuses[i] = run.status();
+          return;
+        }
+        ChunkResult cr;
+        cr.chunk = chunk;
+        cr.seconds = run->seconds();
+        cr.part = run->partition;
+        cr.join = run->join;
+        cr.matches = run->matches;
+        cr.stats = run->stats;
+        results[i].push_back(std::move(cr));
+      }
+    });
+  }
+  Status pool_status = pool->Wait();
+  if (!pool_status.ok()) return pool_status;
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+
+  // Fold in shard order on the calling thread: charge stolen chunks to
+  // their thief (remote penalty + fabric handoff), then apply shared-link
+  // contention on top of each shard's transfer time.
+  std::vector<sim::CounterSet> window_counters(n);
+  std::vector<double> own_seconds(n, 0);
+  std::vector<double> charged_seconds(n, 0);
+  std::vector<uint64_t> own_tuples(n, 0);
+  for (int v = 0; v < n; ++v) {
+    Shard& shard = *shards_[v];
+    shard.chunks_run += results[v].size();
+    for (const ChunkResult& cr : results[v]) {
+      window_counters[v] += cr.part.counters;
+      window_counters[v] += cr.join.counters;
+      shard.part_sum += cr.part.counters;
+      shard.join_sum += cr.join.counters;
+      shard.stats += cr.stats;
+      shard.out.matches += cr.matches;
+      if (window_matches != nullptr) (*window_matches)[v] += cr.matches;
+      if (cr.chunk.thief == v) {
+        own_seconds[v] += cr.seconds;
+        own_tuples[v] += cr.chunk.count;
+      } else {
+        const int thief = cr.chunk.thief;
+        const uint64_t bytes = cr.chunk.count * kStealBytesPerTuple;
+        charged_seconds[thief] +=
+            cr.seconds * dcfg_.steal.remote_penalty +
+            topo_.PeerSeconds(v, thief, bytes);
+        for (int link : topo_.PeerLinks(v, thief)) {
+          (*host_bytes_by_link)[link] += bytes;
+        }
+        shard.out.tuples_stolen_out += cr.chunk.count;
+        shards_[thief]->out.tuples_stolen_in += cr.chunk.count;
+        ++shards_[thief]->out.steals_in;
+      }
+    }
+  }
+
+  std::vector<double> times(n);
+  int active = 0;
+  for (int i = 0; i < n; ++i) {
+    times[i] = own_seconds[i] + charged_seconds[i];
+    if (times[i] > 0) ++active;
+  }
+  double wall = 0;
+  for (int i = 0; i < n; ++i) {
+    if (times[i] > 0) {
+      const int sharers =
+          topo_.HostSharers(topo_.host_link(i), active);
+      if (sharers > 1) {
+        // The shared link serializes the concurrent shards' transfers:
+        // each extra sharer adds one transfer-component's worth of wait.
+        times[i] += static_cast<double>(sharers - 1) *
+                    shards_[i]->gpu->cost_model()
+                        .Breakdown(window_counters[i])
+                        .transfer;
+      }
+      ++shards_[i]->out.windows;
+    }
+    (*host_bytes_by_link)[topo_.host_link(i)] +=
+        HostBytes(window_counters[i]);
+    shards_[i]->out.busy_seconds += times[i];
+    wall = std::max(wall, times[i]);
+
+    if (own_tuples[i] > 0) {
+      const double observed =
+          own_seconds[i] / static_cast<double>(own_tuples[i]);
+      shards_[i]->ewma_rate = shards_[i]->ewma_rate > 0
+                                  ? 0.5 * shards_[i]->ewma_rate +
+                                        0.5 * observed
+                                  : observed;
+    }
+  }
+  return wall;
+}
+
+double ShardScheduler::MergeSeconds(
+    const std::vector<uint64_t>& result_bytes) const {
+  // Shards stream their match runs to the coordinator (device 0).
+  // Dedicated links drain in parallel (slowest shard gates the merge);
+  // a shared host link serializes them.
+  const bool shared = topo_.links()[topo_.host_link(0)].shared;
+  double merge = 0;
+  for (int i = 1; i < num_shards(); ++i) {
+    const double t = topo_.PeerSeconds(i, 0, result_bytes[i]);
+    merge = shared ? merge + t : std::max(merge, t);
+  }
+  return merge;
+}
+
+Result<ShardedRunResult> ShardScheduler::RunJoin(
+    std::vector<core::JoinMatch>* collect) {
+  Status st = ResetShardsForRun();
+  if (!st.ok()) return st;
+  st = CreateJoiners();
+  if (!st.ok()) return st;
+
+  const int n = num_shards();
+  const double scale = s_.scale();
+  const uint64_t sample = s_.sample_size();
+
+  ShardedRunResult out;
+  std::vector<uint64_t> link_bytes(topo_.links().size(), 0);
+  double makespan_sim = 0;
+
+  for (uint64_t w = 0; w < n_sim_; ++w) {
+    const uint64_t begin = w * stride_;
+    const uint64_t count = std::min(stride_, sample - begin);
+    std::vector<SliceRef> slices =
+        RouteSlice(begin, count, /*serving=*/false);
+    std::vector<std::vector<Chunk>> chunks =
+        PlanChunks(slices, &out.steal_events);
+
+    std::vector<std::vector<core::JoinMatch>> window_collect;
+    if (collect != nullptr) window_collect.resize(n);
+    Result<double> wall = ExecuteWindow(
+        chunks, w, pool_.get(),
+        collect != nullptr ? &window_collect : nullptr, &link_bytes,
+        nullptr);
+    if (!wall.ok()) return wall.status();
+    makespan_sim += *wall;
+
+    if (collect != nullptr) {
+      // Deterministic cross-shard merge: shard order within the window,
+      // generation order within a shard. Local rows/positions map back
+      // through the shard's routing table and R offset.
+      for (int i = 0; i < n; ++i) {
+        const Shard& shard = *shards_[i];
+        for (const core::JoinMatch& m : window_collect[i]) {
+          collect->push_back(
+              {shard.row_map[m.probe_row],
+               plan_.pos_begin[i] + m.position});
+        }
+      }
+    }
+  }
+
+  // Per-shard counter extrapolation, replicating the single-device
+  // windowed path field for field (core/inlj.cc). The only
+  // generalization: a shard that serialized several device windows per
+  // global window keeps that many kernel launches per window.
+  const double to_one_window =
+      window_scale_ / static_cast<double>(n_sim_);
+  const double window_factor =
+      static_cast<double>(n_full_) / static_cast<double>(n_sim_);
+  uint64_t matches_total = 0;
+  core::WindowStats stats_total;
+  std::vector<uint64_t> result_bytes(n, 0);
+  for (int i = 0; i < n; ++i) {
+    Shard& shard = *shards_[i];
+    const uint64_t launches = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(shard.chunks_run) /
+               static_cast<double>(n_sim_))));
+    sim::CounterSet part_avg = shard.part_sum.Scaled(to_one_window);
+    sim::CounterSet join_avg = shard.join_sum.Scaled(to_one_window);
+    part_avg.kernel_launches = launches;
+    join_avg.kernel_launches = launches;
+    sim::CounterSet shard_counters =
+        part_avg.Scaled(static_cast<double>(n_full_));
+    shard_counters += join_avg.Scaled(static_cast<double>(n_full_));
+    shard_counters.kernel_launches = 2 * launches * n_full_;
+    shard.out.counters = shard_counters;
+    out.run.counters += shard_counters;
+
+    matches_total += shard.out.matches;
+    stats_total += shard.stats;
+    result_bytes[i] =
+        ScaleStat(shard.out.matches, scale) * 16;  // 16 B per match
+    if (shard.timeline != nullptr) {
+      shard.out.phase_spans = shard.timeline->Spans();
+    }
+    if (shard.joiner->result_on_host()) {
+      out.run.result_buffer_on_host = true;
+    }
+    out.shards.push_back(shard.out);
+  }
+
+  const double extrap = window_scale_ * window_factor;
+  out.merge_seconds = MergeSeconds(result_bytes);
+  out.run.label = "dist_inlj_" + std::string(shards_[0]->index->name()) +
+                  "_x" + std::to_string(n);
+  out.run.probe_tuples = s_.full_size;
+  out.run.seconds = makespan_sim * extrap + out.merge_seconds;
+  out.run.result_tuples = ScaleStat(matches_total, scale);
+  out.run.spilled_tuples =
+      ScaleStat(stats_total.spilled_tuples, window_scale_ * window_factor);
+  out.run.spill_buckets =
+      ScaleStat(stats_total.spill_buckets, window_scale_ * window_factor);
+  out.run.degraded_windows =
+      ScaleStat(stats_total.degraded_windows, window_factor);
+  out.run.fallback_windows =
+      ScaleStat(stats_total.fallback_windows, window_factor);
+  out.run.AddStage("shards/windows", makespan_sim * extrap);
+  out.run.AddStage("merge", out.merge_seconds);
+
+  for (size_t l = 0; l < topo_.links().size(); ++l) {
+    LinkStats ls;
+    ls.name = topo_.links()[l].name;
+    ls.bytes = ScaleStat(link_bytes[l], extrap);
+    if (out.run.seconds > 0) {
+      ls.utilization = static_cast<double>(ls.bytes) /
+                       (topo_.links()[l].seq_bandwidth * out.run.seconds);
+    }
+    out.links.push_back(std::move(ls));
+  }
+  return out;
+}
+
+Result<double> ShardScheduler::ServiceSlice(uint64_t begin, uint64_t count,
+                                            uint64_t ordinal) {
+  if (count == 0) {
+    return Status::InvalidArgument("cannot serve an empty slice");
+  }
+  if (begin + count > s_.sample_size()) {
+    return Status::InvalidArgument("slice exceeds the probe sample");
+  }
+  if (shards_[0]->joiner == nullptr) {
+    Status st = CreateJoiners();
+    if (!st.ok()) return st;
+  }
+
+  const int n = num_shards();
+  std::vector<SliceRef> slices = RouteSlice(begin, count, /*serving=*/true);
+  uint64_t steal_events = 0;
+  std::vector<std::vector<Chunk>> chunks = PlanChunks(slices, &steal_events);
+
+  std::vector<uint64_t> link_bytes(topo_.links().size(), 0);
+  std::vector<uint64_t> slice_matches(n, 0);
+  Result<double> wall = ExecuteWindow(chunks, ordinal, pool_.get(),
+                                      nullptr, &link_bytes, &slice_matches);
+  if (!wall.ok()) return wall.status();
+
+  // Serving works at sample scale (like the single-device server): the
+  // batch's results merge at the coordinator before the response goes
+  // out.
+  std::vector<uint64_t> result_bytes(n, 0);
+  for (int i = 0; i < n; ++i) result_bytes[i] = slice_matches[i] * 16;
+  return *wall + MergeSeconds(result_bytes);
+}
+
+}  // namespace gpujoin::dist

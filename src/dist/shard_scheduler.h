@@ -1,0 +1,266 @@
+#ifndef GPUJOIN_DIST_SHARD_SCHEDULER_H_
+#define GPUJOIN_DIST_SHARD_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/match.h"
+#include "core/window_join.h"
+#include "dist/shard_planner.h"
+#include "dist/topology.h"
+#include "obs/phase_timeline.h"
+#include "serve/server.h"
+#include "sim/fault.h"
+#include "sim/gpu.h"
+#include "sim/run_result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "workload/relation.h"
+
+namespace gpujoin::dist {
+
+// When Zipf skew concentrates a window's probe tuples on one shard, idle
+// shards steal buckets from the loaded shard's tail. A stolen bucket is
+// still *executed against the victim's structures* (its index owns those
+// R keys), but its time is charged to the thief's device timeline at a
+// remote-probe penalty plus the interconnect handoff — the thief's SMs
+// probing a peer-owned partition over the fabric.
+struct StealPolicy {
+  bool enabled = true;
+  // A shard becomes a victim when its estimated window time exceeds
+  // `trigger` times the mean across shards.
+  double trigger = 1.25;
+  // Steal granularity in probe tuples; 0 picks half a device window,
+  // min 256. A stolen bucket runs as its own window on the victim's
+  // structures, like a spill-chain bucket of the recovery ladder.
+  uint64_t bucket_tuples = 0;
+  // Remote execution runs this much slower than local (uncoalesced
+  // peer-to-peer probes).
+  double remote_penalty = 1.5;
+};
+
+struct ShardConfig {
+  int num_shards = 1;
+  TopologyKind topology = TopologyKind::kNvLink2;
+  StealPolicy steal;
+  // Simulation worker threads; 0 = min(num_shards, hardware).
+  int threads = 0;
+};
+
+// Per-shard outcome of a sharded run. Counters are extrapolated to the
+// full workload exactly like sim::RunResult's; tuple/steal counts are at
+// simulated-sample scale (they describe the simulated windows).
+struct ShardStats {
+  int shard = 0;
+  uint64_t r_tuples = 0;        // owned slice of R
+  uint64_t tuples_routed = 0;   // probe tuples routed to this shard
+  uint64_t tuples_stolen_out = 0;  // routed here but charged to a thief
+  uint64_t tuples_stolen_in = 0;   // stolen from peers, charged here
+  uint64_t steals_in = 0;          // buckets this shard stole
+  uint64_t windows = 0;            // windows in which this shard had work
+  uint64_t matches = 0;            // sample-scale matches
+  double busy_seconds = 0;  // simulated device-busy time (sample scale)
+  sim::CounterSet counters;
+  // Per-shard profile when observability is enabled (sample scale).
+  std::vector<sim::PhaseSpan> phase_spans;
+};
+
+// Traffic over one topology link, extrapolated to the full workload.
+struct LinkStats {
+  std::string name;
+  uint64_t bytes = 0;
+  // bytes / (seq_bandwidth * makespan) — how loaded the link was.
+  double utilization = 0;
+};
+
+// Cross-shard merge of a sharded run: the aggregate RunResult (counters
+// summed over shards, makespan = sum over windows of the slowest shard,
+// plus the result merge) next to the per-shard and per-link breakdowns.
+struct ShardedRunResult {
+  sim::RunResult run;
+  std::vector<ShardStats> shards;
+  std::vector<LinkStats> links;
+  uint64_t steal_events = 0;    // buckets rebalanced across the run
+  double merge_seconds = 0;     // result concatenation at the coordinator
+
+  double tuples_per_second() const {
+    return run.seconds > 0
+               ? static_cast<double>(run.probe_tuples) / run.seconds
+               : 0;
+  }
+};
+
+// The sharded multi-device execution engine: owns one simulated device
+// (AddressSpace + Gpu + TLB + index slice) per shard as laid out by
+// ShardPlanner, routes every probe window's tuples to their owning
+// shards, runs the shards concurrently on a util::ThreadPool (each
+// advancing its own simulated clock), rebalances skewed windows by work
+// stealing, and merges matches/counters deterministically.
+//
+// Determinism: routing and steal planning happen on the calling thread
+// before a window is dispatched; worker tasks touch only their own
+// shard's structures; and all folding happens in shard order after the
+// window barrier — results are bit-identical for any thread count. With
+// num_shards == 1 the window grid, RunWindow calls and counter
+// extrapolation reproduce core::IndexNestedLoopJoin's windowed path
+// exactly (regression-tested bit-identical).
+class ShardScheduler final : public serve::WindowBackend {
+ public:
+  // Builds the shards for `cfg` (same workload/index/fault parameters as
+  // a single-device core::Experiment; cfg.inlj.mode must be kWindowed).
+  static Result<std::unique_ptr<ShardScheduler>> Create(
+      const core::ExperimentConfig& cfg, const ShardConfig& dcfg);
+
+  // Runs the full probe relation as the batch pipeline does (window grid
+  // over the sample, extrapolated to full scale). A non-null `collect`
+  // receives every sample-scale match with *global* probe rows,
+  // concatenated in shard order within each window.
+  Result<ShardedRunResult> RunJoin(
+      std::vector<core::JoinMatch>* collect = nullptr);
+
+  // serve::WindowBackend: fans the slice out to the owning shards and
+  // returns the slowest shard's service time plus the merge.
+  uint64_t sample_size() const override { return s_.sample_size(); }
+  Result<double> ServiceSlice(uint64_t begin, uint64_t count,
+                              uint64_t ordinal) override;
+
+  // Attaches a PhaseTimeline to every shard's device (idempotent);
+  // subsequent runs fill ShardStats::phase_spans.
+  void EnableObservability();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardPlan& plan() const { return plan_; }
+  const Topology& topology() const { return topo_; }
+  const workload::ProbeRelation& s() const { return s_; }
+  const core::ExperimentConfig& config() const { return cfg_; }
+
+ private:
+  // One simulated device: its own address space (so the TLB-coverage
+  // cliff is per shard), the owned slice of R, the index over it, and a
+  // probe buffer the router fills.
+  struct Shard {
+    explicit Shard(const mem::AddressSpace::Options& options)
+        : space(options) {}
+
+    mem::AddressSpace space;
+    std::unique_ptr<sim::Gpu> gpu;
+    std::unique_ptr<sim::FaultInjector> fault;
+    std::unique_ptr<ShardKeyColumn> r;
+    std::unique_ptr<index::Index> index;
+    workload::ProbeRelation s;       // routed probe tuples (local rows)
+    std::vector<uint64_t> row_map;   // local row -> global probe row
+    uint64_t cursor = 0;             // fill position in s.keys
+    std::unique_ptr<core::WindowJoiner> joiner;
+    std::unique_ptr<obs::PhaseTimeline> timeline;
+
+    // Steal planning state: smoothed seconds per probe tuple.
+    double ewma_rate = 0;
+    // RunWindow calls executed on this device this run (device windows;
+    // a loaded shard serializes several per global window).
+    uint64_t chunks_run = 0;
+
+    // Run ledgers (reset by RunJoin).
+    sim::CounterSet part_sum;
+    sim::CounterSet join_sum;
+    core::WindowStats stats;
+    ShardStats out;
+  };
+
+  // One RunWindow call planned for a window: rows
+  // [start, start + count) of `owner`'s probe buffer, executed on the
+  // owner's device, charged to `thief`'s timeline (thief == owner for
+  // the shard's own chunk).
+  struct Chunk {
+    int owner = 0;
+    int thief = 0;
+    uint64_t start = 0;
+    uint64_t count = 0;
+  };
+
+  struct ChunkResult {
+    Chunk chunk;
+    double seconds = 0;
+    sim::KernelRun part{"partition", {}};
+    sim::KernelRun join{"join", {}};
+    uint64_t matches = 0;
+    core::WindowStats stats;
+  };
+
+  // Per-shard slice of one routed window in that shard's probe buffer.
+  struct SliceRef {
+    uint64_t start = 0;
+    uint64_t count = 0;
+  };
+
+  ShardScheduler(const core::ExperimentConfig& cfg, const ShardConfig& dcfg,
+                 Topology topo)
+      : cfg_(cfg), dcfg_(dcfg), topo_(std::move(topo)) {}
+
+  Status Build();
+  Status ResetShardsForRun();
+  Status CreateJoiners();
+
+  // Routes s_[begin, begin+count) into the shards' probe buffers.
+  // `serving` wraps each shard's cursor cyclically (the serving path
+  // reuses the buffers forever); the batch path records row maps for
+  // match remapping instead.
+  std::vector<SliceRef> RouteSlice(uint64_t begin, uint64_t count,
+                                   bool serving);
+
+  // Plans this window's chunks (work stealing when enabled); returns
+  // per-victim chunk lists in execution order.
+  std::vector<std::vector<Chunk>> PlanChunks(
+      const std::vector<SliceRef>& slices, uint64_t* steal_events);
+
+  // Runs the planned chunks concurrently (one task per shard that owns
+  // work) and folds charged per-shard times, contention and link bytes.
+  // Returns the window's wall time (max over shards). `collect_shards`
+  // receives per-shard matches when non-null.
+  // `window_matches` (optional) receives per-shard match counts for the
+  // serving path's merge accounting.
+  Result<double> ExecuteWindow(
+      const std::vector<std::vector<Chunk>>& chunks, uint64_t ordinal,
+      util::ThreadPool* pool,
+      std::vector<std::vector<core::JoinMatch>>* collect_shards,
+      std::vector<uint64_t>* host_bytes_by_link,
+      std::vector<uint64_t>* window_matches);
+
+  double MergeSeconds(const std::vector<uint64_t>& result_bytes) const;
+
+  core::ExperimentConfig cfg_;
+  ShardConfig dcfg_;
+  Topology topo_;
+  ShardPlan plan_;
+
+  // The window grid (fixed per engine, derived in Build): every device
+  // has a window capacity of `w_full_` probe tuples (`w_dev_` simulated),
+  // so one *global* window strides num_shards * w_dev_ tuples of the
+  // sample. A shard routed more than w_dev_ tuples in a global window
+  // serializes extra device windows — the scale-out skew penalty. With
+  // one shard this degenerates to exactly the batch pipeline's grid.
+  uint64_t w_full_ = 0;         // device window, full scale
+  uint64_t w_dev_ = 0;          // device window, simulated scale
+  uint64_t stride_ = 0;         // global window stride over the sample
+  uint64_t n_sim_ = 0;          // simulated global windows
+  uint64_t n_full_ = 0;         // full-scale global windows
+  double window_scale_ = 1;     // w_full_ / w_dev_
+
+  // The coordinator-side base workload: R (procedural, shared read-only
+  // by the router) and the probe sample the windows slice.
+  std::unique_ptr<mem::AddressSpace> base_space_;
+  std::unique_ptr<workload::KeyColumn> base_r_;
+  workload::ProbeRelation s_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Persistent simulation workers (the serving path dispatches thousands
+  // of slices; per-slice pools would dominate the wall clock).
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace gpujoin::dist
+
+#endif  // GPUJOIN_DIST_SHARD_SCHEDULER_H_

@@ -1,0 +1,114 @@
+#include "dist/topology.h"
+
+namespace gpujoin::dist {
+
+namespace {
+
+Link MakeLink(std::string name, const sim::InterconnectSpec& spec,
+              bool shared) {
+  Link link;
+  link.name = std::move(name);
+  link.seq_bandwidth = spec.seq_bandwidth;
+  link.random_bandwidth = spec.random_bandwidth;
+  link.latency = spec.latency;
+  link.shared = shared;
+  return link;
+}
+
+}  // namespace
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kNvLink2:
+      return "nvlink2";
+    case TopologyKind::kPciE4:
+      return "pcie4";
+    case TopologyKind::kNvSwitch:
+      return "nvswitch";
+  }
+  return "unknown";
+}
+
+Result<Topology> Topology::Create(TopologyKind kind, int num_devices) {
+  switch (kind) {
+    case TopologyKind::kNvLink2:
+    case TopologyKind::kNvSwitch:
+      return FromSpec(kind, num_devices, sim::NvLink2());
+    case TopologyKind::kPciE4:
+      return FromSpec(kind, num_devices, sim::PciE4());
+  }
+  return Status::InvalidArgument("unknown topology kind");
+}
+
+Result<Topology> Topology::FromSpec(TopologyKind kind, int num_devices,
+                                    const sim::InterconnectSpec& spec) {
+  if (num_devices < 1) {
+    return Status::InvalidArgument("topology needs at least one device");
+  }
+  Topology topo;
+  topo.kind_ = kind;
+  topo.num_devices_ = num_devices;
+  topo.host_link_of_.resize(num_devices);
+
+  const std::string prefix = TopologyKindName(kind);
+  if (kind == TopologyKind::kPciE4) {
+    // One root complex: every device's host traffic shares this link.
+    topo.links_.push_back(MakeLink(prefix + ".host", spec, /*shared=*/true));
+    for (int d = 0; d < num_devices; ++d) topo.host_link_of_[d] = 0;
+  } else {
+    for (int d = 0; d < num_devices; ++d) {
+      topo.host_link_of_[d] = static_cast<int>(topo.links_.size());
+      topo.links_.push_back(MakeLink(
+          prefix + ".host" + std::to_string(d), spec, /*shared=*/false));
+    }
+  }
+  if (kind == TopologyKind::kNvSwitch) {
+    topo.peer_link_of_.resize(num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+      topo.peer_link_of_[d] = static_cast<int>(topo.links_.size());
+      topo.links_.push_back(MakeLink(
+          prefix + ".port" + std::to_string(d), spec, /*shared=*/false));
+    }
+  }
+  return topo;
+}
+
+double Topology::PeerSeconds(int from, int to, uint64_t bytes) const {
+  if (from == to || bytes == 0) return 0;
+  const double b = static_cast<double>(bytes);
+  switch (kind_) {
+    case TopologyKind::kNvSwitch: {
+      // One switch hop at full NVLink rate.
+      const Link& port = links_[peer_link_of_[from]];
+      return b / port.seq_bandwidth + port.latency;
+    }
+    case TopologyKind::kNvLink2: {
+      // Through host memory: out on one brick, in on the other.
+      const Link& out = links_[host_link_of_[from]];
+      const Link& in = links_[host_link_of_[to]];
+      return b / out.seq_bandwidth + b / in.seq_bandwidth + out.latency +
+             in.latency;
+    }
+    case TopologyKind::kPciE4: {
+      // The shared link carries the payload twice (up, then down).
+      const Link& host = links_[host_link_of_[from]];
+      return 2 * (b / host.seq_bandwidth + host.latency);
+    }
+  }
+  return 0;
+}
+
+std::vector<int> Topology::PeerLinks(int from, int to) const {
+  if (from == to) return {};
+  switch (kind_) {
+    case TopologyKind::kNvSwitch:
+      return {peer_link_of_[from], peer_link_of_[to]};
+    case TopologyKind::kNvLink2:
+      return {host_link_of_[from], host_link_of_[to]};
+    case TopologyKind::kPciE4:
+      return {host_link_of_[from]};
+  }
+  return {};
+}
+
+}  // namespace gpujoin::dist

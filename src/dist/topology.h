@@ -1,0 +1,90 @@
+#ifndef GPUJOIN_DIST_TOPOLOGY_H_
+#define GPUJOIN_DIST_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/specs.h"
+#include "util/status.h"
+
+namespace gpujoin::dist {
+
+// How the simulated devices of a sharded run are wired together. The
+// paper evaluates one GPU behind one interconnect; scale-out multiplies
+// that picture, and what changes between machines is (a) whether the
+// host link is per-device or shared and (b) how peers reach each other.
+enum class TopologyKind {
+  // V100 + NVLink 2.0 (paper Sec. 3.2): every GPU has its own NVLink
+  // bricks to CPU memory (POWER9 style), peers talk through the host
+  // (two hops).
+  kNvLink2,
+  // A100 + PCI-e 4.0 (Fig. 9): all devices hang off one root complex;
+  // the host link is shared and contended, peer traffic crosses it twice.
+  kPciE4,
+  // DGX-style NVSwitch fabric: dedicated host links plus an all-to-all
+  // switch, so peer transfers take one uncontended hop at NVLink rate.
+  kNvSwitch,
+};
+
+const char* TopologyKindName(TopologyKind kind);
+
+// One physical link of the topology. Bandwidths/latency come straight
+// from the sim::InterconnectSpec the preset was built from.
+struct Link {
+  std::string name;
+  double seq_bandwidth = 0;     // bytes/s, streaming transfers
+  double random_bandwidth = 0;  // bytes/s, cacheline gathers
+  double latency = 0;           // seconds per hop
+  bool shared = false;          // true when several devices contend on it
+};
+
+// Interconnect topology for `num_devices` simulated GPUs: which link each
+// device uses to reach CPU memory (where R and the probe stream live),
+// and what a peer-to-peer transfer between two devices costs. Links are
+// identified by index into links() so the scheduler can account bytes
+// and contention per physical link.
+class Topology {
+ public:
+  static Result<Topology> Create(TopologyKind kind, int num_devices);
+  // As Create, but with an explicit interconnect spec (tests).
+  static Result<Topology> FromSpec(TopologyKind kind, int num_devices,
+                                   const sim::InterconnectSpec& spec);
+
+  TopologyKind kind() const { return kind_; }
+  int num_devices() const { return num_devices_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  // Link the device's host traffic (probe keys, index reads over the
+  // interconnect) crosses. Shared topologies return the same id for
+  // every device.
+  int host_link(int device) const { return host_link_of_[device]; }
+
+  // Number of devices whose host traffic contends on `link` when all of
+  // `active` are transferring at once (1 when the link is dedicated).
+  int HostSharers(int link, int active_devices) const {
+    return links_[link].shared ? active_devices : 1;
+  }
+
+  // Simulated seconds to stream `bytes` from device `from` to device
+  // `to` (work-stealing handoffs, result merges). Dedicated-link
+  // topologies pay per-hop latency; the PCI-e path crosses the shared
+  // host link twice.
+  double PeerSeconds(int from, int to, uint64_t bytes) const;
+
+  // Links charged by a peer transfer, for utilization accounting.
+  std::vector<int> PeerLinks(int from, int to) const;
+
+ private:
+  Topology() = default;
+
+  TopologyKind kind_ = TopologyKind::kNvLink2;
+  int num_devices_ = 0;
+  std::vector<Link> links_;
+  std::vector<int> host_link_of_;   // device -> link index
+  std::vector<int> peer_link_of_;   // device -> switch port (kNvSwitch)
+};
+
+}  // namespace gpujoin::dist
+
+#endif  // GPUJOIN_DIST_TOPOLOGY_H_

@@ -94,6 +94,31 @@ void RecordBuilder::SetTrace(const sim::TraceRecorder& trace) {
   has_trace_ = true;
 }
 
+void WritePhaseSpans(JsonWriter& w, const std::vector<sim::PhaseSpan>& spans) {
+  w.BeginArray();
+  for (const sim::PhaseSpan& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    if (span.window == sim::PhaseSpan::kNoWindow) {
+      w.Key("window").Null();
+    } else {
+      w.Key("window").Int(span.window);
+    }
+    w.Key("seconds").Double(span.seconds);
+    w.Key("enter_count").Uint(span.enter_count);
+    w.Key("observed_transactions").Uint(span.observed_transactions);
+    w.Key("observed_stream_bytes").Uint(span.observed_stream_bytes);
+    w.Key("counters");
+    WriteCounterSet(w, span.delta);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void RecordBuilder::AddSection(std::string_view name, std::string raw_json) {
+  sections_.emplace_back(std::string(name), std::move(raw_json));
+}
+
 std::string RecordBuilder::ToJsonLine() const {
   JsonWriter w;
   w.BeginObject();
@@ -138,24 +163,8 @@ std::string RecordBuilder::ToJsonLine() const {
     }
     w.EndArray();
 
-    w.Key("phases").BeginArray();
-    for (const sim::PhaseSpan& span : run_.phase_spans) {
-      w.BeginObject();
-      w.Key("name").String(span.name);
-      if (span.window == sim::PhaseSpan::kNoWindow) {
-        w.Key("window").Null();
-      } else {
-        w.Key("window").Int(span.window);
-      }
-      w.Key("seconds").Double(span.seconds);
-      w.Key("enter_count").Uint(span.enter_count);
-      w.Key("observed_transactions").Uint(span.observed_transactions);
-      w.Key("observed_stream_bytes").Uint(span.observed_stream_bytes);
-      w.Key("counters");
-      WriteCounterSet(w, span.delta);
-      w.EndObject();
-    }
-    w.EndArray();
+    w.Key("phases");
+    WritePhaseSpans(w, run_.phase_spans);
   }
 
   if (has_trace_) {
@@ -178,6 +187,10 @@ std::string RecordBuilder::ToJsonLine() const {
   if (!metrics_.empty()) {
     w.Key("metrics");
     metrics_.WriteJson(w);
+  }
+
+  for (const auto& [name, json] : sections_) {
+    w.Key(name).Raw(json);
   }
 
   w.EndObject();

@@ -29,6 +29,10 @@ void WriteCounterSet(JsonWriter& w, const sim::CounterSet& c);
 // Serializes a platform spec (GPU + interconnect model parameters).
 void WritePlatformSpec(JsonWriter& w, const sim::PlatformSpec& p);
 
+// Serializes phase spans as the record's "phases" array value — shared
+// between the top-level record and per-shard sections.
+void WritePhaseSpans(JsonWriter& w, const std::vector<sim::PhaseSpan>& spans);
+
 // Assembles one schema-versioned JSON record for one sweep point of one
 // bench binary. Usage:
 //
@@ -70,6 +74,11 @@ class RecordBuilder {
 
   MetricsRegistry& metrics() { return metrics_; }
 
+  // Splices a pre-serialized JSON value as an extra top-level section
+  // (e.g. the sharded engine's "shards"/"links" arrays). Sections keep
+  // insertion order and land after the standard fields.
+  void AddSection(std::string_view name, std::string raw_json);
+
   // One JSON Lines record (single line, no trailing newline).
   std::string ToJsonLine() const;
 
@@ -84,6 +93,7 @@ class RecordBuilder {
   std::vector<std::pair<std::string, sim::TraceRecorder::RegionStats>>
       trace_regions_;
   MetricsRegistry metrics_;
+  std::vector<std::pair<std::string, std::string>> sections_;  // name -> JSON
 };
 
 }  // namespace gpujoin::obs

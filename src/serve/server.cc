@@ -2,10 +2,37 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 
 namespace gpujoin::serve {
+
+namespace {
+
+// Default backend: one windowed joiner on one simulated GPU, exactly the
+// pre-backend serving path (regression: RequestServer runs on it are
+// bit-identical to the original inline-joiner loop).
+class LocalBackend final : public WindowBackend {
+ public:
+  LocalBackend(core::WindowJoiner joiner, uint64_t sample)
+      : joiner_(std::move(joiner)), sample_(sample) {}
+
+  uint64_t sample_size() const override { return sample_; }
+
+  Result<double> ServiceSlice(uint64_t begin, uint64_t count,
+                              uint64_t ordinal) override {
+    Result<core::WindowRun> run = joiner_.RunWindow(begin, count, ordinal);
+    if (!run.ok()) return run.status();
+    return run->seconds();
+  }
+
+ private:
+  core::WindowJoiner joiner_;
+  uint64_t sample_;
+};
+
+}  // namespace
 
 Result<ServeReport> RequestServer::Run() {
   if (serve_config_.requests == 0) {
@@ -23,12 +50,19 @@ Result<ServeReport> RequestServer::Run() {
         "on/off arrivals need burst_factor > 1 (otherwise use poisson)");
   }
 
-  const uint64_t sample = s_->sample_size();
   const uint64_t tpr = serve_config_.tuples_per_request;
 
-  Result<core::WindowJoiner> joiner =
-      core::WindowJoiner::Create(*gpu_, *index_, *s_, inlj_config_, sample);
-  if (!joiner.ok()) return joiner.status();
+  std::unique_ptr<LocalBackend> local;
+  WindowBackend* backend = backend_;
+  if (backend == nullptr) {
+    Result<core::WindowJoiner> joiner = core::WindowJoiner::Create(
+        *gpu_, *index_, *s_, inlj_config_, s_->sample_size());
+    if (!joiner.ok()) return joiner.status();
+    local = std::make_unique<LocalBackend>(*std::move(joiner),
+                                           s_->sample_size());
+    backend = local.get();
+  }
+  const uint64_t sample = backend->sample_size();
 
   ArrivalGenerator gen(serve_config_.arrival);
   MicroBatcher batcher(serve_config_.batch);
@@ -67,9 +101,9 @@ Result<ServeReport> RequestServer::Run() {
     uint64_t remaining = n_tuples;
     while (remaining > 0) {
       const uint64_t take = std::min(remaining, sample - cursor);
-      Result<core::WindowRun> run = joiner->RunWindow(cursor, take, ordinal++);
-      if (!run.ok()) return run.status();
-      service += run->seconds();
+      Result<double> slice = backend->ServiceSlice(cursor, take, ordinal++);
+      if (!slice.ok()) return slice.status();
+      service += *slice;
       cursor += take;
       if (cursor == sample) cursor = 0;
       remaining -= take;

@@ -14,6 +14,24 @@
 
 namespace gpujoin::serve {
 
+// What the server needs from an execution engine: service one
+// contiguous slice of the probe sample and report its simulated service
+// time. The default backend is a single core::WindowJoiner; the sharded
+// engine (src/dist) fans a slice out across devices and returns the
+// slowest shard's time plus the merge.
+class WindowBackend {
+ public:
+  virtual ~WindowBackend() = default;
+
+  // Length of the cyclic probe cursor the server slices over.
+  virtual uint64_t sample_size() const = 0;
+
+  // Services s[begin, begin + count); `ordinal` labels the window for
+  // the phase timeline. Returns simulated seconds.
+  virtual Result<double> ServiceSlice(uint64_t begin, uint64_t count,
+                                      uint64_t ordinal) = 0;
+};
+
 struct ServeConfig {
   ArrivalConfig arrival;
   BatchPolicy batch;
@@ -79,12 +97,18 @@ class RequestServer {
         inlj_config_(inlj_config),
         serve_config_(serve_config) {}
 
+  // Serves against an externally owned backend (e.g. dist::ShardScheduler
+  // fanning each batch out to shards). The backend must outlive Run().
+  RequestServer(WindowBackend& backend, const ServeConfig& serve_config)
+      : backend_(&backend), serve_config_(serve_config) {}
+
   Result<ServeReport> Run();
 
  private:
-  sim::Gpu* gpu_;
-  const index::Index* index_;
-  const workload::ProbeRelation* s_;
+  WindowBackend* backend_ = nullptr;  // null: build a local WindowJoiner
+  sim::Gpu* gpu_ = nullptr;
+  const index::Index* index_ = nullptr;
+  const workload::ProbeRelation* s_ = nullptr;
   core::InljConfig inlj_config_;
   ServeConfig serve_config_;
 };

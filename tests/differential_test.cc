@@ -13,6 +13,7 @@
 #include "core/best_effort.h"
 #include "core/experiment.h"
 #include "core/inlj.h"
+#include "dist/shard_scheduler.h"
 #include "index/binary_search.h"
 #include "index/btree.h"
 #include "index/harmonia.h"
@@ -275,6 +276,37 @@ TEST_P(MatchSetTest, RecoveryFallbacksPreserveTheMatchSet) {
   ASSERT_GT(faulty_run.degraded_windows + faulty_run.fallback_windows, 0u)
       << "fault rate too low to exercise the recovery ladder";
   EXPECT_TRUE(clean == faulty);
+}
+
+TEST_P(MatchSetTest, OneShardEngineIsBitIdenticalToWindowed) {
+  // The sharded engine with one shard must *be* the windowed
+  // single-device pipeline, bit for bit: identical extrapolated counters
+  // and a byte-identical match stream (same pairs, same order). This
+  // guards the scheduler's window grid and extrapolation against drift
+  // from core/inlj.cc. BaseConfig pins kThinned, which both engines
+  // accept (the sharded router resolves kAuto to kThinned itself, but
+  // the single-device path would pick kRangeRestricted).
+  core::ExperimentConfig cfg = BaseConfig(GetParam());
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+
+  auto exp = core::Experiment::Create(cfg);
+  ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+  std::vector<core::JoinMatch> single_matches;
+  auto single = (*exp)->RunInlj(&single_matches);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  auto engine = dist::ShardScheduler::Create(cfg, dist::ShardConfig{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<core::JoinMatch> sharded_matches;
+  auto sharded = (*engine)->RunJoin(&sharded_matches);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  EXPECT_TRUE(single->counters == sharded->run.counters)
+      << "counter drift between the one-shard engine and the windowed "
+         "pipeline";
+  EXPECT_EQ(single->result_tuples, sharded->run.result_tuples);
+  ASSERT_EQ(single_matches.size(), sharded_matches.size());
+  EXPECT_TRUE(single_matches == sharded_matches);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchSetTest,

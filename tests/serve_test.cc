@@ -215,6 +215,51 @@ TEST(RequestServer, OverloadShedsAndBoundsTheTail) {
             drain + sc.batch.deadline_seconds + 2 * window);
 }
 
+TEST(RequestServer, RetryableFaultsInflateTailButDropNothing) {
+  // Injected allocation failures push serving windows down the recovery
+  // ladder (shrunken windows, unpartitioned fallbacks). Degraded service
+  // is slower — the tail must inflate — but it is still service: every
+  // admitted request completes and records a latency sample.
+  ServeConfig sc;
+  sc.arrival.model = ArrivalModel::kDeterministic;
+  sc.tuples_per_request = 4096;
+  sc.batch.batch_tuples = sc.tuples_per_request;
+  sc.batch.min_batch_tuples = sc.batch.batch_tuples;
+  sc.batch.adaptive = false;
+  sc.requests = 300;
+  const double window = CalibrateWindowSeconds(sc.tuples_per_request);
+  sc.arrival.rate = 0.01 / window;  // low load: no queueing, no shedding
+  sc.max_backlog_tuples = 0;        // every request is admitted
+
+  auto clean_exp = core::Experiment::Create(ServeExperimentConfig());
+  ASSERT_TRUE(clean_exp.ok());
+  (*clean_exp)->ResetForRun();
+  RequestServer clean((*clean_exp)->gpu(), (*clean_exp)->index(),
+                      (*clean_exp)->s(), ServeExperimentConfig().inlj, sc);
+  const ServeReport clean_r = clean.Run().value();
+  ASSERT_EQ(clean_r.counters.requests_shed, 0u);
+
+  core::ExperimentConfig faulty_cfg = ServeExperimentConfig();
+  // Reservations are rare (one per serving window), so the rate must be
+  // high for the ladder to fire reliably within the run.
+  faulty_cfg.fault.alloc_failure_rate = 0.75;
+  auto faulty_exp = core::Experiment::Create(faulty_cfg);
+  ASSERT_TRUE(faulty_exp.ok());
+  (*faulty_exp)->ResetForRun();
+  RequestServer faulty((*faulty_exp)->gpu(), (*faulty_exp)->index(),
+                       (*faulty_exp)->s(), faulty_cfg.inlj, sc);
+  const ServeReport r = faulty.Run().value();
+
+  // No admitted request is ever dropped: same admissions, zero shed,
+  // and a latency sample for every single request.
+  EXPECT_EQ(r.counters.requests_admitted, clean_r.counters.requests_admitted);
+  EXPECT_EQ(r.counters.requests_shed, 0u);
+  EXPECT_EQ(r.latency.count(), sc.requests);
+  EXPECT_EQ(r.counters.tuples_served, clean_r.counters.tuples_served);
+  // But the degraded windows cost time: the tail inflates.
+  EXPECT_GT(r.latency.Quantile(0.99), clean_r.latency.Quantile(0.99));
+}
+
 TEST(RequestServer, AdaptiveBatchingGrowsUnderLoad) {
   auto exp = core::Experiment::Create(ServeExperimentConfig());
   ASSERT_TRUE(exp.ok());
