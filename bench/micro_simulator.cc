@@ -15,10 +15,7 @@
 
 #include "obs/emitter.h"
 
-#include "index/binary_search.h"
-#include "index/btree.h"
-#include "index/harmonia.h"
-#include "index/radix_spline.h"
+#include "core/index_factory.h"
 #include "join/multi_value_hash_table.h"
 #include "mem/address_space.h"
 #include "partition/radix_partitioner.h"
@@ -209,9 +206,10 @@ void IndexLookupBench(benchmark::State& state, MakeIndexFn make_index) {
 }
 
 void BM_LookupBinarySearch(benchmark::State& state) {
-  IndexLookupBench(state, [](mem::AddressSpace*,
+  IndexLookupBench(state, [](mem::AddressSpace* space,
                              const workload::KeyColumn* column) {
-    return std::make_unique<index::BinarySearchIndex>(column);
+    return core::IndexFactory::Build(space, column,
+                                     index::IndexType::kBinarySearch);
   });
 }
 BENCHMARK(BM_LookupBinarySearch);
@@ -219,7 +217,8 @@ BENCHMARK(BM_LookupBinarySearch);
 void BM_LookupBTree(benchmark::State& state) {
   IndexLookupBench(state, [](mem::AddressSpace* space,
                              const workload::KeyColumn* column) {
-    return std::make_unique<index::BTreeIndex>(space, column);
+    return core::IndexFactory::Build(space, column,
+                                     index::IndexType::kBTree);
   });
 }
 BENCHMARK(BM_LookupBTree);
@@ -227,7 +226,8 @@ BENCHMARK(BM_LookupBTree);
 void BM_LookupHarmonia(benchmark::State& state) {
   IndexLookupBench(state, [](mem::AddressSpace* space,
                              const workload::KeyColumn* column) {
-    return std::make_unique<index::HarmoniaIndex>(space, column);
+    return core::IndexFactory::Build(space, column,
+                                     index::IndexType::kHarmonia);
   });
 }
 BENCHMARK(BM_LookupHarmonia);
@@ -235,7 +235,8 @@ BENCHMARK(BM_LookupHarmonia);
 void BM_LookupRadixSpline(benchmark::State& state) {
   IndexLookupBench(state, [](mem::AddressSpace* space,
                              const workload::KeyColumn* column) {
-    return index::RadixSplineIndex::Build(space, column);
+    return core::IndexFactory::Build(space, column,
+                                     index::IndexType::kRadixSpline);
   });
 }
 BENCHMARK(BM_LookupRadixSpline);

@@ -14,6 +14,8 @@
 
 #include "bench/bench_common.h"
 
+#include "plan/backend.h"
+#include "plan/metrics.h"
 #include "serve/server.h"
 
 namespace gpujoin::bench {
@@ -60,8 +62,18 @@ int Main(int argc, char** argv) {
                     "admission bound on pending + in-flight tuples "
                     "(0 = never shed)",
                     /*min=*/0, /*max=*/int64_t{1} << 40);
+  flags.DefineString("planner", "static",
+                     "per-batch plan routing: static (fixed windowed "
+                     "radix-spline) | adaptive | oracle");
   if (!ParseBenchFlags(flags, argc, argv)) return 0;
   MetricsSink sink(flags);
+
+  const std::string planner_name = flags.GetString("planner");
+  auto planner_mode = plan::ParsePlannerMode(planner_name);
+  if (!planner_mode.ok()) {
+    std::fprintf(stderr, "%s\n", planner_mode.status().ToString().c_str());
+    return 1;
+  }
 
   const uint64_t tpr =
       static_cast<uint64_t>(flags.GetInt64("tuples_per_request"));
@@ -124,12 +136,6 @@ int Main(int argc, char** argv) {
   for (double load : loads) {
     cells.push_back([&, ci, load]() -> std::vector<std::string> {
       core::ExperimentConfig cfg = BaseConfig(flags);
-      auto exp = core::Experiment::Create(cfg);
-      if (!exp.ok()) {
-        return {TablePrinter::Num(load, 2), "OOM", "", "", "", "", "",
-                "", "", "", "", "", ""};
-      }
-      (*exp)->ResetForRun();
 
       serve::ServeConfig sc;
       sc.arrival.model = ParseArrival(flags.GetString("arrival"));
@@ -144,9 +150,38 @@ int Main(int argc, char** argv) {
       sc.max_backlog_tuples =
           static_cast<uint64_t>(flags.GetInt64("max_backlog_tuples"));
 
-      serve::RequestServer server((*exp)->gpu(), (*exp)->index(),
-                                  (*exp)->s(), cfg.inlj, sc);
-      auto report = server.Run();
+      // Static: the pre-planner single-engine path, byte-identical to
+      // the committed baselines. Adaptive / oracle: route every
+      // micro-batch through the planned backend.
+      std::unique_ptr<core::Experiment> exp_holder;
+      std::unique_ptr<plan::PlannedBackend> routed;
+      Result<serve::ServeReport> report =
+          Status::InvalidArgument("unreachable");
+      if (*planner_mode == plan::PlannerMode::kStatic) {
+        auto exp = core::Experiment::Create(cfg);
+        if (!exp.ok()) {
+          return {TablePrinter::Num(load, 2), "OOM", "", "", "", "", "",
+                  "", "", "", "", "", ""};
+        }
+        (*exp)->ResetForRun();
+        exp_holder = std::move(*exp);
+        serve::RequestServer server(exp_holder->gpu(), exp_holder->index(),
+                                    exp_holder->s(), cfg.inlj, sc);
+        report = server.Run();
+      } else {
+        plan::PlannedBackendConfig pc;
+        pc.base = cfg;
+        pc.planner.mode = *planner_mode;
+        pc.planner.seed = cfg.seed * 1000 + ci;
+        auto backend = plan::PlannedBackend::Create(pc);
+        if (!backend.ok()) {
+          return {TablePrinter::Num(load, 2), "OOM", "", "", "", "", "",
+                  "", "", "", "", "", ""};
+        }
+        routed = std::move(*backend);
+        serve::RequestServer server(*routed, sc);
+        report = server.Run();
+      }
       if (!report.ok()) {
         std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
         return {TablePrinter::Num(load, 2), "ERROR", "", "", "", "", "",
@@ -167,6 +202,7 @@ int Main(int argc, char** argv) {
         rec.AddParam("deadline_seconds", sc.batch.deadline_seconds);
         rec.AddParam("adaptive", sc.batch.adaptive);
         rec.AddParam("max_backlog_tuples", sc.max_backlog_tuples);
+        rec.AddParam("planner", planner_name);
         obs::MetricsRegistry& m = rec.metrics();
         m.SetHistogram("serve.latency_seconds", r.latency, "s");
         m.SetCounter("serve.requests_admitted",
@@ -190,6 +226,9 @@ int Main(int argc, char** argv) {
                     "s");
         m.SetScalar("serve.service_seconds_total",
                     r.service_seconds_total, "s");
+        if (routed != nullptr) {
+          rec.AddSection("planner", plan::PlannerJson(*routed));
+        }
         sink.Add(1 + ci, rec.ToJsonLine());
       }
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_plan.json from the adaptive-routing bench
+# (bench/fig11_adaptive): the phased adversarial workload routed by the
+# adaptive planner vs the hindsight oracle vs every static plan, with
+# the per-batch regret curve. All numbers are simulated (deterministic
+# for a fixed seed and any --threads), so the merged file is
+# reproducible bit for bit on any machine.
+#
+# Usage: scripts/bench_plan.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target fig11_adaptive
+
+TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD_DIR"/bench/fig11_adaptive --json "$TMP" > /dev/null
+
+python3 scripts/validate_metrics.py "$TMP"
+
+# Distill the records into one summary document: one row per
+# (phase, planner) with its routed batches, the static-plan totals and
+# the cumulative regret curve.
+python3 - "$TMP" <<'EOF'
+import json
+import sys
+
+out = {"bench": "fig11_adaptive", "phases": [], "summary": {}}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)
+        params = rec["params"]
+        if params.get("point") == "phase":
+            planner = rec["planner"]
+            out["phases"].append({
+                "phase": params["phase"],
+                "planner": params["planner"],
+                "r_tuples": params["r_tuples"],
+                "zipf_exponent": params["zipf_exponent"],
+                "total_seconds": planner["total_seconds"],
+                "total_matches": planner["total_matches"],
+                "decisions": planner["decisions"],
+                "explorations": planner["explorations"],
+                "plan_usage": planner["plan_usage"],
+                "batches": [
+                    {k: b[k] for k in (
+                        "ordinal", "plan", "predicted_seconds",
+                        "charged_seconds", "explored", "matches")}
+                    for b in planner["batches"]
+                ],
+            })
+        elif params.get("point") == "summary":
+            metrics = rec["metrics"]
+            out["summary"] = {
+                "adaptive_seconds":
+                    metrics["plan.adaptive_seconds"]["value"],
+                "oracle_seconds": metrics["plan.oracle_seconds"]["value"],
+                "best_static_plan": params["best_static_plan"],
+                "best_static_seconds":
+                    metrics["plan.best_static_seconds"]["value"],
+                "regret_ratio": metrics["plan.regret_ratio"]["value"],
+                "statics": rec["statics"],
+                "regret_curve": rec["regret_curve"],
+            }
+
+with open("results/BENCH_plan.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("results/BENCH_plan.json updated")
+EOF

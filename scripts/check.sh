@@ -51,6 +51,23 @@ build-release/bench/fig10_scaleout --s_sample $((1 << 16)) \
   --json "$DIST_TMP" > /dev/null
 python3 scripts/validate_metrics.py "$DIST_TMP"
 
+# Planner smoke: the serving layer must run under every routing mode, the
+# sharded engine under adaptive routing, and the adaptive-routing bench
+# end to end — each emitting schema-valid planner sections.
+PLAN_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP" "$PLAN_TMP"' EXIT
+for mode in static adaptive oracle; do
+  build-release/bench/serve_latency --requests 500 --planner "$mode" \
+    --json "$PLAN_TMP" > /dev/null
+  python3 scripts/validate_metrics.py "$PLAN_TMP"
+done
+build-release/bench/fig10_scaleout --s_sample $((1 << 16)) \
+  --planner adaptive --json "$PLAN_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$PLAN_TMP"
+build-release/bench/fig11_adaptive --batches_per_phase 2 \
+  --batch_tuples $((1 << 13)) --json "$PLAN_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$PLAN_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -60,7 +77,7 @@ for san in "${SANITIZERS[@]}"; do
   # suite doesn't, and the observer fan-out / JSON emission paths are new;
   # give them a dedicated pass under each sanitizer.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test'
 done
 
 echo "=== all configurations passed ==="

@@ -192,6 +192,123 @@ def check_links(errors, where, links):
             err(errors, w, f"utilization must be >= 0, got {util!r}")
 
 
+PLANNER_FIELDS = {
+    "mode": str, "decisions": int, "explorations": int,
+    "residual_observations": int, "total_seconds": (int, float),
+    "total_matches": int,
+}
+
+PLANNER_BATCH_FIELDS = {
+    "ordinal": int, "begin": int, "count": int, "plan": str,
+    "predicted_seconds": (int, float), "charged_seconds": (int, float),
+    "explored": bool, "matches": int,
+}
+
+PLANNER_FEATURE_FIELDS = {
+    "skew": (int, float), "selectivity": (int, float),
+    "r_tlb_ratio": (int, float), "link_utilization": (int, float),
+    "bucket": int,
+}
+
+PLAN_SECONDS_FIELDS = {"plan": str, "seconds": (int, float)}
+
+REGRET_POINT_FIELDS = {
+    "ordinal": int, "phase": str, "adaptive_seconds": (int, float),
+    "oracle_seconds": (int, float), "cum_adaptive_seconds": (int, float),
+    "cum_oracle_seconds": (int, float), "regret_ratio": (int, float),
+}
+
+PLANNER_MODES = {"static", "adaptive", "oracle"}
+
+
+def check_plan_seconds(errors, where, items, what):
+    if not isinstance(items, list) or not items:
+        err(errors, where, f"{what} must be a non-empty array")
+        return
+    for i, item in enumerate(items):
+        w = f"{where} {what}[{i}]"
+        if not isinstance(item, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, item, PLAN_SECONDS_FIELDS)
+
+
+def check_planner(errors, where, planner):
+    """Routed-backend section (src/plan/metrics.cc PlannerJson)."""
+    if not isinstance(planner, dict):
+        err(errors, where, "planner must be an object")
+        return
+    check_typed(errors, where, planner, PLANNER_FIELDS)
+    if planner.get("mode") not in PLANNER_MODES:
+        err(errors, where, f"planner.mode must be one of "
+            f"{sorted(PLANNER_MODES)}, got {planner.get('mode')!r}")
+    check_plan_seconds(errors, where, planner.get("plan_usage"),
+                       "plan_usage")
+    usage = planner.get("plan_usage")
+    usage_batches = 0
+    usage_plans = set()
+    if isinstance(usage, list):
+        for entry in usage:
+            if isinstance(entry, dict):
+                if isinstance(entry.get("batches"), int):
+                    usage_batches += entry["batches"]
+                usage_plans.add(entry.get("plan"))
+    batches = planner.get("batches")
+    if not isinstance(batches, list) or not batches:
+        err(errors, where, "planner.batches must be a non-empty array")
+        return
+    if usage_batches != len(batches):
+        err(errors, where,
+            f"plan_usage batches sum to {usage_batches} but "
+            f"{len(batches)} batches were routed")
+    for i, batch in enumerate(batches):
+        w = f"{where} planner batch[{i}]"
+        if not isinstance(batch, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, batch, PLANNER_BATCH_FIELDS)
+        if batch.get("plan") not in usage_plans:
+            err(errors, w, f"plan {batch.get('plan')!r} missing from "
+                "plan_usage")
+        features = batch.get("features")
+        if not isinstance(features, dict):
+            err(errors, w, "features must be an object")
+        else:
+            check_typed(errors, f"{w} features", features,
+                        PLANNER_FEATURE_FIELDS)
+        if "candidates" in batch:
+            check_plan_seconds(errors, w, batch["candidates"],
+                               "candidates")
+        elif planner.get("mode") == "oracle":
+            err(errors, w, "oracle batches must carry 'candidates'")
+
+
+def check_regret_curve(errors, where, curve):
+    if not isinstance(curve, list) or not curve:
+        err(errors, where, "regret_curve must be a non-empty array")
+        return
+    prev_adaptive = prev_oracle = 0.0
+    for i, point in enumerate(curve):
+        w = f"{where} regret_curve[{i}]"
+        if not isinstance(point, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, point, REGRET_POINT_FIELDS)
+        cum_a = point.get("cum_adaptive_seconds")
+        cum_o = point.get("cum_oracle_seconds")
+        for label, cum, prev in (("cum_adaptive_seconds", cum_a,
+                                  prev_adaptive),
+                                 ("cum_oracle_seconds", cum_o,
+                                  prev_oracle)):
+            if isinstance(cum, (int, float)) and not isinstance(cum, bool):
+                if cum < prev:
+                    err(errors, w, f"{label} must be non-decreasing")
+        if isinstance(cum_a, (int, float)) and not isinstance(cum_a, bool):
+            prev_adaptive = cum_a
+        if isinstance(cum_o, (int, float)) and not isinstance(cum_o, bool):
+            prev_oracle = cum_o
+
+
 def check_record(errors, where, rec):
     if not isinstance(rec, dict):
         err(errors, where, "record must be a JSON object")
@@ -277,6 +394,15 @@ def check_record(errors, where, rec):
         check_shards(errors, where, rec["shards"])
     if "links" in rec:
         check_links(errors, where, rec["links"])
+
+    # Adaptive-routing sections (bench/fig11_adaptive, serve_latency
+    # --planner adaptive|oracle).
+    if "planner" in rec:
+        check_planner(errors, where, rec["planner"])
+    if "statics" in rec:
+        check_plan_seconds(errors, where, rec["statics"], "statics")
+    if "regret_curve" in rec:
+        check_regret_curve(errors, where, rec["regret_curve"])
 
 
 def validate_file(path):

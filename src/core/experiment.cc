@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "index/binary_search.h"
+#include "core/index_factory.h"
 #include "util/units.h"
 
 namespace gpujoin::core {
@@ -47,23 +47,9 @@ Status Experiment::Build() {
                                                     config_.r_tuples);
   }
 
-  switch (config_.index_type) {
-    case index::IndexType::kBinarySearch:
-      index_ = std::make_unique<index::BinarySearchIndex>(r_.get());
-      break;
-    case index::IndexType::kBTree:
-      index_ = std::make_unique<index::BTreeIndex>(&space_, r_.get(),
-                                                   config_.btree);
-      break;
-    case index::IndexType::kHarmonia:
-      index_ = std::make_unique<index::HarmoniaIndex>(&space_, r_.get(),
-                                                      config_.harmonia);
-      break;
-    case index::IndexType::kRadixSpline:
-      index_ = index::RadixSplineIndex::Build(&space_, r_.get(),
-                                              config_.radix_spline);
-      break;
-  }
+  index_ = IndexFactory::Build(
+      &space_, r_.get(), config_.index_type,
+      {config_.btree, config_.harmonia, config_.radix_spline});
 
   workload::ProbeConfig probe_config;
   probe_config.full_size = config_.s_tuples;

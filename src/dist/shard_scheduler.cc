@@ -4,7 +4,9 @@
 #include <cmath>
 #include <utility>
 
-#include "index/binary_search.h"
+#include "core/index_factory.h"
+#include "core/join_kernel.h"
+#include "sim/phase.h"
 #include "util/bit_util.h"
 
 namespace gpujoin::dist {
@@ -33,6 +35,11 @@ Result<std::unique_ptr<ShardScheduler>> ShardScheduler::Create(
     return Status::InvalidArgument(
         "the sharded engine runs the windowed INLJ; set "
         "inlj.mode = kWindowed");
+  }
+  if (dcfg.planner.mode == plan::PlannerMode::kOracle) {
+    return Status::InvalidArgument(
+        "the sharded engine supports planner = static | adaptive; use "
+        "the single-device plan::PlannedBackend for oracle runs");
   }
   Result<Topology> topo = Topology::Create(dcfg.topology, dcfg.num_shards);
   if (!topo.ok()) return topo.status();
@@ -122,24 +129,9 @@ Status ShardScheduler::Build() {
     }
     shard->r = std::make_unique<ShardKeyColumn>(
         &shard->space, *base_r_, plan_.pos_begin[i], plan_.shard_r_tuples(i));
-    switch (cfg_.index_type) {
-      case index::IndexType::kBinarySearch:
-        shard->index =
-            std::make_unique<index::BinarySearchIndex>(shard->r.get());
-        break;
-      case index::IndexType::kBTree:
-        shard->index = std::make_unique<index::BTreeIndex>(
-            &shard->space, shard->r.get(), cfg_.btree);
-        break;
-      case index::IndexType::kHarmonia:
-        shard->index = std::make_unique<index::HarmoniaIndex>(
-            &shard->space, shard->r.get(), cfg_.harmonia);
-        break;
-      case index::IndexType::kRadixSpline:
-        shard->index = index::RadixSplineIndex::Build(
-            &shard->space, shard->r.get(), cfg_.radix_spline);
-        break;
-    }
+    shard->index = core::IndexFactory::Build(
+        &shard->space, shard->r.get(), cfg_.index_type,
+        {cfg_.btree, cfg_.harmonia, cfg_.radix_spline});
     // Probe buffer the router fills; capacity = the whole sample (any
     // single shard could own every key of a window).
     shard->s.keys = mem::SimArray<workload::Key>(
@@ -148,7 +140,17 @@ Status ShardScheduler::Build() {
     shard->s.scheme = s_.scheme;
     shard->out.shard = i;
     shard->out.r_tuples = plan_.shard_r_tuples(i);
+    shard->rate = SeededRateEstimator();
     shards_.push_back(std::move(shard));
+  }
+
+  if (dcfg_.planner.mode == plan::PlannerMode::kAdaptive) {
+    planner_ = std::make_unique<plan::Planner>(dcfg_.planner);
+    for (int i = 0; i < dcfg_.num_shards; ++i) {
+      extractors_.emplace_back(
+          plan_.shard_r_tuples(i) * 8, cfg_.platform.gpu.tlb_coverage,
+          dcfg_.planner.seed + static_cast<uint64_t>(i) * 0x9e3779b9ULL);
+    }
   }
 
   const int threads =
@@ -177,7 +179,7 @@ Status ShardScheduler::ResetShardsForRun() {
     if (shard->timeline != nullptr) shard->timeline->Reset();
     shard->cursor = 0;
     shard->row_map.clear();
-    shard->ewma_rate = 0;
+    shard->rate = SeededRateEstimator();
     shard->chunks_run = 0;
     shard->part_sum = sim::CounterSet{};
     shard->join_sum = sim::CounterSet{};
@@ -186,6 +188,17 @@ Status ShardScheduler::ResetShardsForRun() {
     fresh.shard = shard->out.shard;
     fresh.r_tuples = shard->out.r_tuples;
     shard->out = fresh;
+  }
+  if (planner_ != nullptr) {
+    // Repeated RunJoin calls must route identically: the planner and the
+    // extractors restart from their seeds.
+    planner_ = std::make_unique<plan::Planner>(dcfg_.planner);
+    extractors_.clear();
+    for (int i = 0; i < dcfg_.num_shards; ++i) {
+      extractors_.emplace_back(
+          plan_.shard_r_tuples(i) * 8, cfg_.platform.gpu.tlb_coverage,
+          dcfg_.planner.seed + static_cast<uint64_t>(i) * 0x9e3779b9ULL);
+    }
   }
   return Status::Ok();
 }
@@ -255,27 +268,14 @@ std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
   if (dcfg_.steal.enabled && n > 1 && total > 0) {
     // Estimated per-tuple rates: the smoothed observation once a shard
     // has run (the EWMA amortizes per-window fixed costs, so a shard
-    // serializing extra windows reports a proportionally higher load);
-    // before any observation, a uniform lower bound from the per-window
-    // sync overhead — enough to rebalance routed-count skew in the very
-    // first window.
-    const double floor_rate =
-        cfg_.platform.gpu.stream_sync_overhead /
-        static_cast<double>(w_dev_);
-    double known_sum = 0;
-    int known = 0;
-    for (const auto& shard : shards_) {
-      if (shard->ewma_rate > 0) {
-        known_sum += shard->ewma_rate;
-        ++known;
-      }
-    }
-    const double fallback = known > 0 ? known_sum / known : floor_rate;
+    // serializing extra windows reports a proportionally higher load).
+    // The estimator is seeded with the sync-overhead lower bound and
+    // floors at it during warm-up (see SeededRateEstimator), so no
+    // fallback plumbing is needed here.
     std::vector<double> rate(n);
     std::vector<double> load(n);
     for (int i = 0; i < n; ++i) {
-      rate[i] =
-          shards_[i]->ewma_rate > 0 ? shards_[i]->ewma_rate : fallback;
+      rate[i] = shards_[i]->rate.value();
       load[i] = static_cast<double>(remaining[i]) * rate[i];
     }
     uint64_t bucket = dcfg_.steal.bucket_tuples;
@@ -331,6 +331,84 @@ std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
   return chunks;
 }
 
+void ShardScheduler::RoutePlans(std::vector<std::vector<Chunk>>* chunks) {
+  if (planner_ == nullptr) return;
+  // The candidate space per chunk: {kNone, kFull, windowed ladder} over
+  // the owner's fixed index. No hash join — shards own index slices, not
+  // hash tables.
+  plan::PlanSpaceConfig space;
+  space.indexes = {cfg_.index_type};
+  space.include_hash_join = false;
+  for (auto& shard_chunks : *chunks) {
+    for (Chunk& chunk : shard_chunks) {
+      Shard& owner = *shards_[chunk.owner];
+      chunk.features = extractors_[chunk.owner].Extract(
+          owner.s.keys.data().data() + chunk.start, chunk.count);
+      plan::PruneContext prune;
+      prune.r_bytes = plan_.shard_r_tuples(chunk.owner) * 8;
+      prune.tlb_coverage = cfg_.platform.gpu.tlb_coverage;
+      prune.batch_tuples = chunk.count;
+      const std::vector<plan::PlanChoice> candidates =
+          plan::EnumeratePlans(space, prune);
+      if (candidates.empty()) continue;  // prune left nothing: stay static
+      const plan::RoutingDecision decision = planner_->Decide(
+          PlanContextFor(chunk.owner), candidates, chunk.features);
+      chunk.choice = decision.chosen;
+      chunk.routed = true;
+    }
+  }
+}
+
+Result<core::WindowRun> ShardScheduler::RunChunkOnShard(
+    Shard& shard, const Chunk& chunk, uint64_t ordinal,
+    std::vector<core::JoinMatch>* collect) {
+  if (!chunk.routed ||
+      chunk.choice.mode == core::InljConfig::PartitionMode::kFull) {
+    // The static pipeline's path: one fully partitioned window.
+    return shard.joiner->RunWindow(chunk.start, chunk.count, ordinal,
+                                   collect);
+  }
+
+  if (chunk.choice.mode == core::InljConfig::PartitionMode::kNone) {
+    // Unpartitioned probe straight off the shard's probe buffer into the
+    // joiner's result region. Same isolation policy as RunWindow: the
+    // previous window's cache state must not leak in.
+    shard.gpu->memory().FlushCaches();
+    core::WindowRun run;
+    {
+      sim::WindowScope window(shard.gpu->memory().phase_sink(), ordinal);
+      run.join = core::internal::RunJoinKernel(
+          *shard.gpu, *shard.index, shard.s.keys.data().data() + chunk.start,
+          nullptr, chunk.count, shard.s.keys.addr_of(chunk.start),
+          shard.joiner->result_base(), cfg_.inlj.probe_filter_selectivity,
+          &run.matches, /*row_id_base=*/chunk.start, collect);
+    }
+    Status st = shard.gpu->memory().fault_status();
+    if (!st.ok()) return st;
+    run.join_seconds = shard.gpu->cost_model().Seconds(run.join.counters);
+    return run;
+  }
+
+  // kWindowed: serialize sub-windows of the routed size through the
+  // shard's joiner and merge them into one WindowRun.
+  const uint64_t w =
+      std::clamp<uint64_t>(chunk.choice.window_tuples, 32, chunk.count);
+  core::WindowRun total;
+  for (uint64_t off = 0; off < chunk.count; off += w) {
+    const uint64_t n = std::min(w, chunk.count - off);
+    Result<core::WindowRun> run =
+        shard.joiner->RunWindow(chunk.start + off, n, ordinal, collect);
+    if (!run.ok()) return run.status();
+    total.partition.Merge(run->partition);
+    total.join.Merge(run->join);
+    total.partition_seconds += run->partition_seconds;
+    total.join_seconds += run->join_seconds;
+    total.matches += run->matches;
+    total.stats += run->stats;
+  }
+  return total;
+}
+
 Result<double> ShardScheduler::ExecuteWindow(
     const std::vector<std::vector<Chunk>>& chunks, uint64_t ordinal,
     util::ThreadPool* pool,
@@ -350,8 +428,8 @@ Result<double> ShardScheduler::ExecuteWindow(
                   collect_shards] {
       Shard& shard = *shards_[i];
       for (const Chunk& chunk : chunks[i]) {
-        Result<core::WindowRun> run = shard.joiner->RunWindow(
-            chunk.start, chunk.count, ordinal,
+        Result<core::WindowRun> run = RunChunkOnShard(
+            shard, chunk, ordinal,
             collect_shards != nullptr ? &(*collect_shards)[i] : nullptr);
         if (!run.ok()) {
           statuses[i] = run.status();
@@ -385,6 +463,11 @@ Result<double> ShardScheduler::ExecuteWindow(
     Shard& shard = *shards_[v];
     shard.chunks_run += results[v].size();
     for (const ChunkResult& cr : results[v]) {
+      if (planner_ != nullptr && cr.chunk.routed) {
+        planner_->Observe(PlanContextFor(v), cr.chunk.choice,
+                          cr.chunk.features, cr.seconds);
+        extractors_[v].ObserveMatches(cr.chunk.count, cr.matches);
+      }
       window_counters[v] += cr.part.counters;
       window_counters[v] += cr.join.counters;
       shard.part_sum += cr.part.counters;
@@ -438,12 +521,8 @@ Result<double> ShardScheduler::ExecuteWindow(
     wall = std::max(wall, times[i]);
 
     if (own_tuples[i] > 0) {
-      const double observed =
-          own_seconds[i] / static_cast<double>(own_tuples[i]);
-      shards_[i]->ewma_rate = shards_[i]->ewma_rate > 0
-                                  ? 0.5 * shards_[i]->ewma_rate +
-                                        0.5 * observed
-                                  : observed;
+      shards_[i]->rate.Observe(own_seconds[i] /
+                               static_cast<double>(own_tuples[i]));
     }
   }
   return wall;
@@ -485,6 +564,7 @@ Result<ShardedRunResult> ShardScheduler::RunJoin(
         RouteSlice(begin, count, /*serving=*/false);
     std::vector<std::vector<Chunk>> chunks =
         PlanChunks(slices, &out.steal_events);
+    RoutePlans(&chunks);
 
     std::vector<std::vector<core::JoinMatch>> window_collect;
     if (collect != nullptr) window_collect.resize(n);
@@ -599,6 +679,7 @@ Result<double> ShardScheduler::ServiceSlice(uint64_t begin, uint64_t count,
   std::vector<SliceRef> slices = RouteSlice(begin, count, /*serving=*/true);
   uint64_t steal_events = 0;
   std::vector<std::vector<Chunk>> chunks = PlanChunks(slices, &steal_events);
+  RoutePlans(&chunks);
 
   std::vector<uint64_t> link_bytes(topo_.links().size(), 0);
   std::vector<uint64_t> slice_matches(n, 0);

@@ -12,10 +12,14 @@
 #include "dist/shard_planner.h"
 #include "dist/topology.h"
 #include "obs/phase_timeline.h"
+#include "plan/features.h"
+#include "plan/plan_space.h"
+#include "plan/router.h"
 #include "serve/server.h"
 #include "sim/fault.h"
 #include "sim/gpu.h"
 #include "sim/run_result.h"
+#include "util/ewma.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "workload/relation.h"
@@ -48,6 +52,14 @@ struct ShardConfig {
   StealPolicy steal;
   // Simulation worker threads; 0 = min(num_shards, hardware).
   int threads = 0;
+  // Per-chunk {partition mode, window} routing over each shard's fixed
+  // index (src/plan). kStatic keeps the pre-planner windowed pipeline
+  // untouched (bit-identical); kAdaptive routes every device chunk
+  // through a shared plan::Planner, with decisions and feedback on the
+  // coordinator thread. kOracle is rejected here — replaying every
+  // candidate would re-run chunks on shared shard state; use the
+  // single-device plan::PlannedBackend for oracle measurements.
+  plan::PlannerConfig planner{.mode = plan::PlannerMode::kStatic};
 };
 
 // Per-shard outcome of a sharded run. Counters are extrapolated to the
@@ -156,8 +168,11 @@ class ShardScheduler final : public serve::WindowBackend {
     std::unique_ptr<core::WindowJoiner> joiner;
     std::unique_ptr<obs::PhaseTimeline> timeline;
 
-    // Steal planning state: smoothed seconds per probe tuple.
-    double ewma_rate = 0;
+    // Steal planning state: smoothed seconds per probe tuple, seeded
+    // with the per-window sync-overhead lower bound so the very first
+    // window already rebalances on sane estimates (util::Ewma's
+    // cold-start fix; re-seeded by ResetShardsForRun).
+    util::Ewma rate;
     // RunWindow calls executed on this device this run (device windows;
     // a loaded shard serializes several per global window).
     uint64_t chunks_run = 0;
@@ -178,6 +193,12 @@ class ShardScheduler final : public serve::WindowBackend {
     int thief = 0;
     uint64_t start = 0;
     uint64_t count = 0;
+    // Filled by RoutePlans when the adaptive planner is on: how the
+    // owner's device executes this chunk, and the features the decision
+    // saw (echoed back with the observed time after the window barrier).
+    bool routed = false;
+    plan::PlanChoice choice;
+    plan::BatchFeatures features;
   };
 
   struct ChunkResult {
@@ -203,6 +224,18 @@ class ShardScheduler final : public serve::WindowBackend {
   Status ResetShardsForRun();
   Status CreateJoiners();
 
+  // The steal planner's per-tuple rate estimator, seeded with the
+  // uniform lower bound from the per-window sync overhead: before any
+  // observation every shard reports the floor (enough to rebalance
+  // routed-count skew in the very first window), and during warm-up an
+  // anomalous first window cannot drag the estimate below it.
+  util::Ewma SeededRateEstimator() const {
+    return util::Ewma(0.5,
+                      cfg_.platform.gpu.stream_sync_overhead /
+                          static_cast<double>(w_dev_),
+                      /*warmup=*/2);
+  }
+
   // Routes s_[begin, begin+count) into the shards' probe buffers.
   // `serving` wraps each shard's cursor cyclically (the serving path
   // reuses the buffers forever); the batch path records row maps for
@@ -214,6 +247,26 @@ class ShardScheduler final : public serve::WindowBackend {
   // per-victim chunk lists in execution order.
   std::vector<std::vector<Chunk>> PlanChunks(
       const std::vector<SliceRef>& slices, uint64_t* steal_events);
+
+  // Adaptive mode only: routes every planned chunk through the shared
+  // planner on the calling thread (shard order, then chunk order — the
+  // RNG stream is deterministic for any thread count). No-op when the
+  // planner is off.
+  void RoutePlans(std::vector<std::vector<Chunk>>* chunks);
+
+  // The analytic context the planner prices shard `i`'s chunks with.
+  plan::PlanContext PlanContextFor(int i) const {
+    plan::PlanContext ctx;
+    ctx.platform = cfg_.platform;
+    ctx.r_tuples = plan_.shard_r_tuples(i);
+    return ctx;
+  }
+
+  // Executes one chunk on its owner's device under chunk.choice
+  // (kFull == the static pipeline's single RunWindow call).
+  Result<core::WindowRun> RunChunkOnShard(
+      Shard& shard, const Chunk& chunk, uint64_t ordinal,
+      std::vector<core::JoinMatch>* collect);
 
   // Runs the planned chunks concurrently (one task per shard that owns
   // work) and folds charged per-shard times, contention and link bytes.
@@ -255,6 +308,14 @@ class ShardScheduler final : public serve::WindowBackend {
   workload::ProbeRelation s_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Adaptive routing state (null / empty in kStatic mode). One planner
+  // is shared across shards — plan names don't encode the shard, but the
+  // feature bucket's R/TLB coordinate separates shards of different R
+  // slices. Extractors are per shard (each owns its reservoir RNG and
+  // selectivity estimate).
+  std::unique_ptr<plan::Planner> planner_;
+  std::vector<plan::FeatureExtractor> extractors_;
 
   // Persistent simulation workers (the serving path dispatches thousands
   // of slices; per-slice pools would dominate the wall clock).

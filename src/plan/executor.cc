@@ -1,0 +1,85 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/join_kernel.h"
+#include "sim/phase.h"
+
+namespace gpujoin::plan {
+
+Result<BatchExecutor> BatchExecutor::Create(sim::Gpu& gpu,
+                                            const index::Index& index,
+                                            const workload::ProbeRelation& s,
+                                            const core::InljConfig& config,
+                                            uint64_t result_tuples) {
+  Result<core::WindowJoiner> joiner =
+      core::WindowJoiner::Create(gpu, index, s, config, result_tuples);
+  if (!joiner.ok()) return joiner.status();
+  return BatchExecutor(gpu, index, s, config, std::move(*joiner));
+}
+
+Result<BatchResult> BatchExecutor::Execute(
+    const PlanChoice& plan, uint64_t begin, uint64_t count, uint64_t ordinal,
+    std::vector<core::JoinMatch>* collect) {
+  if (plan.kind != PlanChoice::Kind::kInlj) {
+    return Status::InvalidArgument(
+        "BatchExecutor only runs INLJ plans; got " + plan.Name());
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("cannot execute an empty batch");
+  }
+  if (begin + count > s_->sample_size()) {
+    return Status::InvalidArgument("batch exceeds the probe sample");
+  }
+
+  // One batch must not inherit its predecessor's cache state (the
+  // predecessor may even have run a different plan); the joiner applies
+  // the same policy between sub-windows.
+  if (!first_batch_) gpu_->memory().FlushCaches();
+  first_batch_ = false;
+
+  BatchResult out;
+  switch (plan.mode) {
+    case core::InljConfig::PartitionMode::kNone: {
+      sim::WindowScope window(gpu_->memory().phase_sink(), ordinal);
+      sim::KernelRun join = core::internal::RunJoinKernel(
+          *gpu_, *index_, s_->keys.data().data() + begin, nullptr, count,
+          s_->keys.addr_of(begin), joiner_.result_base(),
+          config_.probe_filter_selectivity, &out.matches,
+          /*row_id_base=*/begin, collect);
+      Status st = gpu_->memory().fault_status();
+      if (!st.ok()) return st;
+      out.seconds = gpu_->TimeOf(join);
+      break;
+    }
+
+    case core::InljConfig::PartitionMode::kFull: {
+      Result<core::WindowRun> run =
+          joiner_.RunWindow(begin, count, ordinal, collect);
+      if (!run.ok()) return run.status();
+      out.seconds = run->seconds();
+      out.matches = run->matches;
+      out.windows = 1;
+      break;
+    }
+
+    case core::InljConfig::PartitionMode::kWindowed: {
+      const uint64_t w =
+          std::clamp<uint64_t>(plan.window_tuples, 32, count);
+      for (uint64_t off = 0; off < count; off += w) {
+        const uint64_t n = std::min(w, count - off);
+        Result<core::WindowRun> run =
+            joiner_.RunWindow(begin + off, n, ordinal, collect);
+        if (!run.ok()) return run.status();
+        out.seconds += run->seconds();
+        out.matches += run->matches;
+        ++out.windows;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpujoin::plan

@@ -1,0 +1,75 @@
+#ifndef GPUJOIN_PLAN_EXECUTOR_H_
+#define GPUJOIN_PLAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inlj.h"
+#include "core/match.h"
+#include "core/window_join.h"
+#include "index/index.h"
+#include "plan/plan_space.h"
+#include "sim/gpu.h"
+#include "util/status.h"
+#include "workload/relation.h"
+
+namespace gpujoin::plan {
+
+// What one routed batch cost and produced.
+struct BatchResult {
+  // Cost-model seconds charged for the batch (per-window stream sync
+  // included on partitioned plans).
+  double seconds = 0;
+  uint64_t matches = 0;
+  // Partition+join windows executed: 0 for kNone, 1 for kFull, the
+  // ladder count for kWindowed.
+  uint64_t windows = 0;
+};
+
+// Executes routed batches on one (gpu, index) engine. One executor owns
+// one WindowJoiner — a single partition plan and result buffer shared by
+// the kFull plan and every windowed ladder entry — and the kNone plan
+// goes straight through the shared probe kernel into the same buffer, so
+// switching plans between batches costs nothing extra.
+//
+// Batch isolation matches the batch pipeline's window policy: caches are
+// flushed before every batch except the executor's first, and each batch
+// runs under one WindowScope ordinal so its phase spans aggregate.
+class BatchExecutor {
+ public:
+  static Result<BatchExecutor> Create(sim::Gpu& gpu,
+                                      const index::Index& index,
+                                      const workload::ProbeRelation& s,
+                                      const core::InljConfig& config,
+                                      uint64_t result_tuples);
+
+  // Runs s[begin, begin+count) under `plan` (must be an INLJ plan; the
+  // hash-join candidate has no per-batch engine and is priced by the
+  // backend). `ordinal` labels the batch for the phase timeline.
+  Result<BatchResult> Execute(const PlanChoice& plan, uint64_t begin,
+                              uint64_t count, uint64_t ordinal,
+                              std::vector<core::JoinMatch>* collect = nullptr);
+
+  bool result_on_host() const { return joiner_.result_on_host(); }
+
+ private:
+  BatchExecutor(sim::Gpu& gpu, const index::Index& index,
+                const workload::ProbeRelation& s,
+                const core::InljConfig& config, core::WindowJoiner joiner)
+      : gpu_(&gpu),
+        index_(&index),
+        s_(&s),
+        config_(config),
+        joiner_(std::move(joiner)) {}
+
+  sim::Gpu* gpu_;
+  const index::Index* index_;
+  const workload::ProbeRelation* s_;
+  core::InljConfig config_;
+  core::WindowJoiner joiner_;
+  bool first_batch_ = true;
+};
+
+}  // namespace gpujoin::plan
+
+#endif  // GPUJOIN_PLAN_EXECUTOR_H_

@@ -1,0 +1,72 @@
+#include "plan/features.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace gpujoin::plan {
+
+int FeatureBucket(const BatchFeatures& f) {
+  const int skew_b = f.skew < 0.1 ? 0 : f.skew < 0.4 ? 1 : f.skew < 0.75 ? 2 : 3;
+  const int tlb_b = f.r_tlb_ratio <= 0.25   ? 0
+                    : f.r_tlb_ratio <= 1.0  ? 1
+                    : f.r_tlb_ratio <= 4.0  ? 2
+                                            : 3;
+  const double lg =
+      std::log2(static_cast<double>(std::max<uint64_t>(f.batch_tuples, 1)));
+  const int size_b = lg < 14 ? 0 : lg < 17 ? 1 : lg < 20 ? 2 : 3;
+  const int link_b = f.link_utilization < 0.5 ? 0 : 1;
+  return ((skew_b * 4 + tlb_b) * 4 + size_b) * 2 + link_b;
+}
+
+FeatureExtractor::FeatureExtractor(uint64_t r_bytes, uint64_t tlb_coverage,
+                                   uint64_t seed)
+    : r_bytes_(r_bytes),
+      tlb_coverage_(tlb_coverage),
+      rng_(SplitMix64(seed ^ 0x8f2d1c3b5a4e6d7fULL)),
+      // Every probe key of the paper's workload exists in R, so start
+      // from selectivity 1 and let observations correct it.
+      selectivity_(0.25, /*prior=*/1.0, /*warmup=*/1) {}
+
+BatchFeatures FeatureExtractor::Extract(const workload::Key* keys,
+                                        uint64_t count) {
+  BatchFeatures f;
+  f.batch_tuples = count;
+  f.selectivity = selectivity_.value();
+  f.r_tlb_ratio = tlb_coverage_ > 0 ? static_cast<double>(r_bytes_) /
+                                          static_cast<double>(tlb_coverage_)
+                                    : 0;
+  f.link_utilization = link_utilization_;
+
+  // Algorithm R over the batch's keys, then count distinct reservoir
+  // entries: duplicate draws are the skew signal.
+  std::array<workload::Key, kReservoir> reservoir;
+  const uint64_t k = std::min<uint64_t>(count, kReservoir);
+  for (uint64_t i = 0; i < k; ++i) reservoir[i] = keys[i];
+  for (uint64_t i = k; i < count; ++i) {
+    const uint64_t j = rng_.NextBounded(i + 1);
+    if (j < k) reservoir[j] = keys[i];
+  }
+  if (k > 1) {
+    std::sort(reservoir.begin(), reservoir.begin() + k);
+    uint64_t distinct = 1;
+    for (uint64_t i = 1; i < k; ++i) {
+      if (reservoir[i] != reservoir[i - 1]) ++distinct;
+    }
+    f.skew = 1.0 - static_cast<double>(distinct) / static_cast<double>(k);
+  }
+  return f;
+}
+
+void FeatureExtractor::ObserveMatches(uint64_t batch_tuples,
+                                      uint64_t matches) {
+  if (batch_tuples == 0) return;
+  selectivity_.Observe(static_cast<double>(matches) /
+                       static_cast<double>(batch_tuples));
+}
+
+void FeatureExtractor::SetLinkUtilization(double utilization) {
+  link_utilization_ = std::clamp(utilization, 0.0, 1.0);
+}
+
+}  // namespace gpujoin::plan

@@ -1,0 +1,68 @@
+#ifndef GPUJOIN_PLAN_FEATURES_H_
+#define GPUJOIN_PLAN_FEATURES_H_
+
+#include <cstdint>
+
+#include "util/ewma.h"
+#include "util/rng.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::plan {
+
+// Per-batch routing signals, all derived from cheap observed state: a
+// reservoir sample of the batch's probe keys, the smoothed match rate of
+// past batches, static workload facts (R size vs. TLB range) and the
+// link utilization observed while the previous batch ran.
+struct BatchFeatures {
+  uint64_t batch_tuples = 0;
+  // Probe-key skew estimate in [0, 1]: 1 - distinct/k over a k-key
+  // reservoir sample of the batch. Uniform draws over a large R score
+  // ~0; a Zipf-1.75 stream concentrates the reservoir on the hot keys
+  // and scores high.
+  double skew = 0;
+  // Smoothed matches per probe tuple observed on recent batches.
+  double selectivity = 1.0;
+  // R bytes / GPU TLB coverage — the paper's cliff coordinate (Fig. 3).
+  double r_tlb_ratio = 0;
+  // Host-link utilization while the previous batch ran (from
+  // dist::Topology in the sharded engine, from the backend's own
+  // accounting on a single device).
+  double link_utilization = 0;
+};
+
+// Collapses features into a small stable bucket id for the residual
+// model: 4 skew x 4 tlb-ratio x 4 batch-size x 2 link-load cells.
+int FeatureBucket(const BatchFeatures& f);
+inline constexpr int kFeatureBucketCount = 4 * 4 * 4 * 2;
+
+// Stateful extractor: owns the reservoir RNG (seeded, so feature
+// extraction is deterministic for a fixed batch stream) and the
+// selectivity EWMA.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(uint64_t r_bytes, uint64_t tlb_coverage, uint64_t seed);
+
+  // Derives the signals for one batch of probe keys. Consumes the
+  // reservoir RNG; call exactly once per routed batch.
+  BatchFeatures Extract(const workload::Key* keys, uint64_t count);
+
+  // Feeds the observed match count of a completed batch into the
+  // selectivity estimate.
+  void ObserveMatches(uint64_t batch_tuples, uint64_t matches);
+
+  // Records the link utilization the next Extract should report.
+  void SetLinkUtilization(double utilization);
+
+ private:
+  static constexpr int kReservoir = 64;
+
+  uint64_t r_bytes_;
+  uint64_t tlb_coverage_;
+  Xoshiro256 rng_;
+  util::Ewma selectivity_;
+  double link_utilization_ = 0;
+};
+
+}  // namespace gpujoin::plan
+
+#endif  // GPUJOIN_PLAN_FEATURES_H_

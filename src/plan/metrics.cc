@@ -1,0 +1,83 @@
+#include "plan/metrics.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace gpujoin::plan {
+
+std::string PlannerJson(const PlannedBackend& backend) {
+  const Planner& planner = backend.planner();
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("mode").String(PlannerModeName(planner.config().mode));
+  w.Key("decisions").Uint(planner.decisions());
+  w.Key("explorations").Uint(planner.explorations());
+  w.Key("residual_observations").Uint(planner.residuals().observations());
+  w.Key("total_seconds").Double(backend.total_seconds());
+  w.Key("total_matches").Uint(backend.total_matches());
+
+  // Per-plan usage, in first-routed order (deterministic).
+  std::vector<std::pair<std::string, std::pair<uint64_t, double>>> usage;
+  std::map<std::string, size_t> usage_index;
+  for (const BatchOutcome& b : backend.outcomes()) {
+    const std::string name = b.chosen.Name();
+    auto [it, inserted] = usage_index.try_emplace(name, usage.size());
+    if (inserted) usage.push_back({name, {0, 0}});
+    usage[it->second].second.first += 1;
+    usage[it->second].second.second += b.charged_seconds;
+  }
+  w.Key("plan_usage");
+  w.BeginArray();
+  for (const auto& [name, stats] : usage) {
+    w.BeginObject();
+    w.Key("plan").String(name);
+    w.Key("batches").Uint(stats.first);
+    w.Key("seconds").Double(stats.second);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("batches");
+  w.BeginArray();
+  for (const BatchOutcome& b : backend.outcomes()) {
+    w.BeginObject();
+    w.Key("ordinal").Uint(b.ordinal);
+    w.Key("begin").Uint(b.begin);
+    w.Key("count").Uint(b.count);
+    w.Key("plan").String(b.chosen.Name());
+    w.Key("predicted_seconds").Double(b.predicted_seconds);
+    w.Key("charged_seconds").Double(b.charged_seconds);
+    w.Key("explored").Bool(b.explored);
+    w.Key("matches").Uint(b.matches);
+    w.Key("features");
+    w.BeginObject();
+    w.Key("skew").Double(b.features.skew);
+    w.Key("selectivity").Double(b.features.selectivity);
+    w.Key("r_tlb_ratio").Double(b.features.r_tlb_ratio);
+    w.Key("link_utilization").Double(b.features.link_utilization);
+    w.Key("bucket").Int(FeatureBucket(b.features));
+    w.EndObject();
+    if (!b.candidate_seconds.empty()) {
+      w.Key("candidates");
+      w.BeginArray();
+      for (const auto& [name, seconds] : b.candidate_seconds) {
+        w.BeginObject();
+        w.Key("plan").String(name);
+        w.Key("seconds").Double(seconds);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gpujoin::plan

@@ -1,0 +1,22 @@
+#ifndef GPUJOIN_PLAN_METRICS_H_
+#define GPUJOIN_PLAN_METRICS_H_
+
+#include <string>
+
+#include "plan/backend.h"
+
+namespace gpujoin::plan {
+
+// JSON section builder for routed runs, spliced into a bench record via
+// obs::RecordBuilder::AddSection. scripts/validate_metrics.py validates
+// the section (field presence, batch/usage consistency).
+//
+// Shape: {mode, decisions, explorations, residual_observations,
+// total_seconds, total_matches, plan_usage: [{plan, batches, seconds}],
+// batches: [{ordinal, begin, count, plan, predicted_seconds,
+// charged_seconds, explored, matches, features{...}, candidates?}]}.
+std::string PlannerJson(const PlannedBackend& backend);
+
+}  // namespace gpujoin::plan
+
+#endif  // GPUJOIN_PLAN_METRICS_H_

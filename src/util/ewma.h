@@ -1,0 +1,77 @@
+#ifndef GPUJOIN_UTIL_EWMA_H_
+#define GPUJOIN_UTIL_EWMA_H_
+
+#include <cstdint>
+
+namespace gpujoin::util {
+
+// Exponentially weighted moving average with an optional seed prior.
+//
+// Two construction modes:
+//  * Unseeded — the classic cold-start estimator: value() is 0 until the
+//    first observation, which is adopted outright; later observations
+//    blend at `alpha`. This reproduces the original work-stealing
+//    estimator in dist::ShardScheduler.
+//  * Seeded — value() starts at `prior` and every observation (including
+//    the first) blends at `alpha`. Until `warmup` observations have
+//    arrived the prior also acts as a floor: value() never reports below
+//    it, so one anomalous early sample (a cold first window, a fault
+//    backoff) cannot collapse a freshly reset estimate. After warm-up the
+//    observations own the estimate entirely.
+//
+// The seeded mode is the cold-start fix for the scheduler's steal
+// planner (the prior is the per-window sync-overhead lower bound) and is
+// what the query planner's residual model uses (prior 1.0 — "trust the
+// analytic prediction until corrected").
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.5) : alpha_(alpha) {}
+
+  Ewma(double alpha, double prior, uint64_t warmup = 4)
+      : alpha_(alpha),
+        prior_(prior),
+        value_(prior),
+        seeded_(true),
+        warmup_(warmup) {}
+
+  void Observe(double x) {
+    value_ = observations_ == 0 && !seeded_
+                 ? x
+                 : alpha_ * x + (1 - alpha_) * value_;
+    ++observations_;
+  }
+
+  double value() const {
+    if (seeded_ && observations_ < warmup_ && value_ < prior_) {
+      return prior_;
+    }
+    return value_;
+  }
+
+  // Has the estimate seen enough observations to stand on its own?
+  // (Unseeded: one; seeded: the warm-up count.)
+  bool warmed_up() const {
+    return observations_ >= (seeded_ ? warmup_ : 1);
+  }
+
+  uint64_t observations() const { return observations_; }
+  double alpha() const { return alpha_; }
+
+  // Back to the initial state (seeded estimators return to their prior).
+  void Reset() {
+    value_ = seeded_ ? prior_ : 0;
+    observations_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double prior_ = 0;
+  double value_ = 0;
+  bool seeded_ = false;
+  uint64_t warmup_ = 0;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace gpujoin::util
+
+#endif  // GPUJOIN_UTIL_EWMA_H_

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/bit_util.h"
+#include "util/ewma.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -280,6 +281,64 @@ TEST(TablePrinter, TracksRows) {
   t.AddRow({"1", "2"});
   t.AddRow({"3", "4"});
   EXPECT_EQ(t.num_rows(), 2u);
+}
+
+// --- Ewma -------------------------------------------------------------
+
+TEST(Ewma, UnseededAdoptsFirstObservationThenBlends) {
+  util::Ewma e(0.5);
+  EXPECT_EQ(e.value(), 0.0);
+  EXPECT_FALSE(e.warmed_up());
+  e.Observe(8.0);
+  EXPECT_DOUBLE_EQ(e.value(), 8.0);  // first observation snaps
+  EXPECT_TRUE(e.warmed_up());
+  e.Observe(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 6.0);  // 0.5 * 8 + 0.5 * 4
+}
+
+TEST(Ewma, SeededStartsAtPriorAndBlendsEveryObservation) {
+  util::Ewma e(0.5, /*prior=*/2.0, /*warmup=*/2);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+  EXPECT_FALSE(e.warmed_up());
+  e.Observe(6.0);
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);  // 0.5 * 6 + 0.5 * 2, not a snap
+  EXPECT_FALSE(e.warmed_up());
+  e.Observe(6.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  EXPECT_TRUE(e.warmed_up());
+}
+
+TEST(Ewma, WarmupFloorHoldsThenReleases) {
+  util::Ewma e(0.5, /*prior=*/2.0, /*warmup=*/2);
+  // An anomalously low early sample cannot drag the estimate below the
+  // prior during warm-up...
+  e.Observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+  // ...but after warm-up the observations own the estimate.
+  e.Observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.5);
+  e.Observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.25);
+}
+
+TEST(Ewma, DecayConvergesToStationaryInput) {
+  util::Ewma e(0.25, /*prior=*/100.0, /*warmup=*/1);
+  for (int i = 0; i < 64; ++i) e.Observe(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-6);
+  EXPECT_EQ(e.observations(), 64u);
+}
+
+TEST(Ewma, ResetReturnsToPrior) {
+  util::Ewma seeded(0.5, /*prior=*/3.0, /*warmup=*/1);
+  seeded.Observe(9.0);
+  seeded.Reset();
+  EXPECT_DOUBLE_EQ(seeded.value(), 3.0);
+  EXPECT_EQ(seeded.observations(), 0u);
+
+  util::Ewma unseeded(0.5);
+  unseeded.Observe(9.0);
+  unseeded.Reset();
+  EXPECT_EQ(unseeded.value(), 0.0);
 }
 
 }  // namespace
