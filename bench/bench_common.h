@@ -73,8 +73,14 @@ inline bool ParseBenchFlags(Flags& flags, int argc, char** argv) {
                     /*min=*/0, /*max=*/4096);
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) {
+    // kNotFound is --help: the usage text was printed, exit cleanly via
+    // the caller's `return 0`. Anything else (unknown flag, unparsable
+    // or out-of-range value) must fail the invocation, not masquerade
+    // as a successful zero-row run — scripts diff and validate bench
+    // output, and a silently empty sweep would pass.
     if (s.code() != StatusCode::kNotFound) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(2);
     }
     return false;
   }

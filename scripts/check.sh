@@ -21,6 +21,23 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure
 }
 
+# Every golden / committed-results file the smokes diff or validate
+# against must exist before anything builds: a missing baseline should
+# be one clear error, not a confusing diff failure twenty minutes in.
+require_file() {
+  if [ ! -f "$1" ]; then
+    echo "error: required baseline file $1 is missing — $2" >&2
+    exit 1
+  fi
+}
+require_file results/ablation_fault_recovery.txt \
+  "regenerate with: build-release/bench/ablation_fault_recovery > results/ablation_fault_recovery.txt"
+require_file results/BENCH_dist.json "regenerate with: scripts/bench_dist.sh"
+require_file results/BENCH_serve.json "regenerate with: scripts/bench_serve.sh"
+require_file results/BENCH_plan.json "regenerate with: scripts/bench_plan.sh"
+require_file results/BENCH_chaos.json \
+  "regenerate with: scripts/bench_chaos.sh"
+
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 
 # Deterministic fault-recovery smoke: the ablation at its fixed seed must
@@ -68,6 +85,18 @@ build-release/bench/fig11_adaptive --batches_per_phase 2 \
   --batch_tuples $((1 << 13)) --json "$PLAN_TMP" > /dev/null
 python3 scripts/validate_metrics.py "$PLAN_TMP"
 
+# Chaos smoke: kill-a-shard-mid-run must complete with a match set
+# identical to the fault-free baseline (the bench exits nonzero on any
+# lost or duplicated match) and emit schema-valid robustness sections.
+CHAOS_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP" "$PLAN_TMP" "$CHAOS_TMP"' EXIT
+build-release/bench/fig12_chaos --s_sample $((1 << 16)) \
+  --json "$CHAOS_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$CHAOS_TMP"
+build-release/bench/serve_latency --requests 500 --retry-cap 3 \
+  --request-deadline-ms 5 --hedge-after 1 --json "$CHAOS_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$CHAOS_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -77,7 +106,7 @@ for san in "${SANITIZERS[@]}"; do
   # suite doesn't, and the observer fan-out / JSON emission paths are new;
   # give them a dedicated pass under each sanitizer.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test|chaos_test'
 done
 
 echo "=== all configurations passed ==="

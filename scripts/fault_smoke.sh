@@ -17,6 +17,13 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
+if [ ! -f "$GOLDEN" ]; then
+  echo "error: golden file $GOLDEN is missing — the smoke test has" \
+       "nothing to diff against. Regenerate it from the repository" \
+       "root with: $BENCH > $GOLDEN" >&2
+  exit 1
+fi
+
 ACTUAL="$(mktemp)"
 trap 'rm -f "$ACTUAL"' EXIT
 

@@ -309,6 +309,68 @@ def check_regret_curve(errors, where, curve):
             prev_oracle = cum_o
 
 
+FAILOVER_RECORD_FIELDS = {
+    "dead_shard": int, "fault_class": str,
+    "detected_at_seconds": (int, float), "reassigned_tuples": int,
+    "reexec_chunks": int, "reexec_seconds": (int, float),
+}
+
+ROBUSTNESS_COUNTER_FIELDS = [
+    "failovers", "reexec_windows", "retries", "hedges", "hedge_wins",
+    "deadline_misses", "shed_deadline", "shed_retry_exhausted",
+]
+
+FAULT_CLASSES = {"shard_crash", "shard_stuck", "shard_slow", "link_down"}
+
+
+def check_robustness(errors, where, rob):
+    """Robustness section (src/obs/robustness.cc RobustnessJson):
+    failover records, re-execution totals, and serving retry activity."""
+    if not isinstance(rob, dict):
+        err(errors, where, "robustness must be an object")
+        return
+    for field in ROBUSTNESS_COUNTER_FIELDS:
+        check_uint(errors, where, rob, field)
+    for field in ("detection_seconds", "slow_delay_seconds"):
+        v = rob.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            err(errors, where, f"{field!r} must be a non-negative number, "
+                f"got {v!r}")
+    records = rob.get("failover_records")
+    if not isinstance(records, list):
+        err(errors, where, "failover_records must be an array")
+        records = []
+    if rob.get("failovers") != len(records):
+        err(errors, where,
+            f"failovers says {rob.get('failovers')!r} but "
+            f"{len(records)} failover record(s) are present")
+    seen_dead = set()
+    for i, fo in enumerate(records):
+        w = f"{where} failover[{i}]"
+        if not isinstance(fo, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, fo, FAILOVER_RECORD_FIELDS)
+        if fo.get("fault_class") not in FAULT_CLASSES:
+            err(errors, w, f"fault_class must be one of "
+                f"{sorted(FAULT_CLASSES)}, got {fo.get('fault_class')!r}")
+        dead = fo.get("dead_shard")
+        if isinstance(dead, int) and not isinstance(dead, bool):
+            # A shard dies once; two failover records for the same id
+            # would mean double-counted (or double-executed) recovery.
+            if dead in seen_dead:
+                err(errors, w, f"duplicate dead shard id {dead}")
+            seen_dead.add(dead)
+    hist = rob.get("retry_histogram")
+    if not isinstance(hist, list):
+        err(errors, where, "retry_histogram must be an array")
+    else:
+        for i, v in enumerate(hist):
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                err(errors, where, f"retry_histogram[{i}] must be a "
+                    f"non-negative integer, got {v!r}")
+
+
 def check_record(errors, where, rec):
     if not isinstance(rec, dict):
         err(errors, where, "record must be a JSON object")
@@ -394,6 +456,11 @@ def check_record(errors, where, rec):
         check_shards(errors, where, rec["shards"])
     if "links" in rec:
         check_links(errors, where, rec["links"])
+
+    # Robustness section (bench/fig12_chaos, serve_latency with a
+    # RetryPolicy): failover and retry activity.
+    if "robustness" in rec:
+        check_robustness(errors, where, rec["robustness"])
 
     # Adaptive-routing sections (bench/fig11_adaptive, serve_latency
     # --planner adaptive|oracle).

@@ -41,6 +41,23 @@ Result<std::unique_ptr<ShardScheduler>> ShardScheduler::Create(
         "the sharded engine supports planner = static | adaptive; use "
         "the single-device plan::PlannedBackend for oracle runs");
   }
+  Status fst = dcfg.failover.device_faults.Validate(dcfg.num_shards);
+  if (!fst.ok()) return fst;
+  if (!(dcfg.failover.heartbeat_timeout >= 0) ||
+      !std::isfinite(dcfg.failover.heartbeat_timeout)) {
+    return Status::InvalidArgument(
+        "failover.heartbeat_timeout must be finite and >= 0");
+  }
+  if (!(dcfg.failover.recovery_penalty >= 1) ||
+      !std::isfinite(dcfg.failover.recovery_penalty)) {
+    return Status::InvalidArgument(
+        "failover.recovery_penalty must be finite and >= 1");
+  }
+  if (dcfg.failover.enabled() && dcfg.failover.reexec_chunk_budget == 0) {
+    return Status::InvalidArgument(
+        "failover.reexec_chunk_budget must be >= 1 when device faults "
+        "are enabled");
+  }
   Result<Topology> topo = Topology::Create(dcfg.topology, dcfg.num_shards);
   if (!topo.ok()) return topo.status();
   std::unique_ptr<ShardScheduler> engine(
@@ -153,6 +170,14 @@ Status ShardScheduler::Build() {
     }
   }
 
+  if (dcfg_.failover.enabled()) {
+    fault_timeline_ = std::make_unique<sim::DeviceFaultTimeline>(
+        dcfg_.failover.device_faults, dcfg_.num_shards);
+    dead_.assign(dcfg_.num_shards, 0);
+    failover_target_.assign(dcfg_.num_shards, -1);
+    failover_record_.assign(dcfg_.num_shards, -1);
+  }
+
   const int threads =
       dcfg_.threads > 0
           ? dcfg_.threads
@@ -188,6 +213,15 @@ Status ShardScheduler::ResetShardsForRun() {
     fresh.shard = shard->out.shard;
     fresh.r_tuples = shard->out.r_tuples;
     shard->out = fresh;
+  }
+  if (fault_timeline_ != nullptr) {
+    // Repeated runs replay the same fault schedule from t = 0.
+    clock_ = 0;
+    std::fill(dead_.begin(), dead_.end(), 0);
+    std::fill(failover_target_.begin(), failover_target_.end(), -1);
+    std::fill(failover_record_.begin(), failover_record_.end(), -1);
+    reexec_chunks_ = 0;
+    robustness_ = obs::RobustnessStats{};
   }
   if (planner_ != nullptr) {
     // Repeated RunJoin calls must route identically: the planner and the
@@ -265,6 +299,10 @@ std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
     total += slices[i].count;
   }
 
+  const auto is_dead = [this](int i) {
+    return fault_timeline_ != nullptr && dead_[static_cast<size_t>(i)] != 0;
+  };
+
   if (dcfg_.steal.enabled && n > 1 && total > 0) {
     // Estimated per-tuple rates: the smoothed observation once a shard
     // has run (the EWMA amortizes per-window fixed costs, so a shard
@@ -284,15 +322,22 @@ std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
     // shard's tail onto the least loaded one while it shortens the
     // window's critical path.
     for (int iter = 0; iter < 8 * n; ++iter) {
-      int victim = 0;
-      int thief = 0;
-      for (int i = 1; i < n; ++i) {
-        if (load[i] > load[victim]) victim = i;
-        if (load[i] < load[thief]) thief = i;
-      }
+      // Dead shards neither volunteer as thieves nor get stolen from:
+      // their whole slice fails over below, as one unit, to the
+      // designated survivor.
+      int victim = -1;
+      int thief = -1;
       double mean = 0;
-      for (int i = 0; i < n; ++i) mean += load[i];
-      mean /= n;
+      int alive = 0;
+      for (int i = 0; i < n; ++i) {
+        if (is_dead(i)) continue;
+        if (victim < 0 || load[i] > load[victim]) victim = i;
+        if (thief < 0 || load[i] < load[thief]) thief = i;
+        mean += load[i];
+        ++alive;
+      }
+      if (alive < 2) break;
+      mean /= alive;
       if (victim == thief || remaining[victim] == 0 ||
           load[victim] <= dcfg_.steal.trigger * mean) {
         break;
@@ -320,11 +365,25 @@ std::vector<std::vector<ShardScheduler::Chunk>> ShardScheduler::PlanChunks(
   std::vector<std::vector<Chunk>> chunks(n);
   auto emit = [this, &chunks](const Chunk& c) {
     for (uint64_t off = 0; off < c.count; off += w_dev_) {
-      chunks[c.owner].push_back({c.owner, c.thief, c.start + off,
-                                 std::min(w_dev_, c.count - off)});
+      Chunk piece = c;
+      piece.start = c.start + off;
+      piece.count = std::min(w_dev_, c.count - off);
+      chunks[c.owner].push_back(piece);
     }
   };
   for (int i = 0; i < n; ++i) {
+    if (is_dead(i)) {
+      // The dead shard's key range fails over whole: its routed tuples
+      // execute against its (host-resident) partition but are charged to
+      // the failover target at the recovery penalty.
+      if (slices[i].count > 0) {
+        Chunk c{i, failover_target_[static_cast<size_t>(i)],
+                slices[i].start, slices[i].count};
+        c.failover = true;
+        emit(c);
+      }
+      continue;
+    }
     if (remaining[i] > 0) emit({i, i, slices[i].start, remaining[i]});
     for (const Chunk& c : stolen[i]) emit(c);
   }
@@ -341,6 +400,10 @@ void ShardScheduler::RoutePlans(std::vector<std::vector<Chunk>>* chunks) {
   space.include_hash_join = false;
   for (auto& shard_chunks : *chunks) {
     for (Chunk& chunk : shard_chunks) {
+      // Never route failed-over work: the planner must not steer a dead
+      // shard's engine, and recovery-penalty-charged chunks would feed
+      // corrupted residuals back into the router.
+      if (chunk.failover) continue;
       Shard& owner = *shards_[chunk.owner];
       chunk.features = extractors_[chunk.owner].Extract(
           owner.s.keys.data().data() + chunk.start, chunk.count);
@@ -481,15 +544,25 @@ Result<double> ShardScheduler::ExecuteWindow(
       } else {
         const int thief = cr.chunk.thief;
         const uint64_t bytes = cr.chunk.count * kStealBytesPerTuple;
+        const double penalty = cr.chunk.failover
+                                   ? dcfg_.failover.recovery_penalty
+                                   : dcfg_.steal.remote_penalty;
         charged_seconds[thief] +=
-            cr.seconds * dcfg_.steal.remote_penalty +
-            topo_.PeerSeconds(v, thief, bytes);
+            cr.seconds * penalty + topo_.PeerSeconds(v, thief, bytes);
         for (int link : topo_.PeerLinks(v, thief)) {
           (*host_bytes_by_link)[link] += bytes;
         }
-        shard.out.tuples_stolen_out += cr.chunk.count;
-        shards_[thief]->out.tuples_stolen_in += cr.chunk.count;
-        ++shards_[thief]->out.steals_in;
+        if (cr.chunk.failover) {
+          const int rec = failover_record_[static_cast<size_t>(v)];
+          if (rec >= 0) {
+            robustness_.failovers[static_cast<size_t>(rec)]
+                .reassigned_tuples += cr.chunk.count;
+          }
+        } else {
+          shard.out.tuples_stolen_out += cr.chunk.count;
+          shards_[thief]->out.tuples_stolen_in += cr.chunk.count;
+          ++shards_[thief]->out.steals_in;
+        }
       }
     }
   }
@@ -513,6 +586,14 @@ Result<double> ShardScheduler::ExecuteWindow(
                         .Breakdown(window_counters[i])
                         .transfer;
       }
+      if (fault_timeline_ != nullptr) {
+        // Transient slow-shard / link-down episodes stretch the shard's
+        // busy interval on the simulated clock.
+        const double delay =
+            fault_timeline_->DelaySeconds(i, clock_, times[i]);
+        times[i] += delay;
+        robustness_.slow_delay_seconds += delay;
+      }
       ++shards_[i]->out.windows;
     }
     (*host_bytes_by_link)[topo_.host_link(i)] +=
@@ -524,6 +605,131 @@ Result<double> ShardScheduler::ExecuteWindow(
       shards_[i]->rate.Observe(own_seconds[i] /
                                static_cast<double>(own_tuples[i]));
     }
+  }
+  if (fault_timeline_ != nullptr) {
+    return SettleWindowDeaths(results, times, wall);
+  }
+  return wall;
+}
+
+int ShardScheduler::NextAlive(int shard) const {
+  const int n = num_shards();
+  for (int step = 1; step < n; ++step) {
+    const int candidate = (shard + step) % n;
+    if (dead_[static_cast<size_t>(candidate)] == 0) return candidate;
+  }
+  return -1;
+}
+
+Status ShardScheduler::DeclareDead(
+    int shard, const sim::DeviceFaultTimeline::Episode& ep,
+    double detected_at) {
+  dead_[static_cast<size_t>(shard)] = 1;
+  const int target = NextAlive(shard);
+  if (target < 0) {
+    return Status::FailedPrecondition(
+        "every shard is dead; no failover target left for shard " +
+        std::to_string(shard));
+  }
+  failover_target_[static_cast<size_t>(shard)] = target;
+  obs::FailoverRecord record;
+  record.dead_shard = shard;
+  record.fault_class = sim::DeviceFaultClassName(ep.cls);
+  record.detected_at_seconds = detected_at;
+  failover_record_[static_cast<size_t>(shard)] =
+      static_cast<int>(robustness_.failovers.size());
+  robustness_.failovers.push_back(std::move(record));
+  robustness_.detection_seconds += dcfg_.failover.heartbeat_timeout;
+  return Status::Ok();
+}
+
+Result<double> ShardScheduler::CheckHealth(double now) {
+  const int n = num_shards();
+  // Mark every newly-terminal shard first, so two shards dying in the
+  // same gap cannot become each other's failover target.
+  std::vector<std::pair<int, sim::DeviceFaultTimeline::Episode>> dying;
+  for (int i = 0; i < n; ++i) {
+    if (dead_[static_cast<size_t>(i)] != 0) continue;
+    std::optional<sim::DeviceFaultTimeline::Episode> ep =
+        fault_timeline_->TerminalAt(i, now);
+    if (ep.has_value()) {
+      dead_[static_cast<size_t>(i)] = 1;
+      dying.emplace_back(i, *ep);
+    }
+  }
+  double stall = 0;
+  for (const auto& [shard, ep] : dying) {
+    const double detected_at = ep.begin + dcfg_.failover.heartbeat_timeout;
+    Status st = DeclareDead(shard, ep, detected_at);
+    if (!st.ok()) return st;
+    // The coordinator stalls until the heartbeat timeout fires (zero
+    // when the fault began long enough ago that it already has).
+    stall = std::max(stall, detected_at - now);
+  }
+  return stall > 0 ? stall : 0;
+}
+
+Result<double> ShardScheduler::SettleWindowDeaths(
+    const std::vector<std::vector<ChunkResult>>& results,
+    const std::vector<double>& times, double wall) {
+  const int n = num_shards();
+  std::vector<std::pair<int, sim::DeviceFaultTimeline::Episode>> dying;
+  for (int i = 0; i < n; ++i) {
+    if (dead_[static_cast<size_t>(i)] != 0 || times[i] <= 0) continue;
+    std::optional<sim::DeviceFaultTimeline::Episode> ep =
+        fault_timeline_->TerminalIn(i, clock_, clock_ + times[i]);
+    if (ep.has_value()) {
+      dead_[static_cast<size_t>(i)] = 1;
+      dying.emplace_back(i, *ep);
+    }
+  }
+  if (dying.empty()) return wall;
+
+  robustness_.reexec_windows += 1;
+  for (const auto& [shard, ep] : dying) {
+    const double detected_at = ep.begin + dcfg_.failover.heartbeat_timeout;
+    Status st = DeclareDead(shard, ep, detected_at);
+    if (!st.ok()) return st;
+    const int target = failover_target_[static_cast<size_t>(shard)];
+    const int rec = failover_record_[static_cast<size_t>(shard)];
+
+    // Every chunk that touched the dying device this window was in
+    // flight when it died: chunks executed against its structures
+    // (owner == shard, its own work and buckets stolen from it) and
+    // chunks its SMs were running remotely (thief == shard). They are
+    // re-executed on the failover target — charged as simulated time at
+    // the recovery penalty plus the fabric handoff, against the bounded
+    // budget. The deterministic simulator already produced their matches
+    // exactly once, so re-execution duplicates nothing and drops
+    // nothing; only time is charged again.
+    double reexec_seconds = 0;
+    uint64_t chunks_redone = 0;
+    for (int v = 0; v < n; ++v) {
+      for (const ChunkResult& cr : results[v]) {
+        if (cr.chunk.owner != shard && cr.chunk.thief != shard) continue;
+        if (++reexec_chunks_ > dcfg_.failover.reexec_chunk_budget) {
+          return Status::ResourceExhausted(
+              "failover re-execution budget exhausted (" +
+              std::to_string(dcfg_.failover.reexec_chunk_budget) +
+              " chunks); raise failover.reexec_chunk_budget");
+        }
+        ++chunks_redone;
+        reexec_seconds +=
+            cr.seconds * dcfg_.failover.recovery_penalty +
+            topo_.PeerSeconds(shard, target,
+                              cr.chunk.count * kStealBytesPerTuple);
+      }
+    }
+    obs::FailoverRecord& record =
+        robustness_.failovers[static_cast<size_t>(rec)];
+    record.reexec_chunks += chunks_redone;
+    record.reexec_seconds += reexec_seconds;
+    shards_[target]->out.busy_seconds += reexec_seconds;
+    // The window now ends when the redone work does: fault begin, the
+    // heartbeat timeout, then the re-execution on the target.
+    wall = std::max(wall, (ep.begin - clock_) +
+                              dcfg_.failover.heartbeat_timeout +
+                              reexec_seconds);
   }
   return wall;
 }
@@ -558,6 +764,16 @@ Result<ShardedRunResult> ShardScheduler::RunJoin(
   double makespan_sim = 0;
 
   for (uint64_t w = 0; w < n_sim_; ++w) {
+    if (fault_timeline_ != nullptr) {
+      // Window-boundary health check: shards whose terminal fault began
+      // before this window are declared dead now and their key ranges
+      // fail over before any chunk is planned.
+      Result<double> stall = CheckHealth(clock_);
+      if (!stall.ok()) return stall.status();
+      makespan_sim += *stall;
+      clock_ += *stall;
+    }
+
     const uint64_t begin = w * stride_;
     const uint64_t count = std::min(stride_, sample - begin);
     std::vector<SliceRef> slices =
@@ -574,6 +790,7 @@ Result<ShardedRunResult> ShardScheduler::RunJoin(
         nullptr);
     if (!wall.ok()) return wall.status();
     makespan_sim += *wall;
+    clock_ += *wall;
 
     if (collect != nullptr) {
       // Deterministic cross-shard merge: shard order within the window,
@@ -632,6 +849,8 @@ Result<ShardedRunResult> ShardScheduler::RunJoin(
   }
 
   const double extrap = window_scale_ * window_factor;
+  out.sim_makespan = makespan_sim;
+  if (fault_timeline_ != nullptr) out.robustness = robustness_;
   out.merge_seconds = MergeSeconds(result_bytes);
   out.run.label = "dist_inlj_" + std::string(shards_[0]->index->name()) +
                   "_x" + std::to_string(n);
@@ -676,6 +895,13 @@ Result<double> ShardScheduler::ServiceSlice(uint64_t begin, uint64_t count,
   }
 
   const int n = num_shards();
+  double detection_stall = 0;
+  if (fault_timeline_ != nullptr) {
+    Result<double> stall = CheckHealth(clock_);
+    if (!stall.ok()) return stall.status();
+    detection_stall = *stall;
+    clock_ += detection_stall;
+  }
   std::vector<SliceRef> slices = RouteSlice(begin, count, /*serving=*/true);
   uint64_t steal_events = 0;
   std::vector<std::vector<Chunk>> chunks = PlanChunks(slices, &steal_events);
@@ -686,13 +912,14 @@ Result<double> ShardScheduler::ServiceSlice(uint64_t begin, uint64_t count,
   Result<double> wall = ExecuteWindow(chunks, ordinal, pool_.get(),
                                       nullptr, &link_bytes, &slice_matches);
   if (!wall.ok()) return wall.status();
+  if (fault_timeline_ != nullptr) clock_ += *wall;
 
   // Serving works at sample scale (like the single-device server): the
   // batch's results merge at the coordinator before the response goes
   // out.
   std::vector<uint64_t> result_bytes(n, 0);
   for (int i = 0; i < n; ++i) result_bytes[i] = slice_matches[i] * 16;
-  return *wall + MergeSeconds(result_bytes);
+  return detection_stall + *wall + MergeSeconds(result_bytes);
 }
 
 }  // namespace gpujoin::dist

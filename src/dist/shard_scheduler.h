@@ -12,6 +12,7 @@
 #include "dist/shard_planner.h"
 #include "dist/topology.h"
 #include "obs/phase_timeline.h"
+#include "obs/robustness.h"
 #include "plan/features.h"
 #include "plan/plan_space.h"
 #include "plan/router.h"
@@ -46,10 +47,41 @@ struct StealPolicy {
   double remote_penalty = 1.5;
 };
 
+// Failure detection and key-range failover. The scheduler evaluates the
+// seeded device-fault timeline at window boundaries: a shard with a
+// terminal fault (crash, stuck, forever link-down) is declared dead one
+// heartbeat timeout after the fault begins, its key range's work moves to
+// a surviving shard (deterministic ring successor), and any window chunks
+// that were in flight on the dying device are re-executed on the new
+// owner — charged as simulated time at `recovery_penalty` plus the fabric
+// handoff, against a bounded re-execution budget. The dead shard's R
+// partition stays reachable (it lives in pinned host memory per the
+// paper's out-of-core design), which is what lets a survivor probe it
+// remotely; matches are produced exactly once, so the merged match set is
+// identical to the fault-free run (DESIGN.md §13).
+struct FailoverPolicy {
+  // The device-level fault schedule (empty = no faults, and every
+  // scheduler path stays bit-identical to a fault-free build).
+  sim::DeviceFaultConfig device_faults;
+  // Simulated (sample-scale) seconds without progress before a shard is
+  // declared dead. Charged as coordinator stall on detection.
+  double heartbeat_timeout = 1e-4;
+  // Re-executed / failed-over work runs this much slower than local
+  // (the survivor probes the dead shard's partition over the fabric;
+  // >= the steal remote_penalty since there is no warm cache to reuse).
+  double recovery_penalty = 2.0;
+  // Re-executed chunks allowed per run before the engine gives up with
+  // ResourceExhausted (a fault storm must not retry forever).
+  uint64_t reexec_chunk_budget = 1024;
+
+  bool enabled() const { return device_faults.enabled(); }
+};
+
 struct ShardConfig {
   int num_shards = 1;
   TopologyKind topology = TopologyKind::kNvLink2;
   StealPolicy steal;
+  FailoverPolicy failover;
   // Simulation worker threads; 0 = min(num_shards, hardware).
   int threads = 0;
   // Per-chunk {partition mode, window} routing over each shard's fixed
@@ -97,6 +129,11 @@ struct ShardedRunResult {
   std::vector<LinkStats> links;
   uint64_t steal_events = 0;    // buckets rebalanced across the run
   double merge_seconds = 0;     // result concatenation at the coordinator
+  // Simulated sample-scale makespan (before extrapolation); the chaos
+  // bench places --fail-at as a fraction of the fault-free run's value.
+  double sim_makespan = 0;
+  // Failover/re-execution activity (empty on a fault-free run).
+  obs::RobustnessStats robustness;
 
   double tuples_per_second() const {
     return run.seconds > 0
@@ -144,6 +181,13 @@ class ShardScheduler final : public serve::WindowBackend {
   void EnableObservability();
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  // Failover activity so far (serving path; RunJoin snapshots it into
+  // ShardedRunResult::robustness). Empty without device faults.
+  const obs::RobustnessStats& robustness() const { return robustness_; }
+  bool shard_dead(int shard) const {
+    return fault_timeline_ != nullptr &&
+           dead_[static_cast<size_t>(shard)] != 0;
+  }
   const ShardPlan& plan() const { return plan_; }
   const Topology& topology() const { return topo_; }
   const workload::ProbeRelation& s() const { return s_; }
@@ -193,6 +237,10 @@ class ShardScheduler final : public serve::WindowBackend {
     int thief = 0;
     uint64_t start = 0;
     uint64_t count = 0;
+    // Failed-over work: `owner` is dead and `thief` is its failover
+    // target. Charged at the recovery penalty, not the steal penalty,
+    // and excluded from steal accounting and planner feedback.
+    bool failover = false;
     // Filled by RoutePlans when the adaptive planner is on: how the
     // owner's device executes this chunk, and the features the decision
     // saw (echoed back with the observed time after the window barrier).
@@ -283,6 +331,33 @@ class ShardScheduler final : public serve::WindowBackend {
 
   double MergeSeconds(const std::vector<uint64_t>& result_bytes) const;
 
+  // ------------------------------------------------------------------
+  // Health model (no-ops without a device-fault timeline).
+
+  // First alive shard after `shard` in ring order; -1 when every shard
+  // is dead.
+  int NextAlive(int shard) const;
+
+  // Declares a shard dead (records the failover, picks the target).
+  // `detected_at` is the simulated time the heartbeat timeout fired.
+  Status DeclareDead(int shard, const sim::DeviceFaultTimeline::Episode& ep,
+                     double detected_at);
+
+  // Pre-window health check at simulated time `now`: declares shards
+  // whose terminal fault began at or before `now` and returns the
+  // coordinator stall (heartbeat timeouts still running out at `now`).
+  Result<double> CheckHealth(double now);
+
+  // Post-window death handling: shards whose terminal fault began while
+  // they were busy in [clock_, clock_ + times[i]) die mid-window; every
+  // chunk that touched the dying device is re-executed on the failover
+  // target (charged, not re-run — the simulator already produced the
+  // matches deterministically). Returns the window wall including
+  // detection and re-execution.
+  Result<double> SettleWindowDeaths(
+      const std::vector<std::vector<ChunkResult>>& results,
+      const std::vector<double>& times, double wall);
+
   core::ExperimentConfig cfg_;
   ShardConfig dcfg_;
   Topology topo_;
@@ -308,6 +383,16 @@ class ShardScheduler final : public serve::WindowBackend {
   workload::ProbeRelation s_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Device-fault state (timeline null when failover.device_faults is
+  // empty — the guard that keeps fault-free runs bit-identical).
+  std::unique_ptr<sim::DeviceFaultTimeline> fault_timeline_;
+  double clock_ = 0;                  // simulated sample-scale run clock
+  std::vector<char> dead_;            // per-shard: declared dead
+  std::vector<int> failover_target_;  // per-shard: new owner when dead
+  std::vector<int> failover_record_;  // per-shard: index into robustness_
+  uint64_t reexec_chunks_ = 0;        // against the re-execution budget
+  obs::RobustnessStats robustness_;
 
   // Adaptive routing state (null / empty in kStatic mode). One planner
   // is shared across shards — plan names don't encode the shard, but the

@@ -1,0 +1,74 @@
+#include "obs/robustness.h"
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+bool RobustnessStats::any() const {
+  if (!failovers.empty()) return true;
+  if (reexec_windows != 0) return true;
+  if (detection_seconds != 0 || slow_delay_seconds != 0) return true;
+  if (retries != 0 || hedges != 0 || hedge_wins != 0) return true;
+  if (deadline_misses != 0 || shed_deadline != 0 ||
+      shed_retry_exhausted != 0) {
+    return true;
+  }
+  for (uint64_t count : retry_histogram) {
+    if (count != 0) return true;
+  }
+  return false;
+}
+
+void RobustnessStats::Merge(const RobustnessStats& other) {
+  failovers.insert(failovers.end(), other.failovers.begin(),
+                   other.failovers.end());
+  reexec_windows += other.reexec_windows;
+  detection_seconds += other.detection_seconds;
+  slow_delay_seconds += other.slow_delay_seconds;
+  retries += other.retries;
+  hedges += other.hedges;
+  hedge_wins += other.hedge_wins;
+  deadline_misses += other.deadline_misses;
+  shed_deadline += other.shed_deadline;
+  shed_retry_exhausted += other.shed_retry_exhausted;
+  if (retry_histogram.size() < other.retry_histogram.size()) {
+    retry_histogram.resize(other.retry_histogram.size(), 0);
+  }
+  for (size_t i = 0; i < other.retry_histogram.size(); ++i) {
+    retry_histogram[i] += other.retry_histogram[i];
+  }
+}
+
+std::string RobustnessJson(const RobustnessStats& stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("failovers").Uint(stats.failovers.size());
+  w.Key("failover_records").BeginArray();
+  for (const FailoverRecord& f : stats.failovers) {
+    w.BeginObject();
+    w.Key("dead_shard").Int(f.dead_shard);
+    w.Key("fault_class").String(f.fault_class);
+    w.Key("detected_at_seconds").Double(f.detected_at_seconds);
+    w.Key("reassigned_tuples").Uint(f.reassigned_tuples);
+    w.Key("reexec_chunks").Uint(f.reexec_chunks);
+    w.Key("reexec_seconds").Double(f.reexec_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("reexec_windows").Uint(stats.reexec_windows);
+  w.Key("detection_seconds").Double(stats.detection_seconds);
+  w.Key("slow_delay_seconds").Double(stats.slow_delay_seconds);
+  w.Key("retries").Uint(stats.retries);
+  w.Key("hedges").Uint(stats.hedges);
+  w.Key("hedge_wins").Uint(stats.hedge_wins);
+  w.Key("deadline_misses").Uint(stats.deadline_misses);
+  w.Key("shed_deadline").Uint(stats.shed_deadline);
+  w.Key("shed_retry_exhausted").Uint(stats.shed_retry_exhausted);
+  w.Key("retry_histogram").BeginArray();
+  for (uint64_t count : stats.retry_histogram) w.Uint(count);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gpujoin::obs

@@ -1,10 +1,13 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <memory>
 #include <string>
 #include <utility>
+
+#include "util/rng.h"
 
 namespace gpujoin::serve {
 
@@ -49,6 +52,26 @@ Result<ServeReport> RequestServer::Run() {
     return Status::InvalidArgument(
         "on/off arrivals need burst_factor > 1 (otherwise use poisson)");
   }
+  const RetryPolicy& retry = serve_config_.retry;
+  if (retry.deadline_seconds < 0 || !std::isfinite(retry.deadline_seconds)) {
+    return Status::InvalidArgument(
+        "retry.deadline_seconds must be finite and >= 0");
+  }
+  if (retry.retry_cap < 0 || retry.retry_cap > 32) {
+    return Status::InvalidArgument("retry.retry_cap must be in [0, 32]");
+  }
+  if (retry.retry_cap > 0 && !(retry.backoff_base > 0)) {
+    return Status::InvalidArgument(
+        "retry.backoff_base must be > 0 when retries are enabled");
+  }
+  if (retry.backoff_jitter < 0 || retry.backoff_jitter > 1) {
+    return Status::InvalidArgument(
+        "retry.backoff_jitter must be in [0, 1]");
+  }
+  if (retry.hedge_after < 0 || !std::isfinite(retry.hedge_after)) {
+    return Status::InvalidArgument(
+        "retry.hedge_after must be finite and >= 0");
+  }
 
   const uint64_t tpr = serve_config_.tuples_per_request;
 
@@ -69,6 +92,15 @@ Result<ServeReport> RequestServer::Run() {
 
   ServeReport report;
   report.offered_rate = serve_config_.arrival.rate;
+
+  // Backoff jitter stream: all draws happen on this (single) event-loop
+  // thread in batch order, so a fixed seed reproduces the run at any
+  // backend thread count. Never drawn with the default policy.
+  Xoshiro256 retry_rng(SplitMix64(retry.seed));
+  if (retry.retry_cap > 0) {
+    report.robustness.retry_histogram.assign(
+        static_cast<size_t>(retry.retry_cap) + 1, 0);
+  }
 
   // Pending request arrival times (each request carries `tpr` tuples)
   // and dispatched-but-unfinished batches as (completion time, tuples).
@@ -93,17 +125,88 @@ Result<ServeReport> RequestServer::Run() {
   // windows over the cyclic sample cursor, charges each request its
   // sojourn time, and lets the batcher see the post-close backlog.
   auto close_batch = [&](double close_t, bool by_deadline) -> Status {
+    const double start = std::max(close_t, server_free);
+
+    // Deadline budgets: a request whose budget already ran out by the
+    // time its batch would start cannot be served in time, so it is
+    // shed before dispatch (oldest arrivals first — they doom first).
+    if (retry.deadline_seconds > 0) {
+      while (!pending.empty() &&
+             pending.front() + retry.deadline_seconds < start) {
+        pending.pop_front();
+        pending_tuples -= tpr;
+        ++report.robustness.shed_deadline;
+      }
+      if (pending.empty()) {
+        batcher.ObserveBacklog(in_flight_tuples);
+        return Status();
+      }
+    }
+
     const uint64_t n_requests = pending.size();
     const uint64_t n_tuples = pending_tuples;
-    const double start = std::max(close_t, server_free);
 
     double service = 0;
     uint64_t remaining = n_tuples;
     while (remaining > 0) {
       const uint64_t take = std::min(remaining, sample - cursor);
-      Result<double> slice = backend->ServiceSlice(cursor, take, ordinal++);
-      if (!slice.ok()) return slice.status();
-      service += *slice;
+
+      // Bounded seeded-backoff retry around the slice. With the default
+      // retry_cap == 0 the first backend error stays fatal, exactly the
+      // pre-retry behaviour.
+      double slice_time = 0;
+      int attempts = 0;
+      for (;;) {
+        Result<double> slice =
+            backend->ServiceSlice(cursor, take, ordinal++);
+        if (slice.ok()) {
+          slice_time = *slice;
+          break;
+        }
+        if (attempts >= retry.retry_cap) {
+          if (retry.retry_cap == 0) return slice.status();
+          // Cap exhausted: shed this batch's requests and keep serving.
+          // A permanently-stuck backend degrades to lost requests with
+          // the backoff charged, not a wedged server.
+          report.robustness.shed_retry_exhausted += n_requests;
+          ++report.robustness.retry_histogram[static_cast<size_t>(
+              attempts)];
+          server_free = start + service;
+          report.sim_seconds = std::max(report.sim_seconds, server_free);
+          pending.clear();
+          pending_tuples = 0;
+          batcher.ObserveBacklog(in_flight_tuples);
+          return Status();
+        }
+        double wait = retry.backoff_base * std::ldexp(1.0, attempts);
+        if (retry.backoff_jitter > 0) {
+          wait *= 1.0 + retry.backoff_jitter *
+                            (2.0 * retry_rng.NextDouble() - 1.0);
+        }
+        service += wait;
+        ++attempts;
+        ++report.robustness.retries;
+      }
+
+      // Hedged re-issue: a primary attempt running past the trigger is
+      // raced against the replica plan; the faster result wins.
+      if (retry.hedge_after > 0 && slice_time > retry.hedge_after) {
+        ++report.robustness.hedges;
+        Result<double> hedge =
+            backend->ServiceHedge(cursor, take, ordinal++);
+        if (hedge.ok()) {
+          const double hedged = retry.hedge_after + *hedge;
+          if (hedged < slice_time) {
+            slice_time = hedged;
+            ++report.robustness.hedge_wins;
+          }
+        }
+      }
+      if (!report.robustness.retry_histogram.empty()) {
+        ++report.robustness.retry_histogram[static_cast<size_t>(attempts)];
+      }
+
+      service += slice_time;
       cursor += take;
       if (cursor == sample) cursor = 0;
       remaining -= take;
@@ -114,6 +217,10 @@ Result<ServeReport> RequestServer::Run() {
     for (double arrival : pending) {
       report.latency.Record(end - arrival);
       report.queue_seconds_total += start - arrival;
+      if (retry.deadline_seconds > 0 &&
+          end - arrival > retry.deadline_seconds) {
+        ++report.robustness.deadline_misses;
+      }
     }
     report.service_seconds_total +=
         service * static_cast<double>(n_requests);

@@ -1,6 +1,8 @@
 #include "sim/fault.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 namespace gpujoin::sim {
@@ -163,6 +165,192 @@ bool FaultInjector::OnDeviceReserve(CounterSet* counters) {
   ++counters->faults_injected;
   ++counters->alloc_faults;
   return true;
+}
+
+// --------------------------------------------------------------------
+// Device-level faults.
+
+const char* DeviceFaultClassName(DeviceFaultClass cls) {
+  switch (cls) {
+    case DeviceFaultClass::kShardCrash:
+      return "shard_crash";
+    case DeviceFaultClass::kShardStuck:
+      return "shard_stuck";
+    case DeviceFaultClass::kShardSlow:
+      return "shard_slow";
+    case DeviceFaultClass::kLinkDown:
+      return "link_down";
+  }
+  return "unknown";
+}
+
+Status DeviceFaultConfig::Validate(int num_shards) const {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const DeviceFaultEvent& e = events[i];
+    const std::string where = "device fault event " + std::to_string(i);
+    if (e.shard < 0 || e.shard >= num_shards) {
+      return Status::InvalidArgument(
+          where + ": shard " + std::to_string(e.shard) + " outside [0, " +
+          std::to_string(num_shards) + ")");
+    }
+    if (!(e.at_seconds >= 0) || !std::isfinite(e.at_seconds)) {
+      return Status::InvalidArgument(where +
+                                     ": at_seconds must be finite and >= 0");
+    }
+    if (e.cls == DeviceFaultClass::kShardSlow && !(e.slow_factor >= 1)) {
+      return Status::InvalidArgument(where + ": slow_factor must be >= 1");
+    }
+    if (std::isnan(e.duration_seconds)) {
+      return Status::InvalidArgument(where + ": duration_seconds is NaN");
+    }
+  }
+  if (random_slow_rate < 0 || !std::isfinite(random_slow_rate)) {
+    return Status::InvalidArgument(
+        "device fault config: random_slow_rate must be finite and >= 0");
+  }
+  if (random_slow_rate > 0) {
+    if (!(random_slow_duration > 0)) {
+      return Status::InvalidArgument(
+          "device fault config: random_slow_duration must be > 0");
+    }
+    if (!(random_slow_factor >= 1)) {
+      return Status::InvalidArgument(
+          "device fault config: random_slow_factor must be >= 1");
+    }
+    if (random_horizon_seconds < 0 ||
+        !std::isfinite(random_horizon_seconds)) {
+      return Status::InvalidArgument(
+          "device fault config: random_horizon_seconds must be finite "
+          "and >= 0");
+    }
+  }
+  return Status::Ok();
+}
+
+DeviceFaultTimeline::DeviceFaultTimeline(const DeviceFaultConfig& config,
+                                         int num_shards)
+    : enabled_(config.enabled()),
+      episodes_(static_cast<size_t>(num_shards < 0 ? 0 : num_shards)) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const DeviceFaultEvent& e : config.events) {
+    if (e.shard < 0 || e.shard >= num_shards) continue;  // Validate() caught
+    Episode ep;
+    ep.cls = e.cls;
+    ep.begin = e.at_seconds;
+    switch (e.cls) {
+      case DeviceFaultClass::kShardCrash:
+      case DeviceFaultClass::kShardStuck:
+        ep.end = kInf;
+        break;
+      case DeviceFaultClass::kShardSlow:
+        ep.end = e.duration_seconds > 0 ? e.at_seconds + e.duration_seconds
+                                        : kInf;
+        ep.factor = e.slow_factor;
+        break;
+      case DeviceFaultClass::kLinkDown:
+        // A link that never comes back is indistinguishable from a dead
+        // shard: the structures are unreachable forever.
+        ep.end = e.duration_seconds > 0 ? e.at_seconds + e.duration_seconds
+                                        : kInf;
+        break;
+    }
+    episodes_[static_cast<size_t>(e.shard)].push_back(ep);
+  }
+
+  // Seeded random slow episodes: one independent substream per shard so
+  // the schedule for shard k does not depend on num_shards' other draws.
+  if (config.random_slow_rate > 0 && config.random_horizon_seconds > 0) {
+    for (int shard = 0; shard < num_shards; ++shard) {
+      Xoshiro256 rng(SplitMix64(config.seed +
+                                uint64_t{0x9E3779B97F4A7C15} *
+                                    static_cast<uint64_t>(shard + 1)));
+      double t = 0;
+      for (;;) {
+        // Exponential inter-arrival gap at `random_slow_rate` per second.
+        const double u = rng.NextDouble();
+        t += -std::log1p(-u) / config.random_slow_rate;
+        if (t >= config.random_horizon_seconds) break;
+        const double v = rng.NextDouble();
+        const double dur =
+            -std::log1p(-v) * config.random_slow_duration;
+        Episode ep;
+        ep.cls = DeviceFaultClass::kShardSlow;
+        ep.begin = t;
+        ep.end = t + dur;
+        ep.factor = config.random_slow_factor;
+        episodes_[static_cast<size_t>(shard)].push_back(ep);
+        t = ep.end;
+      }
+    }
+  }
+
+  for (auto& list : episodes_) {
+    std::sort(list.begin(), list.end(),
+              [](const Episode& a, const Episode& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return static_cast<int>(a.cls) < static_cast<int>(b.cls);
+              });
+  }
+}
+
+namespace {
+
+bool IsTerminal(const DeviceFaultTimeline::Episode& ep) {
+  return ep.cls == DeviceFaultClass::kShardCrash ||
+         ep.cls == DeviceFaultClass::kShardStuck ||
+         (ep.cls == DeviceFaultClass::kLinkDown &&
+          ep.end == std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+
+std::optional<DeviceFaultTimeline::Episode> DeviceFaultTimeline::TerminalAt(
+    int shard, double t) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= episodes_.size()) {
+    return std::nullopt;
+  }
+  for (const Episode& ep : episodes_[static_cast<size_t>(shard)]) {
+    if (ep.begin > t) break;  // sorted by begin
+    if (IsTerminal(ep)) return ep;
+  }
+  return std::nullopt;
+}
+
+std::optional<DeviceFaultTimeline::Episode> DeviceFaultTimeline::TerminalIn(
+    int shard, double t0, double t1) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= episodes_.size()) {
+    return std::nullopt;
+  }
+  for (const Episode& ep : episodes_[static_cast<size_t>(shard)]) {
+    if (ep.begin >= t1) break;
+    if (ep.begin >= t0 && IsTerminal(ep)) return ep;
+  }
+  return std::nullopt;
+}
+
+double DeviceFaultTimeline::DelaySeconds(int shard, double t,
+                                         double busy) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= episodes_.size() ||
+      busy <= 0) {
+    return 0;
+  }
+  const double t1 = t + busy;
+  double delay = 0;
+  for (const Episode& ep : episodes_[static_cast<size_t>(shard)]) {
+    if (ep.begin >= t1) break;
+    if (IsTerminal(ep)) continue;  // terminal faults handled by the caller
+    const double lo = ep.begin > t ? ep.begin : t;
+    const double hi = ep.end < t1 ? ep.end : t1;
+    if (hi <= lo) continue;
+    const double overlap = hi - lo;
+    if (ep.cls == DeviceFaultClass::kShardSlow) {
+      delay += overlap * (ep.factor - 1.0);
+    } else if (ep.cls == DeviceFaultClass::kLinkDown) {
+      // Transient link-down: the device stalls for the outage overlap.
+      delay += overlap;
+    }
+  }
+  return delay;
 }
 
 }  // namespace gpujoin::sim

@@ -2,7 +2,9 @@
 #define GPUJOIN_SIM_FAULT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/counters.h"
 #include "util/rng.h"
@@ -129,6 +131,99 @@ class FaultInjector {
   uint64_t episode_lines_left_ = 0;
   uint64_t gap_lines_left_ = 0;
   Status fatal_;
+};
+
+// --------------------------------------------------------------------
+// Device-level fault classes (DESIGN.md Sec. 13). The memory-level
+// injector above models transient anomalies *within* one device; these
+// model the device (or its host link) itself failing, on the simulated
+// clock. dist::ShardScheduler evaluates the timeline at window
+// boundaries: terminal faults trigger heartbeat-timeout detection and
+// key-range failover, transient episodes stretch the affected shard's
+// window time.
+
+enum class DeviceFaultClass : uint8_t {
+  kShardCrash = 0,  // device dies at `at_seconds`, permanently
+  kShardStuck = 1,  // device stops making progress (burns, never finishes)
+  kShardSlow = 2,   // episode: device time stretched by `slow_factor`
+  kLinkDown = 3,    // host link unusable; permanent episodes kill the shard
+};
+
+const char* DeviceFaultClassName(DeviceFaultClass cls);
+
+// One scheduled device fault. Crash and stuck faults are terminal from
+// `at_seconds` on; slow and link-down faults are episodes over
+// [at_seconds, at_seconds + duration_seconds), with duration_seconds <= 0
+// meaning "forever" (which makes a link-down terminal too — a shard whose
+// host link never returns is as dead as a crashed one).
+struct DeviceFaultEvent {
+  DeviceFaultClass cls = DeviceFaultClass::kShardCrash;
+  int shard = 0;                 // target device
+  double at_seconds = 0;         // simulated (sample-scale) start time
+  double duration_seconds = 0;   // episodes only; <= 0 = forever
+  double slow_factor = 4.0;      // kShardSlow: device-time multiplier
+};
+
+// Deterministic device-fault schedule: explicit events plus optionally a
+// seeded stream of random slow episodes per shard (exponential gaps at
+// `random_slow_rate` episodes per simulated second over
+// `random_horizon_seconds`). Empty config = no device faults, and every
+// scheduler path is bit-identical to a build without this machinery.
+struct DeviceFaultConfig {
+  uint64_t seed = 0xDEAD;
+  std::vector<DeviceFaultEvent> events;
+
+  // Seeded random slow-shard episodes (0 disables).
+  double random_slow_rate = 0;          // episodes / simulated second
+  double random_slow_duration = 1e-4;   // mean episode length, seconds
+  double random_slow_factor = 4.0;
+  double random_horizon_seconds = 0;    // generate episodes in [0, horizon)
+
+  bool enabled() const {
+    return !events.empty() ||
+           (random_slow_rate > 0 && random_horizon_seconds > 0);
+  }
+
+  // InvalidArgument naming the offending field when an event is malformed
+  // (negative start time, slow factor < 1, shard out of [0, num_shards)).
+  Status Validate(int num_shards) const;
+};
+
+// The materialized per-shard episode list the scheduler queries. All
+// episodes (explicit and random) are generated at construction from the
+// seed, so a (config, num_shards) pair always yields the same timeline.
+class DeviceFaultTimeline {
+ public:
+  struct Episode {
+    DeviceFaultClass cls;
+    double begin = 0;
+    double end = 0;  // infinity for terminal faults
+    double factor = 1.0;
+  };
+
+  DeviceFaultTimeline(const DeviceFaultConfig& config, int num_shards);
+
+  // Earliest terminal fault (crash, stuck, or forever link-down) that has
+  // begun at or before `t` for this shard.
+  std::optional<Episode> TerminalAt(int shard, double t) const;
+
+  // Earliest terminal fault beginning inside [t0, t1) — the mid-window
+  // death test.
+  std::optional<Episode> TerminalIn(int shard, double t0, double t1) const;
+
+  // Extra simulated seconds a device busy over [t, t + busy) suffers from
+  // transient episodes: a slow episode stretches the overlapped time by
+  // (factor - 1), a finite link-down stalls it for the overlap.
+  double DelaySeconds(int shard, double t, double busy) const;
+
+  bool enabled() const { return enabled_; }
+  const std::vector<Episode>& episodes(int shard) const {
+    return episodes_[shard];
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<std::vector<Episode>> episodes_;  // per shard, by begin time
 };
 
 }  // namespace gpujoin::sim

@@ -1,0 +1,301 @@
+// Chaos tests for the sharded engine's failover path (DESIGN.md §13):
+// a shard killed mid-run — crash, stuck, or permanent link-down — must
+// be detected within the heartbeat timeout, its key range rerouted to a
+// survivor, and its in-flight windows re-executed, with the merged
+// match set coming back *identical* to the fault-free run. The steal
+// path is the adversarial case: a stolen bucket whose victim then dies
+// must be neither double-executed nor dropped.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "dist/shard_scheduler.h"
+#include "sim/fault.h"
+
+namespace gpujoin {
+namespace {
+
+core::ExperimentConfig ChaosConfig() {
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 21;
+  cfg.s_tuples = uint64_t{1} << 24;
+  cfg.s_sample = uint64_t{1} << 17;
+  cfg.seed = 11;
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  cfg.inlj.window_tuples = uint64_t{1} << 22;
+  return cfg;
+}
+
+dist::ShardedRunResult MustRun(const core::ExperimentConfig& cfg,
+                               const dist::ShardConfig& dcfg,
+                               std::vector<core::JoinMatch>* collect =
+                                   nullptr) {
+  auto engine = dist::ShardScheduler::Create(cfg, dcfg);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto run = (*engine)->RunJoin(collect);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return *run;
+}
+
+// Baseline makespan of (cfg, dcfg) with no faults, so fault times can
+// be placed as fractions of the run rather than absolute guesses.
+double FaultFreeMakespan(const core::ExperimentConfig& cfg,
+                         dist::ShardConfig dcfg) {
+  dcfg.failover = dist::FailoverPolicy();
+  return MustRun(cfg, dcfg).sim_makespan;
+}
+
+dist::ShardConfig WithFault(dist::ShardConfig dcfg,
+                            sim::DeviceFaultClass cls, int shard,
+                            double at, double heartbeat) {
+  sim::DeviceFaultEvent e;
+  e.cls = cls;
+  e.shard = shard;
+  e.at_seconds = at;
+  e.duration_seconds = 0;  // terminal
+  dcfg.failover.device_faults.events.push_back(e);
+  dcfg.failover.heartbeat_timeout = heartbeat;
+  return dcfg;
+}
+
+std::vector<core::JoinMatch> Sorted(std::vector<core::JoinMatch> m) {
+  std::sort(m.begin(), m.end());
+  return m;
+}
+
+TEST(ChaosTest, CrashFailoverPreservesTheMatchSet) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 4;
+
+  std::vector<core::JoinMatch> base_matches;
+  const auto base = MustRun(cfg, dcfg, &base_matches);
+  ASSERT_GT(base.sim_makespan, 0);
+
+  const dist::ShardConfig faulty =
+      WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, /*shard=*/1,
+                0.4 * base.sim_makespan, 0.05 * base.sim_makespan);
+  std::vector<core::JoinMatch> chaos_matches;
+  const auto chaos = MustRun(cfg, faulty, &chaos_matches);
+
+  EXPECT_EQ(Sorted(base_matches), Sorted(chaos_matches));
+  ASSERT_EQ(chaos.robustness.failovers.size(), 1u);
+  const obs::FailoverRecord& fo = chaos.robustness.failovers[0];
+  EXPECT_EQ(fo.dead_shard, 1);
+  EXPECT_EQ(fo.fault_class, "shard_crash");
+  EXPECT_GE(fo.detected_at_seconds, 0.4 * base.sim_makespan);
+  EXPECT_GT(fo.reassigned_tuples + fo.reexec_chunks, 0u);
+  // Failover costs time: detection stall plus re-execution at the
+  // recovery penalty.
+  EXPECT_GT(chaos.run.seconds, base.run.seconds);
+  EXPECT_GT(chaos.robustness.detection_seconds, 0);
+}
+
+TEST(ChaosTest, EveryTerminalFaultClassFailsOverIdentically) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 4;
+  std::vector<core::JoinMatch> base_matches;
+  const auto base = MustRun(cfg, dcfg, &base_matches);
+  const auto base_sorted = Sorted(base_matches);
+
+  const struct {
+    sim::DeviceFaultClass cls;
+    const char* name;
+  } classes[] = {
+      {sim::DeviceFaultClass::kShardCrash, "shard_crash"},
+      {sim::DeviceFaultClass::kShardStuck, "shard_stuck"},
+      {sim::DeviceFaultClass::kLinkDown, "link_down"},
+  };
+  for (const auto& c : classes) {
+    const dist::ShardConfig faulty =
+        WithFault(dcfg, c.cls, /*shard=*/2, 0.3 * base.sim_makespan,
+                  0.05 * base.sim_makespan);
+    std::vector<core::JoinMatch> matches;
+    const auto chaos = MustRun(cfg, faulty, &matches);
+    EXPECT_EQ(Sorted(matches), base_sorted) << c.name;
+    ASSERT_EQ(chaos.robustness.failovers.size(), 1u) << c.name;
+    EXPECT_EQ(chaos.robustness.failovers[0].fault_class, c.name);
+  }
+}
+
+TEST(ChaosTest, FailoverIsDeterministicAcrossThreadCounts) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 4;
+  const double makespan = FaultFreeMakespan(cfg, dcfg);
+
+  auto run_at = [&](int threads) {
+    dist::ShardConfig faulty =
+        WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, /*shard=*/0,
+                  0.5 * makespan, 0.05 * makespan);
+    faulty.threads = threads;
+    std::vector<core::JoinMatch> matches;
+    const auto run = MustRun(cfg, faulty, &matches);
+    return std::make_pair(run, Sorted(matches));
+  };
+  const auto [r1, m1] = run_at(1);
+  const auto [r7, m7] = run_at(7);
+
+  EXPECT_EQ(m1, m7);
+  EXPECT_EQ(r1.run.seconds, r7.run.seconds);
+  EXPECT_EQ(r1.sim_makespan, r7.sim_makespan);
+  EXPECT_EQ(r1.robustness.failovers.size(), r7.robustness.failovers.size());
+  EXPECT_EQ(r1.robustness.reexec_windows, r7.robustness.reexec_windows);
+  EXPECT_EQ(r1.robustness.detection_seconds,
+            r7.robustness.detection_seconds);
+  for (size_t i = 0; i < r1.robustness.failovers.size(); ++i) {
+    EXPECT_EQ(r1.robustness.failovers[i].reassigned_tuples,
+              r7.robustness.failovers[i].reassigned_tuples);
+    EXPECT_EQ(r1.robustness.failovers[i].reexec_seconds,
+              r7.robustness.failovers[i].reexec_seconds);
+  }
+}
+
+// The steal-then-crash audit: under skew with stealing active, stolen
+// buckets execute on the victim's structures while charged to the
+// thief. Killing each shard in turn therefore covers both directions —
+// a dying victim whose buckets were stolen, and a dying thief holding
+// stolen work — and the match set must survive every one of them.
+TEST(ChaosTest, StealThenCrashNeitherDropsNorDuplicatesMatches) {
+  core::ExperimentConfig cfg = ChaosConfig();
+  cfg.zipf_exponent = 1.75;
+  cfg.inlj.window_tuples = uint64_t{1} << 14;
+  cfg.inlj.bucket_slack = 1.25;
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 4;
+
+  std::vector<core::JoinMatch> base_matches;
+  const auto base = MustRun(cfg, dcfg, &base_matches);
+  ASSERT_GT(base.steal_events, 0u)
+      << "config does not exercise the steal path";
+  const auto base_sorted = Sorted(base_matches);
+
+  for (int victim = 0; victim < dcfg.num_shards; ++victim) {
+    const dist::ShardConfig faulty =
+        WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, victim,
+                  0.4 * base.sim_makespan, 0.05 * base.sim_makespan);
+    std::vector<core::JoinMatch> matches;
+    const auto chaos = MustRun(cfg, faulty, &matches);
+    EXPECT_EQ(Sorted(matches), base_sorted) << "crashed shard " << victim;
+    EXPECT_EQ(chaos.robustness.failovers.size(), 1u)
+        << "crashed shard " << victim;
+  }
+}
+
+TEST(ChaosTest, DeadShardStopsReceivingWorkAndSurvivorsCoverIt) {
+  core::ExperimentConfig cfg = ChaosConfig();
+  // Many small windows, so plenty of the window grid runs after the
+  // crash and the rerouted key range is visible as reassigned tuples.
+  cfg.inlj.window_tuples = uint64_t{1} << 14;
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 4;
+  const double makespan = FaultFreeMakespan(cfg, dcfg);
+
+  // Early crash: most of the run happens after the failover, so the
+  // dead shard's key range must show up as reassigned tuples.
+  const dist::ShardConfig faulty =
+      WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, /*shard=*/3,
+                0.1 * makespan, 0.02 * makespan);
+  auto engine = dist::ShardScheduler::Create(cfg, faulty);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  std::vector<core::JoinMatch> matches;
+  auto run = (*engine)->RunJoin(&matches);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  EXPECT_TRUE((*engine)->shard_dead(3));
+  EXPECT_FALSE((*engine)->shard_dead(0));
+  ASSERT_EQ(run->robustness.failovers.size(), 1u);
+  EXPECT_GT(run->robustness.failovers[0].reassigned_tuples, 0u);
+  // Nothing went missing: every probe tuple still matched exactly once.
+  EXPECT_EQ(matches.size(), cfg.s_sample);
+}
+
+TEST(ChaosTest, ZeroFaultPolicyIsBitIdenticalToNoPolicy) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  dist::ShardConfig plain;
+  plain.num_shards = 4;
+  std::vector<core::JoinMatch> plain_matches;
+  const auto a = MustRun(cfg, plain, &plain_matches);
+
+  // Same run with failover knobs set but no fault events: the policy is
+  // disabled and every number must be bit-identical.
+  dist::ShardConfig armed = plain;
+  armed.failover.heartbeat_timeout = 1e-6;
+  armed.failover.recovery_penalty = 8.0;
+  armed.failover.reexec_chunk_budget = 7;
+  std::vector<core::JoinMatch> armed_matches;
+  const auto b = MustRun(cfg, armed, &armed_matches);
+
+  EXPECT_EQ(plain_matches, armed_matches);
+  EXPECT_EQ(a.run.seconds, b.run.seconds);
+  EXPECT_EQ(a.sim_makespan, b.sim_makespan);
+  EXPECT_EQ(a.steal_events, b.steal_events);
+  EXPECT_TRUE(b.robustness.failovers.empty());
+  EXPECT_EQ(b.robustness.detection_seconds, 0);
+}
+
+TEST(ChaosTest, AllShardsDeadIsFailedPrecondition) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 2;
+  dcfg = WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, 0, 0.0,
+                   1e-6);
+  sim::DeviceFaultEvent e;
+  e.cls = sim::DeviceFaultClass::kShardCrash;
+  e.shard = 1;
+  e.at_seconds = 0.0;
+  e.duration_seconds = 0;
+  dcfg.failover.device_faults.events.push_back(e);
+
+  auto engine = dist::ShardScheduler::Create(cfg, dcfg);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto run = (*engine)->RunJoin();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().ToString().find("no failover target"),
+            std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(ChaosTest, InvalidFailoverKnobsAreNamedInTheError) {
+  const core::ExperimentConfig cfg = ChaosConfig();
+  const struct {
+    void (*set)(dist::FailoverPolicy&);
+    const char* names;
+  } cases[] = {
+      {[](dist::FailoverPolicy& p) { p.heartbeat_timeout = -1; },
+       "heartbeat_timeout"},
+      {[](dist::FailoverPolicy& p) { p.recovery_penalty = 0.5; },
+       "recovery_penalty"},
+      {[](dist::FailoverPolicy& p) { p.reexec_chunk_budget = 0; },
+       "reexec_chunk_budget"},
+  };
+  for (const auto& c : cases) {
+    dist::ShardConfig dcfg;
+    dcfg.num_shards = 2;
+    dcfg = WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, 0, 0.5,
+                     1e-4);
+    c.set(dcfg.failover);
+    auto engine = dist::ShardScheduler::Create(cfg, dcfg);
+    ASSERT_FALSE(engine.ok()) << c.names;
+    EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument)
+        << c.names;
+    EXPECT_NE(engine.status().ToString().find(c.names), std::string::npos)
+        << engine.status().ToString();
+  }
+  // An event naming a shard outside the fleet is caught at Create too.
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = 2;
+  dcfg = WithFault(dcfg, sim::DeviceFaultClass::kShardCrash, 5, 0.5,
+                   1e-4);
+  EXPECT_FALSE(dist::ShardScheduler::Create(cfg, dcfg).ok());
+}
+
+}  // namespace
+}  // namespace gpujoin

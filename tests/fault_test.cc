@@ -262,5 +262,159 @@ TEST(FaultPipelineTest, HashJoinBaselineStaysFailStopOnAllocFault) {
   EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
 }
 
+// ---------------------------------------------------------------------
+// Device-level fault timeline (shard crash / stuck / slow / link-down)
+
+using sim::DeviceFaultClass;
+using sim::DeviceFaultConfig;
+using sim::DeviceFaultEvent;
+using sim::DeviceFaultTimeline;
+
+DeviceFaultEvent Event(DeviceFaultClass cls, int shard, double at,
+                       double duration = 0) {
+  DeviceFaultEvent e;
+  e.cls = cls;
+  e.shard = shard;
+  e.at_seconds = at;
+  e.duration_seconds = duration;
+  return e;
+}
+
+TEST(DeviceFaultTest, DefaultConfigIsDisabled) {
+  DeviceFaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  DeviceFaultTimeline timeline(cfg, 4);
+  EXPECT_FALSE(timeline.enabled());
+  EXPECT_FALSE(timeline.TerminalAt(0, 1e9).has_value());
+  EXPECT_EQ(timeline.DelaySeconds(0, 0, 1e9), 0);
+}
+
+TEST(DeviceFaultTest, ValidateNamesTheBadField) {
+  const struct {
+    DeviceFaultEvent event;
+    const char* names;
+  } cases[] = {
+      {Event(DeviceFaultClass::kShardCrash, 9, 0.1), "shard"},
+      {Event(DeviceFaultClass::kShardCrash, -1, 0.1), "shard"},
+      {Event(DeviceFaultClass::kShardCrash, 0, -0.5), "at_seconds"},
+      {Event(DeviceFaultClass::kShardSlow, 0, 0.1), "slow_factor"},
+  };
+  for (const auto& c : cases) {
+    DeviceFaultConfig cfg;
+    cfg.events.push_back(c.event);
+    if (std::string(c.names) == "slow_factor") {
+      cfg.events.back().slow_factor = 0.5;
+    }
+    Status st = cfg.Validate(4);
+    ASSERT_FALSE(st.ok()) << c.names;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << c.names;
+    EXPECT_NE(st.ToString().find(c.names), std::string::npos)
+        << st.ToString();
+  }
+  DeviceFaultConfig bad_rate;
+  bad_rate.random_slow_rate = -1;
+  EXPECT_NE(bad_rate.Validate(4).ToString().find("random_slow_rate"),
+            std::string::npos);
+}
+
+TEST(DeviceFaultTest, CrashAndStuckAreTerminalFromTheirStart) {
+  DeviceFaultConfig cfg;
+  cfg.events.push_back(Event(DeviceFaultClass::kShardCrash, 1, 0.5));
+  cfg.events.push_back(Event(DeviceFaultClass::kShardStuck, 2, 0.25));
+  DeviceFaultTimeline timeline(cfg, 4);
+  ASSERT_TRUE(timeline.enabled());
+
+  EXPECT_FALSE(timeline.TerminalAt(1, 0.49).has_value());
+  ASSERT_TRUE(timeline.TerminalAt(1, 0.5).has_value());
+  EXPECT_EQ(timeline.TerminalAt(1, 0.5)->cls,
+            DeviceFaultClass::kShardCrash);
+  ASSERT_TRUE(timeline.TerminalAt(2, 10.0).has_value());
+  EXPECT_EQ(timeline.TerminalAt(2, 10.0)->cls,
+            DeviceFaultClass::kShardStuck);
+  // Other shards never die.
+  EXPECT_FALSE(timeline.TerminalAt(0, 10.0).has_value());
+  EXPECT_FALSE(timeline.TerminalAt(3, 10.0).has_value());
+  // TerminalIn sees a death inside the window, not before or after it.
+  EXPECT_TRUE(timeline.TerminalIn(1, 0.4, 0.6).has_value());
+  EXPECT_FALSE(timeline.TerminalIn(1, 0.0, 0.5).has_value());
+  EXPECT_FALSE(timeline.TerminalIn(1, 0.6, 0.9).has_value());
+}
+
+TEST(DeviceFaultTest, PermanentLinkDownIsTerminalButTransientIsNot) {
+  DeviceFaultConfig cfg;
+  cfg.events.push_back(
+      Event(DeviceFaultClass::kLinkDown, 0, 0.1, /*duration=*/0));
+  cfg.events.push_back(
+      Event(DeviceFaultClass::kLinkDown, 1, 0.1, /*duration=*/0.2));
+  DeviceFaultTimeline timeline(cfg, 2);
+  EXPECT_TRUE(timeline.TerminalAt(0, 0.2).has_value());
+  EXPECT_FALSE(timeline.TerminalAt(1, 0.2).has_value());
+  // The transient outage stalls work that overlaps it instead: a busy
+  // interval covering the full outage is delayed by its length.
+  EXPECT_NEAR(timeline.DelaySeconds(1, 0.0, 1.0), 0.2, 1e-12);
+  EXPECT_EQ(timeline.DelaySeconds(1, 0.5, 1.0), 0);
+}
+
+TEST(DeviceFaultTest, SlowEpisodesChargeOverlapTimesFactor) {
+  DeviceFaultConfig cfg;
+  DeviceFaultEvent slow =
+      Event(DeviceFaultClass::kShardSlow, 0, 1.0, /*duration=*/2.0);
+  slow.slow_factor = 4.0;
+  cfg.events.push_back(slow);
+  DeviceFaultTimeline timeline(cfg, 1);
+  // Fully inside the episode: 3x extra. Half overlap: half that.
+  EXPECT_NEAR(timeline.DelaySeconds(0, 1.0, 1.0), 3.0, 1e-12);
+  EXPECT_NEAR(timeline.DelaySeconds(0, 2.5, 1.0), 1.5, 1e-12);
+  EXPECT_EQ(timeline.DelaySeconds(0, 4.0, 1.0), 0);
+  EXPECT_FALSE(timeline.TerminalAt(0, 2.0).has_value());
+}
+
+TEST(DeviceFaultTest, RandomSlowEpisodesAreSeedDeterministic) {
+  DeviceFaultConfig cfg;
+  cfg.seed = 99;
+  cfg.random_slow_rate = 1e3;
+  cfg.random_slow_duration = 1e-3;
+  cfg.random_horizon_seconds = 1.0;
+  DeviceFaultTimeline a(cfg, 4);
+  DeviceFaultTimeline b(cfg, 4);
+  cfg.seed = 100;
+  DeviceFaultTimeline c(cfg, 4);
+
+  bool any = false;
+  bool differs = false;
+  for (int shard = 0; shard < 4; ++shard) {
+    ASSERT_EQ(a.episodes(shard).size(), b.episodes(shard).size());
+    for (size_t i = 0; i < a.episodes(shard).size(); ++i) {
+      any = true;
+      EXPECT_EQ(a.episodes(shard)[i].begin, b.episodes(shard)[i].begin);
+      EXPECT_EQ(a.episodes(shard)[i].end, b.episodes(shard)[i].end);
+    }
+    if (a.episodes(shard).size() != c.episodes(shard).size()) {
+      differs = true;
+    } else {
+      for (size_t i = 0; i < a.episodes(shard).size(); ++i) {
+        if (a.episodes(shard)[i].begin != c.episodes(shard)[i].begin) {
+          differs = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any) << "horizon produced no random episodes";
+  EXPECT_TRUE(differs) << "different seeds produced identical schedules";
+  EXPECT_NE(a.DelaySeconds(0, 0, 1.0) + a.DelaySeconds(1, 0, 1.0),
+            0.0);
+}
+
+TEST(DeviceFaultTest, ClassNamesAreStable) {
+  EXPECT_STREQ(DeviceFaultClassName(DeviceFaultClass::kShardCrash),
+               "shard_crash");
+  EXPECT_STREQ(DeviceFaultClassName(DeviceFaultClass::kShardStuck),
+               "shard_stuck");
+  EXPECT_STREQ(DeviceFaultClassName(DeviceFaultClass::kShardSlow),
+               "shard_slow");
+  EXPECT_STREQ(DeviceFaultClassName(DeviceFaultClass::kLinkDown),
+               "link_down");
+}
+
 }  // namespace
 }  // namespace gpujoin

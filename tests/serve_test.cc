@@ -284,5 +284,236 @@ TEST(RequestServer, AdaptiveBatchingGrowsUnderLoad) {
   EXPECT_GT(r.final_batch_tuples, sc.batch.min_batch_tuples);
 }
 
+// --------------------------------------------------------------------
+// RetryPolicy: deadline budgets, seeded backoff retries, hedging
+
+// Scriptable backend for the retry paths: a fixed service time per
+// slice, the first `fail_first` ServiceSlice calls error (or all of
+// them with fail_first < 0), and an optional faster replica services
+// hedges. Counts every call so tests can assert exact retry budgets.
+class FlakyBackend final : public WindowBackend {
+ public:
+  FlakyBackend(double slice_seconds, int fail_first,
+               double hedge_seconds = 0)
+      : slice_seconds_(slice_seconds),
+        fail_first_(fail_first),
+        hedge_seconds_(hedge_seconds) {}
+
+  uint64_t sample_size() const override { return uint64_t{1} << 20; }
+
+  Result<double> ServiceSlice(uint64_t, uint64_t, uint64_t) override {
+    ++slice_calls_;
+    if (fail_first_ < 0 || slice_calls_ <= fail_first_) {
+      return Status::Internal("injected backend failure");
+    }
+    return slice_seconds_;
+  }
+
+  Result<double> ServiceHedge(uint64_t, uint64_t, uint64_t) override {
+    ++hedge_calls_;
+    return hedge_seconds_ > 0 ? hedge_seconds_ : slice_seconds_;
+  }
+
+  int slice_calls() const { return slice_calls_; }
+  int hedge_calls() const { return hedge_calls_; }
+
+ private:
+  double slice_seconds_;
+  int fail_first_;  // < 0: every ServiceSlice call fails
+  double hedge_seconds_;
+  int slice_calls_ = 0;
+  int hedge_calls_ = 0;
+};
+
+ServeConfig RetryServeConfig() {
+  ServeConfig sc;
+  sc.arrival.model = ArrivalModel::kDeterministic;
+  sc.arrival.rate = 1e4;
+  sc.requests = 64;
+  sc.tuples_per_request = 512;
+  sc.batch.batch_tuples = sc.tuples_per_request;
+  sc.batch.min_batch_tuples = sc.batch.batch_tuples;
+  sc.batch.adaptive = false;
+  sc.batch.deadline_seconds = 1.0;
+  sc.max_backlog_tuples = 0;
+  return sc;
+}
+
+TEST(RetryPolicy, DefaultKeepsFirstBackendErrorFatal) {
+  FlakyBackend backend(1e-5, /*fail_first=*/1);
+  RequestServer server(backend, RetryServeConfig());
+  auto r = server.Run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(backend.slice_calls(), 1);
+}
+
+TEST(RetryPolicy, TransientErrorsAreRetriedWithinTheCap) {
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.retry_cap = 3;
+  FlakyBackend backend(1e-5, /*fail_first=*/2);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  // The first batch burned two retries, everything after succeeded
+  // first try; nothing was shed.
+  EXPECT_EQ(r.robustness.retries, 2u);
+  EXPECT_EQ(r.robustness.shed_retry_exhausted, 0u);
+  EXPECT_EQ(r.latency.count(), sc.requests);
+  ASSERT_EQ(r.robustness.retry_histogram.size(), 4u);
+  EXPECT_EQ(r.robustness.retry_histogram[2], 1u);
+  EXPECT_EQ(r.robustness.retry_histogram[0],
+            r.counters.batches - 1);
+}
+
+TEST(RetryPolicy, RetriesNeverExceedTheCap) {
+  // A permanently-stuck backend: every slice must be attempted exactly
+  // 1 + retry_cap times, then its batch shed — the server never wedges
+  // and never exceeds the budget.
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.retry_cap = 4;
+  FlakyBackend backend(1e-5, /*fail_first=*/-1);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.robustness.shed_retry_exhausted,
+            static_cast<uint64_t>(sc.requests));
+  EXPECT_EQ(r.latency.count(), 0u);
+  EXPECT_EQ(backend.slice_calls() % (1 + sc.retry.retry_cap), 0);
+  EXPECT_EQ(r.robustness.retries,
+            static_cast<uint64_t>(backend.slice_calls()) -
+                static_cast<uint64_t>(backend.slice_calls()) /
+                    (1 + sc.retry.retry_cap));
+}
+
+TEST(RetryPolicy, StuckBackendKeepsServerTimeBounded) {
+  // Shedding charges only the backoff waits, so even with every batch
+  // failing the simulated makespan stays within the total backoff
+  // budget plus the arrival horizon — bounded, not wedged.
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.retry_cap = 4;
+  sc.retry.backoff_base = 1e-5;
+  sc.retry.backoff_jitter = 0.25;
+  FlakyBackend backend(1e-5, /*fail_first=*/-1);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  const double horizon =
+      static_cast<double>(sc.requests) / sc.arrival.rate;
+  // Worst case per shed batch: sum of jittered backoffs
+  // (base * (2^cap - 1) * (1 + jitter)).
+  const double per_batch = sc.retry.backoff_base * 15 * 1.25;
+  EXPECT_LE(r.sim_seconds,
+            horizon + per_batch * static_cast<double>(sc.requests) + 1.0);
+}
+
+TEST(RetryPolicy, BackoffJitterIsSeedDeterministic) {
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.retry_cap = 3;
+  sc.retry.backoff_jitter = 0.5;
+  auto run_once = [&sc]() {
+    FlakyBackend backend(1e-5, /*fail_first=*/2);
+    RequestServer server(backend, sc);
+    return server.Run().value();
+  };
+  const ServeReport a = run_once();
+  const ServeReport b = run_once();
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.service_seconds_total, b.service_seconds_total);
+  EXPECT_EQ(a.robustness.retries, b.robustness.retries);
+
+  sc.retry.seed ^= 0x1234;
+  const ServeReport c = run_once();
+  // A different seed draws different jitter, so the backoff-inflated
+  // service time moves (the event structure stays the same).
+  EXPECT_NE(a.service_seconds_total, c.service_seconds_total);
+  EXPECT_EQ(a.robustness.retries, c.robustness.retries);
+}
+
+TEST(RetryPolicy, DoomedRequestsAreShedBeforeDispatch) {
+  ServeConfig sc = RetryServeConfig();
+  // Requests arrive every 0.1 ms; a slow backend (1 ms per batch)
+  // queues them far past a 0.5 ms budget, so later batches start after
+  // their requests' deadlines already passed.
+  sc.retry.deadline_seconds = 5e-4;
+  FlakyBackend backend(1e-3, /*fail_first=*/0);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_GT(r.robustness.shed_deadline, 0u);
+  EXPECT_LT(r.latency.count(), static_cast<uint64_t>(sc.requests));
+  EXPECT_EQ(r.latency.count() + r.robustness.shed_deadline,
+            static_cast<uint64_t>(sc.requests));
+}
+
+TEST(RetryPolicy, ServedPastBudgetCountsAsDeadlineMiss) {
+  ServeConfig sc = RetryServeConfig();
+  // The budget exceeds one batch's queueing but not its service: every
+  // request is served, every one late.
+  sc.retry.deadline_seconds = 5e-4;
+  sc.arrival.rate = 1e2;  // no queueing between batches
+  FlakyBackend backend(1e-3, /*fail_first=*/0);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.robustness.shed_deadline, 0u);
+  EXPECT_EQ(r.latency.count(), static_cast<uint64_t>(sc.requests));
+  EXPECT_EQ(r.robustness.deadline_misses,
+            static_cast<uint64_t>(sc.requests));
+}
+
+TEST(RetryPolicy, HedgeWinsWhenReplicaIsFaster) {
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.hedge_after = 1e-4;
+  // Primary 1 ms, replica 0.1 ms: every slice hedges and the hedge wins
+  // (hedge_after + replica < primary).
+  FlakyBackend backend(1e-3, /*fail_first=*/0, /*hedge_seconds=*/1e-4);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.robustness.hedges, static_cast<uint64_t>(sc.requests));
+  EXPECT_EQ(r.robustness.hedge_wins, r.robustness.hedges);
+  EXPECT_EQ(backend.hedge_calls(), static_cast<int>(sc.requests));
+  // Charged time per batch is hedge_after + replica, not the primary.
+  EXPECT_LT(r.service_seconds_total,
+            1e-3 * static_cast<double>(sc.requests));
+}
+
+TEST(RetryPolicy, HedgeLosesWhenReplicaIsSlower) {
+  ServeConfig sc = RetryServeConfig();
+  sc.retry.hedge_after = 1e-4;
+  FlakyBackend backend(1e-3, /*fail_first=*/0, /*hedge_seconds=*/5e-3);
+  RequestServer server(backend, sc);
+  ServeReport r = server.Run().value();
+
+  EXPECT_EQ(r.robustness.hedges, static_cast<uint64_t>(sc.requests));
+  EXPECT_EQ(r.robustness.hedge_wins, 0u);
+}
+
+TEST(RetryPolicy, InvalidKnobsAreNamedInTheError) {
+  FlakyBackend backend(1e-5, /*fail_first=*/0);
+  const struct {
+    void (*set)(RetryPolicy&);
+    const char* names;
+  } cases[] = {
+      {[](RetryPolicy& p) { p.deadline_seconds = -1; },
+       "deadline_seconds"},
+      {[](RetryPolicy& p) { p.retry_cap = 33; }, "retry_cap"},
+      {[](RetryPolicy& p) { p.retry_cap = 1; p.backoff_base = 0; },
+       "backoff_base"},
+      {[](RetryPolicy& p) { p.backoff_jitter = 1.5; }, "backoff_jitter"},
+      {[](RetryPolicy& p) { p.hedge_after = -2; }, "hedge_after"},
+  };
+  for (const auto& c : cases) {
+    ServeConfig sc = RetryServeConfig();
+    c.set(sc.retry);
+    RequestServer server(backend, sc);
+    auto r = server.Run();
+    ASSERT_FALSE(r.ok()) << c.names;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << c.names;
+    EXPECT_NE(r.status().ToString().find(c.names), std::string::npos)
+        << r.status().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace gpujoin::serve
