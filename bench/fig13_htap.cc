@@ -1,0 +1,329 @@
+// HTAP ingest bench (DESIGN.md §14): run the serving loop with a live
+// write stream absorbed by per-shard delta indexes while background
+// merges rebuild the static side and swap epochs shard by shard. Three
+// mixes — read-mostly, balanced 50/50, and an on/off ingest burst — each
+// at 1 and 4 GPUs. Every cell verifies two invariants inline:
+//
+//  * zero drops: every admitted request completes across all epoch
+//    swaps (a latency sample per admitted request, nothing shed);
+//  * oracle match: the coordinator's reconciled reads equal a
+//    rebuilt-from-scratch oracle (the applied-op log replayed over the
+//    base column in admission order).
+//
+// Any violation fails the invocation with exit 1.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dist/shard_scheduler.h"
+#include "obs/ingest.h"
+#include "serve/ingest.h"
+#include "serve/server.h"
+#include "sim/cost_model.h"
+
+namespace gpujoin::bench {
+namespace {
+
+using workload::Key;
+
+struct Mix {
+  const char* name;
+  double write_ratio;  // writes / (reads + writes), per probe tuple
+  serve::ArrivalModel ops_model;
+};
+
+core::ExperimentConfig HtapConfig(const Flags& flags, int shards,
+                                  uint64_t dev_sample) {
+  core::ExperimentConfig cfg;
+  cfg.r_tuples = uint64_t{1} << 27;  // 1 GiB of R keys, as in fig10/fig12
+  cfg.s_tuples = uint64_t{1} << 26;
+  cfg.s_sample = dev_sample * static_cast<uint64_t>(shards);
+  cfg.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  return cfg;
+}
+
+dist::ShardConfig HtapShardConfig(const Flags& flags, int shards) {
+  dist::ShardConfig dcfg;
+  dcfg.num_shards = shards;
+  dcfg.topology = dist::TopologyKind::kNvLink2;
+  dcfg.threads = SweepThreads(flags);
+  return dcfg;
+}
+
+std::string Ms(double seconds) {
+  return TablePrinter::Num(seconds * 1e3, 3);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineDouble("ingest-rate", 0.0,
+                     "write ops per simulated second (0 = derive from "
+                     "--write-ratio and the calibrated request rate)",
+                     /*min=*/0.0, /*max=*/1e12);
+  flags.DefineDouble("write-ratio", -1.0,
+                     "writes / (reads + writes) per probe tuple; < 0 uses "
+                     "each mix's default (0.05 / 0.5 / 0.5)",
+                     /*min=*/-1.0, /*max=*/0.95);
+  flags.DefineInt64("merge-threshold", 4096,
+                    "active-delta entries per shard that trigger a "
+                    "background merge",
+                    /*min=*/1, /*max=*/int64_t{1} << 30);
+  flags.DefineInt64("requests", 2000, "serving requests per cell",
+                    /*min=*/1, /*max=*/int64_t{1} << 32);
+  flags.DefineInt64("tuples_per_request", 512,
+                    "probe tuples carried by each request",
+                    /*min=*/1, /*max=*/int64_t{1} << 24);
+  flags.DefineDouble("load", 0.7,
+                     "offered read load as a fraction of the calibrated "
+                     "service capacity",
+                     /*min=*/0.01, /*max=*/4.0);
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
+
+  // Per-device-constant simulated sample, as in fig10/fig12: --s_sample
+  // is the total budget at 8 devices.
+  const uint64_t dev_sample = std::max<uint64_t>(
+      uint64_t{1} << 12,
+      static_cast<uint64_t>(flags.GetInt64("s_sample")) / 8);
+  const uint64_t tpr =
+      static_cast<uint64_t>(flags.GetInt64("tuples_per_request"));
+  const uint64_t requests =
+      static_cast<uint64_t>(flags.GetInt64("requests"));
+
+  const std::vector<Mix> mixes = {
+      {"read_mostly", 0.05, serve::ArrivalModel::kPoisson},
+      {"balanced", 0.50, serve::ArrivalModel::kPoisson},
+      {"ingest_burst", 0.50, serve::ArrivalModel::kOnOff},
+  };
+
+  TablePrinter table({"mix", "GPUs", "wr", "req/s", "ops/s", "applied",
+                      "opshed", "merges", "swaps", "stale p99 ms",
+                      "p50 ms", "p99 ms", "oracle"});
+
+  uint64_t order = 0;
+  bool all_ok = true;
+  for (const Mix& mix : mixes) {
+    for (int shards : {1, 4}) {
+      const core::ExperimentConfig cfg =
+          HtapConfig(flags, shards, dev_sample);
+      const double write_ratio = flags.GetDouble("write-ratio") >= 0
+                                     ? flags.GetDouble("write-ratio")
+                                     : mix.write_ratio;
+
+      // Calibrate the read capacity on a throwaway engine so the serving
+      // run starts from pristine shard cursors. The batch is clamped to
+      // the probe sample — a slice can never exceed the cyclic cursor.
+      const uint64_t batch_tuples =
+          std::min(uint64_t{1} << 15, cfg.s_sample);
+      double capacity_tps = 0;
+      {
+        auto cal =
+            dist::ShardScheduler::Create(cfg, HtapShardConfig(flags, shards));
+        if (!cal.ok()) {
+          std::fprintf(stderr, "%s\n", cal.status().ToString().c_str());
+          return 1;
+        }
+        auto slice = (*cal)->ServiceSlice(0, batch_tuples, 0);
+        if (!slice.ok()) {
+          std::fprintf(stderr, "%s\n", slice.status().ToString().c_str());
+          return 1;
+        }
+        capacity_tps = static_cast<double>(batch_tuples) / *slice;
+      }
+      const double request_rate = flags.GetDouble("load") * capacity_tps /
+                                  static_cast<double>(tpr);
+      const double horizon =
+          static_cast<double>(requests) / request_rate;
+
+      serve::ServeConfig sc;
+      sc.arrival.model = serve::ArrivalModel::kPoisson;
+      sc.arrival.rate = request_rate;
+      sc.arrival.seed = cfg.seed * 1000 + order;
+      sc.batch.batch_tuples = batch_tuples;
+      sc.batch.min_batch_tuples = batch_tuples;
+      sc.batch.adaptive = false;
+      sc.requests = requests;
+      sc.tuples_per_request = tpr;
+      sc.max_backlog_tuples = 0;  // admit everything: drops must be zero
+
+      // The write stream: --ingest-rate wins; otherwise size it so
+      // write_ratio of all touched tuples are writes, with reads counted
+      // per warp of probe tuples (one delta consult per warp).
+      const double read_op_rate =
+          request_rate * static_cast<double>(tpr) / sim::Warp::kWidth;
+      serve::IngestCoordinator::Config icfg;
+      icfg.ops.model = mix.ops_model;
+      icfg.ops.rate = flags.GetDouble("ingest-rate") > 0
+                          ? flags.GetDouble("ingest-rate")
+                          : write_ratio / (1.0 - write_ratio) * read_op_rate;
+      icfg.ops.burst_factor = 8.0;
+      icfg.ops.mean_on_seconds = horizon / 8.0;
+      icfg.ops.seed = cfg.seed * 77 + order;
+      icfg.seed = cfg.seed * 131 + order;
+      icfg.merge_threshold =
+          static_cast<uint64_t>(flags.GetInt64("merge-threshold"));
+      icfg.record_log = true;  // feeds the oracle differential below
+      // A merge rebuilds the shard's static side: its R slice streamed at
+      // simulated-sample scale (the same extrapolation every serving time
+      // in this run uses), so epoch swaps land inside the run horizon.
+      icfg.hybrid.merge_scan_bytes =
+          cfg.r_tuples * 8 / static_cast<uint64_t>(shards) /
+          (cfg.s_tuples / cfg.s_sample);
+
+      auto engine =
+          dist::ShardScheduler::Create(cfg, HtapShardConfig(flags, shards));
+      if (!engine.ok()) {
+        std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+        return 1;
+      }
+      mem::AddressSpace ingest_space;
+      const sim::CostModel cost(cfg.platform);
+      const dist::ShardPlan* plan = &(*engine)->plan();
+      auto coord = serve::IngestCoordinator::Create(
+          icfg, &ingest_space, &(*engine)->base_r(), &cost, shards,
+          [plan](Key k) { return plan->OwnerOf(k); });
+      if (!coord.ok()) {
+        std::fprintf(stderr, "%s\n", coord.status().ToString().c_str());
+        return 1;
+      }
+
+      serve::RequestServer server(**engine, sc);
+      server.AttachIngest(coord->get());
+      auto report = server.Run();
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+        return 1;
+      }
+      const serve::ServeReport& r = *report;
+      const obs::IngestStats& st = (*coord)->stats();
+
+      // Zero admitted-request drops across every epoch swap.
+      const bool zero_drops =
+          r.counters.requests_shed == 0 &&
+          r.latency.count() == r.counters.requests_admitted &&
+          r.counters.requests_admitted == requests;
+
+      // Rebuilt-from-scratch oracle: base key -> position, then the
+      // applied-op log replayed in admission order. The coordinator's
+      // reconciled reads must match over every touched key, a sweep of
+      // base keys, and keys past the append frontier.
+      const workload::KeyColumn& base = (*engine)->base_r();
+      std::map<Key, uint64_t> oracle;
+      for (uint64_t i = 0; i < base.size(); i += 97) {
+        oracle[base.key_at(i)] = i;
+      }
+      std::set<Key> op_keys;
+      for (const serve::IngestCoordinator::Op& op : (*coord)->log()) {
+        op_keys.insert(op.key);
+        if (op.kind == serve::IngestCoordinator::Op::Kind::kDelete) {
+          oracle.erase(op.key);
+        } else {
+          oracle[op.key] = op.value;
+        }
+      }
+      uint64_t checked = 0;
+      uint64_t mismatches = 0;
+      auto check_key = [&](Key k) {
+        ++checked;
+        const auto got = (*coord)->Find(k);
+        const auto it = oracle.find(k);
+        const bool want = it != oracle.end();
+        if (got.has_value() != want ||
+            (want && got.has_value() && *got != it->second)) {
+          ++mismatches;
+        }
+      };
+      for (Key k : op_keys) check_key(k);
+      for (uint64_t i = 0; i < base.size(); i += 97) {
+        if (op_keys.count(base.key_at(i)) == 0) check_key(base.key_at(i));
+      }
+      for (int i = 1; i <= 64; ++i) {
+        check_key(base.max_key() + 1000000 + i);
+      }
+      const bool oracle_ok = mismatches == 0;
+      if (!zero_drops || !oracle_ok) all_ok = false;
+
+      if (sink.active()) {
+        obs::RecordBuilder rec = StartRecord("fig13_htap", cfg);
+        rec.AddParam("mix", mix.name);
+        rec.AddParam("num_shards", shards);
+        rec.AddParam("write_ratio", write_ratio);
+        rec.AddParam("ops_model",
+                     serve::ArrivalModelName(icfg.ops.model));
+        rec.AddParam("ingest_rate_ops", icfg.ops.rate);
+        rec.AddParam("merge_threshold", icfg.merge_threshold);
+        rec.AddParam("requests", sc.requests);
+        rec.AddParam("tuples_per_request", sc.tuples_per_request);
+        rec.AddParam("arrival_rate_rps", sc.arrival.rate);
+        rec.AddParam("oracle_checked_keys", checked);
+        rec.AddParam("oracle_mismatches", mismatches);
+        rec.AddParam("zero_drops", zero_drops);
+        obs::MetricsRegistry& m = rec.metrics();
+        m.SetHistogram("serve.latency_seconds", r.latency, "s");
+        m.SetCounter("serve.requests_admitted",
+                     r.counters.requests_admitted, "1");
+        m.SetCounter("serve.requests_shed", r.counters.requests_shed, "1");
+        m.SetCounter("serve.batches", r.counters.batches, "1");
+        m.SetCounter("serve.tuples_served", r.counters.tuples_served, "1");
+        m.SetScalar("serve.sim_seconds", r.sim_seconds, "s");
+        m.SetScalar("serve.offered_rate_rps", r.offered_rate, "req/s");
+        m.SetScalar("serve.achieved_tuples_per_sec",
+                    r.achieved_tuples_per_sec, "tuples/s");
+        m.SetScalar("serve.queue_seconds_total", r.queue_seconds_total,
+                    "s");
+        m.SetScalar("serve.service_seconds_total",
+                    r.service_seconds_total, "s");
+        if (st.any()) {
+          rec.AddSection("ingest", obs::IngestJson(st));
+        }
+        sink.Add(order, rec.ToJsonLine());
+      }
+
+      table.AddRow({mix.name, std::to_string(shards),
+                    TablePrinter::Num(write_ratio, 2),
+                    TablePrinter::Num(request_rate, 0),
+                    TablePrinter::Num(icfg.ops.rate, 0),
+                    std::to_string(st.ops_applied),
+                    std::to_string(st.ops_shed),
+                    std::to_string(st.merges),
+                    std::to_string(st.swap_stalls),
+                    Ms(st.staleness.Quantile(0.99)),
+                    Ms(r.latency.Quantile(0.50)),
+                    Ms(r.latency.Quantile(0.99)),
+                    (zero_drops && oracle_ok) ? "ok" : "FAIL"});
+      ++order;
+    }
+  }
+
+  std::printf("Fig. 13 — HTAP ingest: windowed INLJ serving (RadixSpline, "
+              "R = 1 GiB) under a live\nwrite stream; per-shard delta "
+              "B-trees, background merges, epoch-swapped rebuilds\n");
+  PrintTable(table, flags);
+  std::printf("\n'oracle' replays the applied-op log over the base column "
+              "and diffs every touched\nkey against the reconciled reads "
+              "(plus zero admitted-request drops across epoch\nswaps); "
+              "staleness is the age of the oldest not-yet-merged write at "
+              "batch close.\n");
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "FAIL: an HTAP cell dropped admitted requests or "
+                 "diverged from the replay oracle\n");
+    return 1;
+  }
+  if (!sink.Flush()) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

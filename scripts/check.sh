@@ -37,6 +37,7 @@ require_file results/BENCH_serve.json "regenerate with: scripts/bench_serve.sh"
 require_file results/BENCH_plan.json "regenerate with: scripts/bench_plan.sh"
 require_file results/BENCH_chaos.json \
   "regenerate with: scripts/bench_chaos.sh"
+require_file results/BENCH_htap.json "regenerate with: scripts/bench_htap.sh"
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 
@@ -97,6 +98,16 @@ build-release/bench/serve_latency --requests 500 --retry-cap 3 \
   --request-deadline-ms 5 --hedge-after 1 --json "$CHAOS_TMP" > /dev/null
 python3 scripts/validate_metrics.py "$CHAOS_TMP"
 
+# HTAP smoke: a tiny ingest grid must complete with zero admitted-request
+# drops across epoch swaps and reads identical to the replay oracle (the
+# bench exits nonzero on either violation) and emit schema-valid ingest
+# sections.
+HTAP_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP" "$PLAN_TMP" "$CHAOS_TMP" "$HTAP_TMP"' EXIT
+build-release/bench/fig13_htap --requests 500 --s_sample $((1 << 16)) \
+  --merge-threshold 1024 --json "$HTAP_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$HTAP_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -104,9 +115,11 @@ for san in "${SANITIZERS[@]}"; do
     -DCMAKE_BUILD_TYPE=RelWithDebInfo "-DGPUJOIN_SANITIZE=${san}"
   # The fault paths allocate, unwind and recover in ways the rest of the
   # suite doesn't, and the observer fan-out / JSON emission paths are new;
-  # give them a dedicated pass under each sanitizer.
+  # give them a dedicated pass under each sanitizer. The dynamic B-tree
+  # and HTAP ingest tests churn node recycling and merge/swap lifecycles,
+  # the kind of use-after-free surface sanitizers exist for.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test|chaos_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test|chaos_test|dynamic_btree_test|htap_test'
 done
 
 echo "=== all configurations passed ==="

@@ -371,6 +371,66 @@ def check_robustness(errors, where, rob):
                     f"non-negative integer, got {v!r}")
 
 
+INGEST_COUNTER_FIELDS = [
+    "ops_applied", "inserts", "updates", "deletes", "ops_shed",
+    "merges_started", "merges", "swap_stalls", "epochs",
+    "delta_entries", "delta_entries_peak", "delta_bytes",
+    "delta_bytes_peak", "overlay_entries",
+]
+
+INGEST_STALENESS_FIELDS = ["mean", "p50", "p95", "p99", "max"]
+
+
+def check_ingest(errors, where, ingest):
+    """HTAP ingest section (src/obs/ingest.cc IngestJson): write-stream
+    counts, background-merge activity, delta footprint, and the merge
+    staleness histogram."""
+    if not isinstance(ingest, dict):
+        err(errors, where, "ingest must be an object")
+        return
+    for field in INGEST_COUNTER_FIELDS:
+        check_uint(errors, where, ingest, field)
+    for field in ("merge_seconds", "swap_stall_seconds"):
+        v = ingest.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            err(errors, where, f"{field!r} must be a non-negative number, "
+                f"got {v!r}")
+    ops = ingest.get("ops_applied")
+    parts = [ingest.get(f) for f in ("inserts", "updates", "deletes")]
+    if all(isinstance(v, int) and not isinstance(v, bool)
+           for v in [ops] + parts) and sum(parts) != ops:
+        err(errors, where, f"inserts + updates + deletes must equal "
+            f"ops_applied ({sum(parts)} != {ops})")
+    merges = ingest.get("merges")
+    started = ingest.get("merges_started")
+    if isinstance(merges, int) and isinstance(started, int) \
+            and not isinstance(merges, bool) and merges > started:
+        err(errors, where, f"merges ({merges}) cannot exceed "
+            f"merges_started ({started})")
+    swaps = ingest.get("swap_stalls")
+    if isinstance(swaps, int) and isinstance(merges, int) \
+            and not isinstance(swaps, bool) and swaps != merges:
+        err(errors, where, f"swap_stalls ({swaps}) must equal completed "
+            f"merges ({merges}): one epoch swap per merge")
+    peak = ingest.get("delta_entries_peak")
+    end = ingest.get("delta_entries")
+    if isinstance(peak, int) and isinstance(end, int) \
+            and not isinstance(peak, bool) and end > peak:
+        err(errors, where, f"delta_entries ({end}) cannot exceed "
+            f"delta_entries_peak ({peak})")
+    stale = ingest.get("staleness")
+    if not isinstance(stale, dict):
+        err(errors, where, "staleness must be an object")
+        return
+    w = f"{where} staleness"
+    check_uint(errors, w, stale, "count")
+    for field in INGEST_STALENESS_FIELDS:
+        v = stale.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            err(errors, w, f"{field!r} must be a non-negative number, "
+                f"got {v!r}")
+
+
 def check_record(errors, where, rec):
     if not isinstance(rec, dict):
         err(errors, where, "record must be a JSON object")
@@ -461,6 +521,11 @@ def check_record(errors, where, rec):
     # RetryPolicy): failover and retry activity.
     if "robustness" in rec:
         check_robustness(errors, where, rec["robustness"])
+
+    # HTAP ingest section (bench/fig13_htap): delta/merge/epoch-swap
+    # activity. Omitted entirely on write-free runs.
+    if "ingest" in rec:
+        check_ingest(errors, where, rec["ingest"])
 
     # Adaptive-routing sections (bench/fig11_adaptive, serve_latency
     # --planner adaptive|oracle).

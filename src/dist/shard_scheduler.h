@@ -192,6 +192,10 @@ class ShardScheduler final : public serve::WindowBackend {
   const Topology& topology() const { return topo_; }
   const workload::ProbeRelation& s() const { return s_; }
   const core::ExperimentConfig& config() const { return cfg_; }
+  // The coordinator-side R column the shards slice — what an HTAP ingest
+  // coordinator builds its per-shard hybrid indexes over (the write path
+  // must see the same keys the routed reads are served from).
+  const workload::KeyColumn& base_r() const { return *base_r_; }
 
  private:
   // One simulated device: its own address space (so the TLB-coverage

@@ -10,9 +10,11 @@ namespace gpujoin::index {
 
 namespace {
 constexpr uint32_t kHeaderBytes = 16;
-// Virtual node budget: in-core trees only, but the reservation costs
-// nothing real.
-constexpr uint64_t kMaxNodes = uint64_t{1} << 21;
+// Reservation growth granularity in node slots: the address space is
+// extended one chunk at a time, so footprint_bytes() (= reserved bytes)
+// tracks actual tree growth instead of pinning max_nodes * node_bytes up
+// front.
+constexpr uint64_t kChunkNodes = 1024;
 }  // namespace
 
 struct DynamicBTree::Node {
@@ -23,16 +25,35 @@ struct DynamicBTree::Node {
   std::vector<Node*> children;    // inner: keys.size() + 1 entries
 };
 
+Status DynamicBTree::ValidateOptions(const Options& options) {
+  if (options.node_bytes < kMinNodeBytes ||
+      options.node_bytes > kMaxNodeBytes) {
+    return Status::InvalidArgument(
+        "dynamic btree node_bytes must be in [" +
+        std::to_string(kMinNodeBytes) + ", " + std::to_string(kMaxNodeBytes) +
+        "], got " + std::to_string(options.node_bytes));
+  }
+  if (options.max_nodes < kMinMaxNodes || options.max_nodes > kMaxMaxNodes) {
+    return Status::InvalidArgument(
+        "dynamic btree max_nodes must be in [" +
+        std::to_string(kMinMaxNodes) + ", " + std::to_string(kMaxMaxNodes) +
+        "], got " + std::to_string(options.max_nodes));
+  }
+  return Status();
+}
+
 DynamicBTree::DynamicBTree(mem::AddressSpace* space)
     : DynamicBTree(space, Options()) {}
 
 DynamicBTree::DynamicBTree(mem::AddressSpace* space, const Options& options)
-    : space_(space), node_bytes_(options.node_bytes) {
-  GPUJOIN_CHECK(node_bytes_ >= 256);
+    : space_(space),
+      node_bytes_(options.node_bytes),
+      max_nodes_(options.max_nodes),
+      chunk_nodes_(std::min<uint64_t>(kChunkNodes, options.max_nodes)) {
+  GPUJOIN_CHECK(ValidateOptions(options).ok())
+      << ValidateOptions(options).ToString();
   leaf_capacity_ = (node_bytes_ - kHeaderBytes) / 16;
   inner_capacity_ = (node_bytes_ - kHeaderBytes - 8) / 16;
-  region_ = space_->Reserve(kMaxNodes * node_bytes_, mem::MemKind::kHost,
-                            "dynamic_btree.nodes");
   root_ = AllocateNode(/*leaf=*/true);
 }
 
@@ -46,14 +67,33 @@ void DynamicBTree::DestroySubtree(Node* node) {
   delete node;
 }
 
+void DynamicBTree::Clear() {
+  DestroySubtree(root_);
+  free_slots_.clear();
+  next_node_slot_ = 0;
+  num_nodes_ = 0;
+  size_ = 0;
+  root_ = AllocateNode(/*leaf=*/true);
+}
+
 DynamicBTree::Node* DynamicBTree::AllocateNode(bool leaf) {
   uint64_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    GPUJOIN_CHECK(next_node_slot_ < kMaxNodes) << "node budget exhausted";
+    // Callers (Insert) pre-check slots_available(), so exhaustion here is
+    // a programming error, not a runtime condition.
+    GPUJOIN_CHECK(next_node_slot_ < max_nodes_) << "node budget exhausted";
     slot = next_node_slot_++;
+    while (slot >= reserved_nodes_) {
+      const uint64_t grow =
+          std::min(chunk_nodes_, max_nodes_ - reserved_nodes_);
+      regions_.push_back(space_->Reserve(grow * node_bytes_,
+                                         mem::MemKind::kHost,
+                                         "dynamic_btree.nodes"));
+      reserved_nodes_ += grow;
+    }
   }
   Node* node = new Node();
   node->leaf = leaf;
@@ -66,6 +106,11 @@ void DynamicBTree::FreeNode(Node* node) {
   free_slots_.push_back(node->slot);
   --num_nodes_;
   delete node;
+}
+
+mem::VirtAddr DynamicBTree::NodeAddr(const Node* node) const {
+  return regions_[node->slot / chunk_nodes_].base +
+         (node->slot % chunk_nodes_) * uint64_t{node_bytes_};
 }
 
 int DynamicBTree::height() const {
@@ -83,6 +128,21 @@ int DynamicBTree::height() const {
 namespace {
 
 // Child to descend into: number of separators <= key.
+//
+// Separator staleness: a leaf split copies the right leaf's first key
+// into the parent, and a later Erase of that exact key leaves the copy
+// in place. That is safe by construction: the routing invariant is only
+// that child[i] holds keys in the half-open range
+// [separators[i-1], separators[i]) — a *lower bound*, not a first-key
+// mirror. Erasing keys shrinks a child's key set, which can never move a
+// remaining key below the separator, so upper_bound routing still sends
+// every insert/lookup/erase of the erased key (or any key >= the stale
+// separator) to the same child that would hold it. The borrow paths of
+// FixUnderflow refresh separators only because borrowing *moves* keys
+// across the boundary; merges erase the separator outright.
+// CheckInvariants enforces exactly the half-open-range property, and the
+// fixed-seed regression EraseFirstLeafKeyThenReinsertRoutesCorrectly
+// exercises erase + re-insert + lookup of every key in a small tree.
 int PickChild(const std::vector<workload::Key>& separators,
               workload::Key key) {
   return static_cast<int>(
@@ -141,7 +201,18 @@ void DynamicBTree::InsertNonFull(Node* node, Key key, uint64_t value) {
   InsertNonFull(node->children[child_index], key, value);
 }
 
-void DynamicBTree::Insert(Key key, uint64_t value) {
+Status DynamicBTree::Insert(Key key, uint64_t value) {
+  // Worst case the insert allocates one split node per level plus a new
+  // root. Refusing up front (conservatively — an overwrite allocates
+  // nothing) keeps the tree untouched on failure and guarantees
+  // AllocateNode never trips its budget CHECK on this path.
+  const uint64_t worst_case = static_cast<uint64_t>(height()) + 1;
+  if (slots_available() < worst_case) {
+    return Status::ResourceExhausted(
+        "dynamic btree node budget exhausted (" +
+        std::to_string(num_nodes_) + " nodes live, max_nodes=" +
+        std::to_string(max_nodes_) + ")");
+  }
   const uint32_t root_capacity =
       root_->leaf ? leaf_capacity_ : inner_capacity_;
   if (root_->keys.size() == root_capacity) {
@@ -151,6 +222,7 @@ void DynamicBTree::Insert(Key key, uint64_t value) {
     SplitChild(new_root, 0);
   }
   InsertNonFull(root_, key, value);
+  return Status();
 }
 
 std::optional<uint64_t> DynamicBTree::Find(Key key) const {
@@ -161,6 +233,22 @@ std::optional<uint64_t> DynamicBTree::Find(Key key) const {
   auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
   if (it == node->keys.end() || *it != key) return std::nullopt;
   return node->values[it - node->keys.begin()];
+}
+
+void DynamicBTree::VisitSubtree(
+    const Node* node, const std::function<void(Key, uint64_t)>& fn) const {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      fn(node->keys[i], node->values[i]);
+    }
+    return;
+  }
+  for (const Node* child : node->children) VisitSubtree(child, fn);
+}
+
+void DynamicBTree::Visit(
+    const std::function<void(Key, uint64_t)>& fn) const {
+  VisitSubtree(root_, fn);
 }
 
 void DynamicBTree::FixUnderflow(Node* parent, int child_index) {
@@ -270,16 +358,12 @@ uint32_t DynamicBTree::LookupWarp(sim::Warp& warp, const Key* keys,
     if (mask & (1u << lane)) node[lane] = root_;
   }
 
-  auto node_addr = [&](const Node* n) {
-    return region_.base + n->slot * uint64_t{node_bytes_};
-  };
-
   // All leaves sit at the same depth, so the warp descends in lock-step.
   const int levels = height();
   for (int depth = 0; depth < levels; ++depth) {
     // Node header.
     for (int lane = 0; lane < kW; ++lane) {
-      if (mask & (1u << lane)) addrs[lane] = node_addr(node[lane]);
+      if (mask & (1u << lane)) addrs[lane] = NodeAddr(node[lane]);
     }
     warp.Gather(addrs.data(), mask, kHeaderBytes);
 
@@ -303,7 +387,7 @@ uint32_t DynamicBTree::LookupWarp(sim::Warp& warp, const Key* keys,
         }
         mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
         addrs[lane] =
-            node_addr(node[lane]) + kHeaderBytes + uint64_t{mid[lane]} * 8;
+            NodeAddr(node[lane]) + kHeaderBytes + uint64_t{mid[lane]} * 8;
         issue |= 1u << lane;
       }
       if (issue == 0) break;
@@ -326,7 +410,7 @@ uint32_t DynamicBTree::LookupWarp(sim::Warp& warp, const Key* keys,
       // Read the child pointer slot and descend.
       for (int lane = 0; lane < kW; ++lane) {
         if (!(mask & (1u << lane))) continue;
-        addrs[lane] = node_addr(node[lane]) + kHeaderBytes +
+        addrs[lane] = NodeAddr(node[lane]) + kHeaderBytes +
                       uint64_t{inner_capacity_} * 8 + uint64_t{lo[lane]} * 8;
         node[lane] = node[lane]->children[lo[lane]];
       }
@@ -341,7 +425,7 @@ uint32_t DynamicBTree::LookupWarp(sim::Warp& warp, const Key* keys,
         if (lo[lane] < n->keys.size() && n->keys[lo[lane]] == keys[lane]) {
           out_value[lane] = n->values[lo[lane]];
           found |= 1u << lane;
-          addrs[lane] = node_addr(n) + kHeaderBytes +
+          addrs[lane] = NodeAddr(n) + kHeaderBytes +
                         uint64_t{leaf_capacity_} * 8 + uint64_t{lo[lane]} * 8;
           value_mask |= 1u << lane;
         }

@@ -1,0 +1,240 @@
+#include "index/hybrid_index.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gpujoin::index {
+
+namespace {
+constexpr uint64_t kTomb = DeltaIndex::kTombstoneBit;
+// Overlay entry layout: 8-byte key + 8-byte tagged value.
+constexpr uint64_t kOverlayEntryBytes = 16;
+
+uint32_t CeilLog2(uint64_t n) {
+  uint32_t bits = 0;
+  while ((uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+}  // namespace
+
+Result<std::unique_ptr<HybridIndex>> HybridIndex::Create(
+    mem::AddressSpace* space, const workload::KeyColumn* base,
+    const Options& options) {
+  auto a = DeltaIndex::Create(space, options.delta);
+  if (!a.ok()) return a.status();
+  auto b = DeltaIndex::Create(space, options.delta);
+  if (!b.ok()) return b.status();
+  return std::unique_ptr<HybridIndex>(
+      new HybridIndex(space, base, options, std::move(a).value(),
+                      std::move(b).value()));
+}
+
+HybridIndex::HybridIndex(mem::AddressSpace* space,
+                         const workload::KeyColumn* base,
+                         const Options& options,
+                         std::unique_ptr<DeltaIndex> a,
+                         std::unique_ptr<DeltaIndex> b)
+    : space_(space),
+      base_(base),
+      options_(options),
+      active_(std::move(a)),
+      frozen_(std::move(b)) {}
+
+Status HybridIndex::Upsert(Key key, uint64_t value) {
+  return active_->Upsert(key, value);
+}
+
+Status HybridIndex::Remove(Key key) { return active_->Remove(key); }
+
+std::optional<uint64_t> HybridIndex::OverlayFind(Key key) const {
+  auto it =
+      std::lower_bound(overlay_keys_.begin(), overlay_keys_.end(), key);
+  if (it == overlay_keys_.end() || *it != key) return std::nullopt;
+  return overlay_values_[it - overlay_keys_.begin()];
+}
+
+std::optional<uint64_t> HybridIndex::BaseFind(Key key) const {
+  const uint64_t pos = base_->LowerBound(key);
+  if (pos >= base_->size() || base_->key_at(pos) != key) return std::nullopt;
+  return pos;
+}
+
+std::optional<uint64_t> HybridIndex::Find(Key key) const {
+  // Precedence: active over frozen over overlay over base; the first
+  // layer with an opinion wins, and a tombstone's opinion is "absent".
+  for (const DeltaIndex* delta : {active_.get(), frozen_.get()}) {
+    const auto e = delta->Find(key);
+    if (e.has_value()) {
+      if (e->tombstone) return std::nullopt;
+      return e->value;
+    }
+  }
+  const auto tagged = OverlayFind(key);
+  if (tagged.has_value()) {
+    if (*tagged & kTomb) return std::nullopt;
+    return *tagged & ~kTomb;
+  }
+  return BaseFind(key);
+}
+
+uint32_t HybridIndex::ProbeWarp(sim::Warp& warp, const Index& static_index,
+                                const Key* keys, uint32_t mask,
+                                uint64_t* out_value) const {
+  constexpr int kW = sim::Warp::kWidth;
+  uint32_t resolved = 0;  // lanes some layer has decided (found or dead)
+  uint32_t found = 0;
+
+  // Delta layers, highest precedence first. Every undecided lane probes.
+  for (const DeltaIndex* delta : {active_.get(), frozen_.get()}) {
+    const uint32_t probe = mask & ~resolved;
+    if (probe == 0 || delta->entries() == 0) continue;
+    std::array<uint64_t, kW> value{};
+    uint32_t dead = 0;
+    const uint32_t hits =
+        delta->LookupWarp(warp, keys, probe, value.data(), &dead);
+    resolved |= hits;
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(hits & (1u << lane)) || (dead & (1u << lane))) continue;
+      out_value[lane] = value[lane];
+      found |= 1u << lane;
+    }
+  }
+
+  // Overlay: lock-step binary search over the sorted entry array.
+  if (!overlay_keys_.empty() && (mask & ~resolved) != 0) {
+    const uint32_t probe = mask & ~resolved;
+    std::array<uint64_t, kW> lo{};
+    std::array<uint64_t, kW> hi{};
+    std::array<mem::VirtAddr, kW> addrs{};
+    for (int lane = 0; lane < kW; ++lane) {
+      if (probe & (1u << lane)) hi[lane] = overlay_keys_.size();
+    }
+    uint32_t active_lanes = probe;
+    while (active_lanes != 0) {
+      uint32_t issue = 0;
+      std::array<uint64_t, kW> mid{};
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(active_lanes & (1u << lane))) continue;
+        if (lo[lane] >= hi[lane]) {
+          active_lanes &= ~(1u << lane);
+          continue;
+        }
+        mid[lane] = lo[lane] + (hi[lane] - lo[lane]) / 2;
+        addrs[lane] = overlay_region_.base + mid[lane] * kOverlayEntryBytes;
+        issue |= 1u << lane;
+      }
+      if (issue == 0) break;
+      warp.Gather(addrs.data(), issue, sizeof(Key));
+      for (int lane = 0; lane < kW; ++lane) {
+        if (!(issue & (1u << lane))) continue;
+        if (overlay_keys_[mid[lane]] < keys[lane]) {
+          lo[lane] = mid[lane] + 1;
+        } else {
+          hi[lane] = mid[lane];
+        }
+      }
+    }
+    uint32_t value_mask = 0;
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(probe & (1u << lane))) continue;
+      const uint64_t pos = lo[lane];
+      if (pos >= overlay_keys_.size() || overlay_keys_[pos] != keys[lane]) {
+        continue;
+      }
+      resolved |= 1u << lane;
+      const uint64_t tagged = overlay_values_[pos];
+      if (!(tagged & kTomb)) {
+        out_value[lane] = tagged & ~kTomb;
+        found |= 1u << lane;
+        addrs[lane] = overlay_region_.base + pos * kOverlayEntryBytes + 8;
+        value_mask |= 1u << lane;
+      }
+    }
+    if (value_mask != 0) warp.Gather(addrs.data(), value_mask, 8);
+  }
+
+  // Base fallthrough through the shard's static index.
+  const uint32_t fall = mask & ~resolved;
+  if (fall != 0) {
+    std::array<uint64_t, kW> pos{};
+    const uint32_t present =
+        static_index.LookupWarp(warp, keys, fall, pos.data());
+    for (int lane = 0; lane < kW; ++lane) {
+      if (!(present & (1u << lane))) continue;
+      out_value[lane] = pos[lane];
+      found |= 1u << lane;
+    }
+  }
+  return found;
+}
+
+HybridIndex::MergeWork HybridIndex::BeginMerge() {
+  GPUJOIN_CHECK(!merge_in_progress_) << "merge already in flight";
+  GPUJOIN_CHECK(frozen_->entries() == 0)
+      << "frozen delta not drained by the previous merge";
+  std::swap(active_, frozen_);
+  merge_in_progress_ = true;
+
+  MergeWork work;
+  const uint64_t entry_bytes =
+      (frozen_->entries() + overlay_keys_.size()) * kOverlayEntryBytes;
+  work.read_bytes = options_.merge_scan_bytes + entry_bytes;
+  work.write_bytes = options_.merge_scan_bytes + entry_bytes;
+  work.frozen_entries = frozen_->entries();
+  return work;
+}
+
+void HybridIndex::CompleteMerge() {
+  GPUJOIN_CHECK(merge_in_progress_) << "no merge in flight";
+  const std::vector<DeltaIndex::SnapshotEntry> snap = frozen_->Snapshot();
+
+  // Merge-fold: frozen entries win over overlay entries on equal keys,
+  // and tombstones whose key the base never held are compacted away (no
+  // static match left to shadow).
+  std::vector<Key> keys;
+  std::vector<uint64_t> values;
+  keys.reserve(overlay_keys_.size() + snap.size());
+  values.reserve(overlay_keys_.size() + snap.size());
+  auto emit = [&](Key key, uint64_t tagged) {
+    if ((tagged & kTomb) && !BaseFind(key).has_value()) return;
+    keys.push_back(key);
+    values.push_back(tagged);
+  };
+  size_t i = 0;  // snap cursor
+  size_t j = 0;  // overlay cursor
+  while (i < snap.size() || j < overlay_keys_.size()) {
+    if (j >= overlay_keys_.size() ||
+        (i < snap.size() && snap[i].key <= overlay_keys_[j])) {
+      if (j < overlay_keys_.size() && snap[i].key == overlay_keys_[j]) ++j;
+      emit(snap[i].key, snap[i].value);
+      ++i;
+    } else {
+      emit(overlay_keys_[j], overlay_values_[j]);
+      ++j;
+    }
+  }
+  overlay_keys_ = std::move(keys);
+  overlay_values_ = std::move(values);
+  if (!overlay_keys_.empty()) {
+    overlay_region_ =
+        space_->Reserve(overlay_keys_.size() * kOverlayEntryBytes,
+                        mem::MemKind::kHost, "hybrid.overlay");
+  }
+
+  frozen_->Clear();
+  merge_in_progress_ = false;
+  ++epoch_;
+}
+
+uint32_t HybridIndex::probe_depth_lines() const {
+  uint32_t lines = 0;
+  if (active_->entries() > 0) lines += active_->tree().height();
+  if (frozen_->entries() > 0) lines += frozen_->tree().height();
+  lines += CeilLog2(overlay_keys_.size() + 1);
+  return lines;
+}
+
+}  // namespace gpujoin::index

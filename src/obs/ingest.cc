@@ -1,0 +1,52 @@
+#include "obs/ingest.h"
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+bool IngestStats::any() const {
+  if (ops_applied != 0 || ops_shed != 0) return true;
+  if (merges_started != 0 || merges != 0 || swap_stalls != 0 ||
+      epochs != 0) {
+    return true;
+  }
+  if (merge_seconds != 0 || swap_stall_seconds != 0) return true;
+  if (delta_entries != 0 || delta_entries_peak != 0 || delta_bytes != 0 ||
+      delta_bytes_peak != 0 || overlay_entries != 0) {
+    return true;
+  }
+  return staleness.count() != 0;
+}
+
+std::string IngestJson(const IngestStats& stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ops_applied").Uint(stats.ops_applied);
+  w.Key("inserts").Uint(stats.inserts);
+  w.Key("updates").Uint(stats.updates);
+  w.Key("deletes").Uint(stats.deletes);
+  w.Key("ops_shed").Uint(stats.ops_shed);
+  w.Key("merges_started").Uint(stats.merges_started);
+  w.Key("merges").Uint(stats.merges);
+  w.Key("swap_stalls").Uint(stats.swap_stalls);
+  w.Key("epochs").Uint(stats.epochs);
+  w.Key("merge_seconds").Double(stats.merge_seconds);
+  w.Key("swap_stall_seconds").Double(stats.swap_stall_seconds);
+  w.Key("delta_entries").Uint(stats.delta_entries);
+  w.Key("delta_entries_peak").Uint(stats.delta_entries_peak);
+  w.Key("delta_bytes").Uint(stats.delta_bytes);
+  w.Key("delta_bytes_peak").Uint(stats.delta_bytes_peak);
+  w.Key("overlay_entries").Uint(stats.overlay_entries);
+  w.Key("staleness").BeginObject();
+  w.Key("count").Uint(stats.staleness.count());
+  w.Key("mean").Double(stats.staleness.mean());
+  w.Key("p50").Double(stats.staleness.Quantile(0.5));
+  w.Key("p95").Double(stats.staleness.Quantile(0.95));
+  w.Key("p99").Double(stats.staleness.Quantile(0.99));
+  w.Key("max").Double(stats.staleness.max());
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gpujoin::obs

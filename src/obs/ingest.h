@@ -1,0 +1,56 @@
+#ifndef GPUJOIN_OBS_INGEST_H_
+#define GPUJOIN_OBS_INGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+
+namespace gpujoin::obs {
+
+// The counters an HTAP ingest run accumulates across all shards: applied
+// write ops, background merge activity, epoch swaps and the read
+// staleness they bound. Filled by serve::IngestCoordinator; all-zero on
+// a run with --ingest-rate 0, in which case callers omit the JSON
+// section so write-free records stay bit-identical to older builds.
+struct IngestStats {
+  // Write stream.
+  uint64_t ops_applied = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  // Ops refused because the delta was full and a merge was already in
+  // flight (the shed path that replaces the old CHECK-abort).
+  uint64_t ops_shed = 0;
+
+  // Background merge machinery.
+  uint64_t merges_started = 0;
+  uint64_t merges = 0;       // completed (swap included)
+  uint64_t swap_stalls = 0;  // epoch swaps charged to the serving clock
+  uint64_t epochs = 0;       // highest epoch reached across shards
+  double merge_seconds = 0;  // simulated merge work (charged at start)
+  double swap_stall_seconds = 0;
+
+  // Delta footprint, sampled after every applied op.
+  uint64_t delta_entries = 0;       // at end of run
+  uint64_t delta_entries_peak = 0;
+  uint64_t delta_bytes = 0;         // at end of run (reserved bytes)
+  uint64_t delta_bytes_peak = 0;
+  uint64_t overlay_entries = 0;     // at end of run, summed over shards
+
+  // Read staleness: age of the oldest write a batch-close-time reader
+  // might not yet see merged (seconds since that op was admitted),
+  // recorded once per served batch. Bounded by the merge cadence.
+  LogHistogram staleness;
+
+  bool any() const;
+};
+
+// The stats as a JSON object, spliced into a bench record with
+// obs::RecordBuilder::AddSection("ingest", ...). Validated by
+// scripts/validate_metrics.py.
+std::string IngestJson(const IngestStats& stats);
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_INGEST_H_

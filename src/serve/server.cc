@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/ingest.h"
 #include "util/rng.h"
 
 namespace gpujoin::serve {
@@ -147,6 +148,14 @@ Result<ServeReport> RequestServer::Run() {
     const uint64_t n_tuples = pending_tuples;
 
     double service = 0;
+    if (ingest_ != nullptr && ingest_->active()) {
+      // Writes admitted before this batch land in the deltas now (epoch
+      // swaps completing in the gap stall the batch), and every probe
+      // pays the delta/overlay consult surcharge.
+      service += ingest_->AdvanceTo(start);
+      ingest_->RecordBatchStaleness(start);
+      service += ingest_->LookupSurchargeSeconds(n_tuples);
+    }
     uint64_t remaining = n_tuples;
     while (remaining > 0) {
       const uint64_t take = std::min(remaining, sample - cursor);
@@ -278,6 +287,10 @@ Result<ServeReport> RequestServer::Run() {
     advance(deadline);
     Status st = close_batch(deadline, /*by_deadline=*/true);
     if (!st.ok()) return st;
+  }
+
+  if (ingest_ != nullptr && ingest_->active()) {
+    ingest_->Finish(report.sim_seconds);
   }
 
   report.counters.window_grows = batcher.grows();

@@ -15,6 +15,8 @@
 
 namespace gpujoin::serve {
 
+class IngestCoordinator;
+
 // What the server needs from an execution engine: service one
 // contiguous slice of the probe sample and report its simulated service
 // time. The default backend is a single core::WindowJoiner; the sharded
@@ -150,10 +152,22 @@ class RequestServer {
   RequestServer(WindowBackend& backend, const ServeConfig& serve_config)
       : backend_(&backend), serve_config_(serve_config) {}
 
+  // Attaches an HTAP ingest coordinator: before each batch the server
+  // advances the write stream to the batch's start time (charging any
+  // epoch-swap stalls) and surcharges the batch's probes with the
+  // delta/overlay consults. An inactive coordinator (ingest rate 0) — or
+  // none — leaves the serving run bit-identical to a build without
+  // ingest. The coordinator must outlive Run().
+  RequestServer& AttachIngest(IngestCoordinator* ingest) {
+    ingest_ = ingest;
+    return *this;
+  }
+
   Result<ServeReport> Run();
 
  private:
   WindowBackend* backend_ = nullptr;  // null: build a local WindowJoiner
+  IngestCoordinator* ingest_ = nullptr;
   sim::Gpu* gpu_ = nullptr;
   const index::Index* index_ = nullptr;
   const workload::ProbeRelation* s_ = nullptr;

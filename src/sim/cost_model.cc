@@ -54,4 +54,24 @@ TimeBreakdown CostModel::Breakdown(const CounterSet& c) const {
   return b;
 }
 
+double CostModel::HostStreamSeconds(uint64_t read_bytes,
+                                    uint64_t write_bytes) const {
+  CounterSet c;
+  c.host_seq_read_bytes = read_bytes;
+  c.host_write_bytes = write_bytes;
+  return Seconds(c);
+}
+
+double CostModel::HostLookupSeconds(uint64_t lookups,
+                                    uint32_t depth_lines) const {
+  if (lookups == 0 || depth_lines == 0) return 0;
+  CounterSet c;
+  const uint64_t lines = lookups * uint64_t{depth_lines};
+  c.host_random_read_bytes = lines * platform_.gpu.cacheline_bytes;
+  c.memory_transactions = lines;
+  // Probes of one batch overlap; the descent within a probe does not.
+  c.serial_dependent_loads = depth_lines;
+  return Seconds(c);
+}
+
 }  // namespace gpujoin::sim

@@ -46,6 +46,16 @@ class CostModel {
     return Breakdown(counters).total();
   }
 
+  // CPU-side streaming pass (the HTAP background merge): sequential reads
+  // plus sequential writes over the interconnect-attached host memory.
+  double HostStreamSeconds(uint64_t read_bytes, uint64_t write_bytes) const;
+
+  // Per-batch surcharge of `lookups` pointer-chasing probes of
+  // `depth_lines` dependent cachelines each (the delta/overlay consults
+  // stacked on the static probe): bandwidth-bound at scale with a
+  // dependent-load latency floor for small batches.
+  double HostLookupSeconds(uint64_t lookups, uint32_t depth_lines) const;
+
   const PlatformSpec& platform() const { return platform_; }
 
  private:
