@@ -1,0 +1,524 @@
+// Multi-tenant serving with a hot-key result cache (Fig. 14-style
+// experiment): thousands of tenants share the windowed INLJ behind the
+// micro-batcher, with request attribution drawn Zipf-1.75 like real
+// serving fleets. Two questions, two cell groups:
+//
+//  1. Throughput grid — {fair, fifo} x {cache off, cache on} past
+//     saturation. The Zipf-1.75 hot keys concentrate probes on a few
+//     request slices, so a small memoized-result reservation converts
+//     most window runs into directory probes + replays: cache-on must
+//     sustain a higher aggregate request rate at an equal (zero) shed
+//     rate. A verification cell replays a smaller run with match
+//     collection on and the process exits nonzero if the cached match
+//     multiset differs from the uncached one — the cache must be a
+//     memo, not an approximation.
+//
+//  2. Misbehaving-tenant trio — isolated (no rogue), weighted-fair +
+//     token buckets + a rogue flood, and unmetered FIFO + the same
+//     flood. The protected gold tier's p99 under fair scheduling must
+//     stay within 1.2x of its rogue-free value while FIFO lets the
+//     flood queue everyone behind the rogue's backlog.
+//
+// Everything runs on the simulated clock; a fixed seed reproduces every
+// cell bit for bit at any --threads value.
+
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+
+#include "obs/tenant.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "serve/tenant.h"
+
+namespace gpujoin::bench {
+namespace {
+
+core::ExperimentConfig BaseConfig(const Flags& flags) {
+  // Same working point as the serve_latency bench: R = 8 GiB,
+  // radix-spline index, windowed partitioning.
+  core::ExperimentConfig cfg = PaperConfig(flags, uint64_t{1} << 30);
+  cfg.index_type = index::IndexType::kRadixSpline;
+  cfg.inlj.mode = core::InljConfig::PartitionMode::kWindowed;
+  return cfg;
+}
+
+std::string Ms(double seconds) {
+  return TablePrinter::Num(seconds * 1e3, 3);
+}
+
+std::string Pct(double x) { return TablePrinter::Num(x * 100.0, 1); }
+
+// Expected traffic share of the hottest tenant under Zipf(zipf) over
+// `tenants` ranks — sizes the token buckets so organic traffic passes.
+double HottestTenantShare(uint64_t tenants, double zipf) {
+  double h = 0;
+  for (uint64_t k = 1; k <= tenants; ++k) {
+    h += std::pow(static_cast<double>(k), -zipf);
+  }
+  return 1.0 / h;
+}
+
+double TierP99(const serve::ServeReport& r, const char* tier) {
+  for (const obs::TenantTierStats& t : r.tenants.tiers) {
+    if (t.tier == tier) return t.latency.Quantile(0.99);
+  }
+  return -1.0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt64("tenants", 2000, "tenant population",
+                    /*min=*/2, /*max=*/int64_t{1} << 31);
+  flags.DefineInt64("requests", 20000, "requests per cell",
+                    /*min=*/1, /*max=*/int64_t{1} << 32);
+  flags.DefineInt64("tuples_per_request", 512,
+                    "probe tuples carried by each request",
+                    /*min=*/1, /*max=*/int64_t{1} << 24);
+  flags.DefineInt64("batch_tuples", int64_t{1} << 13,
+                    "micro-batch size in tuples (16 requests at the "
+                    "default request size; fixed, not adaptive)",
+                    /*min=*/32, /*max=*/int64_t{1} << 26);
+  flags.DefineInt64("key-universe", 256,
+                    "distinct request keys; each key addresses one "
+                    "tuples_per_request slice of the probe sample",
+                    /*min=*/1, /*max=*/int64_t{1} << 24);
+  flags.DefineDouble("cache-mib", 4.0,
+                     "result-cache reservation for the cache-on cells "
+                     "(MiB of simulated host memory)",
+                     /*min=*/0.001, /*max=*/65536.0);
+  flags.DefineDouble("tenant-zipf", 1.75,
+                     "Zipf exponent of tenant popularity (0 = uniform)",
+                     /*min=*/0.0, /*max=*/8.0);
+  flags.DefineDouble("key-zipf", 1.75,
+                     "Zipf exponent of request-key popularity",
+                     /*min=*/0.0, /*max=*/8.0);
+  flags.DefineDouble("load", 2.0,
+                     "throughput-grid offered load as a multiple of the "
+                     "calibrated capacity (past 1.0 the makespan is "
+                     "service-bound, which is what the cache comparison "
+                     "measures)",
+                     /*min=*/0.01, /*max=*/64.0);
+  flags.DefineDouble("base-load", 0.15,
+                     "misbehaving-tenant trio's organic load as a "
+                     "multiple of capacity (kept low so the rogue-free "
+                     "p99 is deadline-dominated)",
+                     /*min=*/0.001, /*max=*/1.0);
+  flags.DefineDouble("rogue-extra", 8.0,
+                     "rogue flood intensity: extra traffic attributed to "
+                     "one bronze tenant, as a multiple of the organic "
+                     "aggregate rate",
+                     /*min=*/0.0, /*max=*/1024.0);
+  flags.DefineInt64("verify-requests", 4000,
+                    "request count of the cache-identity verification "
+                    "cell (capped at --requests; runs with match "
+                    "collection on, so keep it modest)",
+                    /*min=*/1, /*max=*/int64_t{1} << 24);
+  if (!ParseBenchFlags(flags, argc, argv)) return 0;
+  MetricsSink sink(flags);
+
+  const uint64_t tenants = static_cast<uint64_t>(flags.GetInt64("tenants"));
+  const uint64_t tpr =
+      static_cast<uint64_t>(flags.GetInt64("tuples_per_request"));
+  const uint64_t batch_tuples =
+      static_cast<uint64_t>(flags.GetInt64("batch_tuples"));
+  const uint64_t key_universe =
+      static_cast<uint64_t>(flags.GetInt64("key-universe"));
+  const uint64_t cache_bytes = static_cast<uint64_t>(
+      flags.GetDouble("cache-mib") * static_cast<double>(uint64_t{1} << 20));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  const double rogue_extra = flags.GetDouble("rogue-extra");
+
+  if (key_universe * tpr >
+      static_cast<uint64_t>(flags.GetInt64("s_sample"))) {
+    std::fprintf(stderr,
+                 "--key-universe * --tuples_per_request (%llu) exceeds "
+                 "--s_sample (%lld): keyed requests must address the "
+                 "probe sample\n",
+                 static_cast<unsigned long long>(key_universe * tpr),
+                 static_cast<long long>(flags.GetInt64("s_sample")));
+    return 2;
+  }
+
+  // Calibrate the service capacity on one REQUEST-sized window, not one
+  // batch: tenant mode serves each request as its own window (per-key
+  // slices can't be coalesced), and the fixed per-window overhead
+  // dominates at request granularity — a batch-sized calibration would
+  // overstate capacity ~10x and size every load knob wrong.
+  double request_service = 0;
+  double capacity_tps = 0;
+  {
+    auto exp = core::Experiment::Create(BaseConfig(flags));
+    if (!exp.ok()) {
+      std::fprintf(stderr, "%s\n", exp.status().ToString().c_str());
+      return 1;
+    }
+    (*exp)->ResetForRun();
+    const uint64_t cal_tuples = std::min(tpr, (*exp)->s().sample_size());
+    auto joiner = core::WindowJoiner::Create(
+        (*exp)->gpu(), (*exp)->index(), (*exp)->s(),
+        BaseConfig(flags).inlj, (*exp)->s().sample_size());
+    if (!joiner.ok()) {
+      std::fprintf(stderr, "%s\n", joiner.status().ToString().c_str());
+      return 1;
+    }
+    auto run = joiner->RunWindow(0, cal_tuples, 0);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    request_service = run->seconds();
+    capacity_tps = static_cast<double>(cal_tuples) / request_service;
+    if (sink.active()) {
+      obs::RecordBuilder rec =
+          StartRecord("fig14_tenants", BaseConfig(flags));
+      rec.AddParam("point", "calibration");
+      rec.AddParam("request_tuples", cal_tuples);
+      rec.metrics().SetScalar("serve.request_service_seconds",
+                              request_service, "s");
+      rec.metrics().SetScalar("serve.capacity_tuples_per_sec",
+                              capacity_tps, "tuples/s");
+      sink.Add(0, rec.ToJsonLine());
+    }
+  }
+  // One full batch is batch_tuples / tpr request windows back to back.
+  const double batch_service =
+      static_cast<double>(batch_tuples) /
+      static_cast<double>(tpr) * request_service;
+
+  // Shared serving skeleton: fixed (non-adaptive) batches so every cell
+  // compares the scheduler and the cache, not the batch controller.
+  // `cell` keys the seeds — cells meant to see the same offered stream
+  // pass the same id.
+  auto make_serve = [&](uint64_t cell) {
+    serve::ServeConfig sc;
+    sc.arrival.seed = seed * 1000 + cell;
+    sc.batch.batch_tuples = batch_tuples;
+    sc.batch.min_batch_tuples = batch_tuples;
+    sc.batch.adaptive = false;
+    // An order of magnitude over one batch's service time: under the
+    // trio's light organic load most batches close on the deadline (the
+    // p99 anchor); past saturation in the grid the size trigger wins.
+    sc.batch.deadline_seconds = 4.0 * batch_service;
+    sc.requests = static_cast<uint64_t>(flags.GetInt64("requests"));
+    sc.tuples_per_request = tpr;
+    sc.max_backlog_tuples = 0;  // shed only at the token buckets
+    sc.tenants.num_tenants = tenants;
+    sc.tenants.tiers = {serve::TenantTier{"gold", 4.0, 0, 0},
+                        serve::TenantTier{"bronze", 1.0, 0, 0}};
+    sc.tenants.tenant_zipf = flags.GetDouble("tenant-zipf");
+    sc.tenants.seed = seed * 9000 + cell;
+    return sc;
+  };
+
+  // Runs one cell: fresh experiment, optional result cache bound to that
+  // experiment's simulated GPU, one serving run.
+  auto run_serve = [&](const serve::ServeConfig& sc,
+                       uint64_t cell_cache_bytes)
+      -> Result<serve::ServeReport> {
+    auto exp = core::Experiment::Create(BaseConfig(flags));
+    if (!exp.ok()) return exp.status();
+    (*exp)->ResetForRun();
+    serve::RequestServer server((*exp)->gpu(), (*exp)->index(),
+                                (*exp)->s(), BaseConfig(flags).inlj, sc);
+    std::unique_ptr<serve::ResultCache> cache;
+    if (cell_cache_bytes > 0) {
+      serve::ResultCacheConfig cc;
+      cc.reserved_bytes = cell_cache_bytes;
+      auto built = serve::ResultCache::Create(cc, (*exp)->gpu());
+      if (!built.ok()) return built.status();
+      cache = std::move(*built);
+      server.AttachCache(cache.get());
+    }
+    return server.Run();
+  };
+
+  auto emit_cell = [&](uint64_t order, const char* point,
+                       const serve::ServeConfig& sc, uint64_t cell_cache,
+                       const serve::ServeReport& r) {
+    if (!sink.active()) return;
+    obs::RecordBuilder rec = StartRecord("fig14_tenants", BaseConfig(flags));
+    rec.AddParam("point", point);
+    rec.AddParam("scheduler",
+                 sc.tenants.scheduler ==
+                         serve::TenantScheduler::kDeficitWeightedFair
+                     ? "fair"
+                     : "fifo");
+    rec.AddParam("tenants", sc.tenants.num_tenants);
+    rec.AddParam("tenant_zipf", sc.tenants.tenant_zipf);
+    rec.AddParam("key_universe", sc.tenants.key_universe);
+    rec.AddParam("key_zipf", sc.tenants.key_zipf);
+    rec.AddParam("rogue_extra", sc.tenants.rogue_extra);
+    rec.AddParam("cache_bytes", cell_cache);
+    rec.AddParam("arrival_rate_rps", sc.arrival.rate);
+    rec.AddParam("requests", sc.requests);
+    rec.AddParam("tuples_per_request", sc.tuples_per_request);
+    rec.AddParam("batch_tuples", sc.batch.batch_tuples);
+    rec.AddParam("deadline_seconds", sc.batch.deadline_seconds);
+    obs::MetricsRegistry& m = rec.metrics();
+    m.SetHistogram("serve.latency_seconds", r.latency, "s");
+    m.SetCounter("serve.requests_admitted", r.counters.requests_admitted,
+                 "1");
+    m.SetCounter("serve.requests_shed", r.counters.requests_shed, "1");
+    m.SetCounter("serve.batches", r.counters.batches, "1");
+    m.SetCounter("serve.tuples_served", r.counters.tuples_served, "1");
+    m.SetScalar("serve.sim_seconds", r.sim_seconds, "s");
+    m.SetScalar("serve.offered_rate_rps", r.offered_rate, "req/s");
+    m.SetScalar("serve.achieved_requests_per_sec",
+                r.achieved_requests_per_sec, "req/s");
+    m.SetScalar("serve.achieved_tuples_per_sec", r.achieved_tuples_per_sec,
+                "tuples/s");
+    m.SetScalar("serve.service_seconds_total", r.service_seconds_total,
+                "s");
+    rec.AddSection("tenants", obs::TenantsJson(r.tenants));
+    sink.Add(order, rec.ToJsonLine());
+  };
+
+  auto row_for = [&](const char* cell, const serve::ServeConfig& sc,
+                     uint64_t cell_cache, const serve::ServeReport& r) {
+    const obs::CacheStats& cs = r.tenants.cache;
+    const double hit_rate =
+        cs.lookups > 0
+            ? static_cast<double>(cs.hits) / static_cast<double>(cs.lookups)
+            : 0.0;
+    return std::vector<std::string>{
+        cell,
+        sc.tenants.scheduler ==
+                serve::TenantScheduler::kDeficitWeightedFair
+            ? "fair"
+            : "fifo",
+        cell_cache > 0
+            ? TablePrinter::Num(
+                  static_cast<double>(cell_cache) / (uint64_t{1} << 20), 1)
+            : "off",
+        std::to_string(r.counters.requests_admitted),
+        std::to_string(r.counters.requests_shed),
+        std::to_string(cs.hits),
+        cell_cache > 0 ? Pct(hit_rate) : "",
+        std::to_string(r.counters.batches),
+        Ms(r.latency.Quantile(0.50)),
+        Ms(r.latency.Quantile(0.99)),
+        Ms(TierP99(r, "gold")),
+        TablePrinter::Num(r.achieved_requests_per_sec, 0)};
+  };
+
+  TablePrinter table({"cell", "sched", "cache MiB", "admitted", "shed",
+                      "hits", "hit%", "batches", "p50 ms", "p99 ms",
+                      "gold p99 ms", "req/s"});
+  SweepCells cells;
+
+  // Cross-cell outputs consumed by the post-sweep summary. Cells write
+  // disjoint slots, so plain arrays are race-free under the sweep pool.
+  std::array<double, 4> grid_qps{};       // fair/off fair/on fifo/off fifo/on
+  std::array<uint64_t, 4> grid_shed{};
+  std::array<double, 3> trio_gold_p99{};  // isolated, fair+rogue, fifo+rogue
+  std::atomic<bool> match_mismatch{false};
+  std::atomic<uint64_t> verify_hits{0};
+  std::atomic<bool> cell_failed{false};
+  auto error_row = [&](const char* cell, Status st) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    cell_failed.store(true);
+    return std::vector<std::string>{cell, "ERROR", "", "", "", "",
+                                    "",   "",      "", "", "", ""};
+  };
+
+  // --- Group 1: throughput grid, {fair, fifo} x {cache off, on}. ------
+  const double grid_rate =
+      flags.GetDouble("load") * capacity_tps / static_cast<double>(tpr);
+  struct GridCell {
+    const char* name;
+    serve::TenantScheduler sched;
+    bool cached;
+  };
+  static constexpr std::array<GridCell, 4> kGrid = {{
+      {"grid/fair", serve::TenantScheduler::kDeficitWeightedFair, false},
+      {"grid/fair", serve::TenantScheduler::kDeficitWeightedFair, true},
+      {"grid/fifo", serve::TenantScheduler::kFifo, false},
+      {"grid/fifo", serve::TenantScheduler::kFifo, true},
+  }};
+  for (uint64_t gi = 0; gi < kGrid.size(); ++gi) {
+    cells.push_back([&, gi]() -> std::vector<std::string> {
+      const GridCell& g = kGrid[gi];
+      // Cache-on and cache-off share the arrival + attribution seeds
+      // (cell id keyed by scheduler only): identical offered streams,
+      // so the achieved-rate delta is purely the cache.
+      serve::ServeConfig sc = make_serve(/*cell=*/gi / 2);
+      sc.arrival.model = serve::ArrivalModel::kPoisson;
+      sc.arrival.rate = grid_rate;
+      sc.tenants.scheduler = g.sched;
+      sc.tenants.key_universe = key_universe;
+      sc.tenants.key_zipf = flags.GetDouble("key-zipf");
+      const uint64_t cell_cache = g.cached ? cache_bytes : 0;
+      auto report = run_serve(sc, cell_cache);
+      if (!report.ok()) return error_row(g.name, report.status());
+      grid_qps[gi] = report->achieved_requests_per_sec;
+      grid_shed[gi] = report->counters.requests_shed;
+      emit_cell(1 + gi, "grid", sc, cell_cache, *report);
+      return row_for(g.name, sc, cell_cache, *report);
+    });
+  }
+
+  // --- Group 2: cache correctness — cached match sets must be
+  // bit-identical to the uncached run's (compared as sorted multisets;
+  // batch composition may legally reorder service). --------------------
+  cells.push_back([&]() -> std::vector<std::string> {
+    serve::ServeConfig sc = make_serve(/*cell=*/7);
+    sc.arrival.model = serve::ArrivalModel::kPoisson;
+    sc.arrival.rate = grid_rate;
+    sc.requests = std::min(
+        sc.requests, static_cast<uint64_t>(flags.GetInt64("verify-requests")));
+    sc.tenants.scheduler = serve::TenantScheduler::kDeficitWeightedFair;
+    sc.tenants.key_universe = key_universe;
+    sc.tenants.key_zipf = flags.GetDouble("key-zipf");
+    sc.collect_matches = true;
+    auto cached = run_serve(sc, cache_bytes);
+    if (!cached.ok()) return error_row("verify/cache", cached.status());
+    auto uncached = run_serve(sc, 0);
+    if (!uncached.ok()) return error_row("verify/cache", uncached.status());
+    std::sort(cached->matches.begin(), cached->matches.end());
+    std::sort(uncached->matches.begin(), uncached->matches.end());
+    const bool identical = cached->matches == uncached->matches;
+    if (!identical) match_mismatch.store(true);
+    verify_hits.store(cached->tenants.cache.hits);
+    if (sink.active()) {
+      obs::RecordBuilder rec =
+          StartRecord("fig14_tenants", BaseConfig(flags));
+      rec.AddParam("point", "verify");
+      rec.AddParam("requests", sc.requests);
+      rec.AddParam("key_universe", sc.tenants.key_universe);
+      rec.AddParam("cache_bytes", cache_bytes);
+      rec.metrics().SetScalar("serve.match_sets_identical",
+                              identical ? 1.0 : 0.0, "1");
+      rec.metrics().SetCounter("serve.verify_matches",
+                               cached->matches.size(), "1");
+      rec.AddSection("tenants", obs::TenantsJson(cached->tenants));
+      sink.Add(5, rec.ToJsonLine());
+    }
+    std::vector<std::string> row = row_for("verify/cache", sc, cache_bytes,
+                                           *cached);
+    row[1] = identical ? "match" : "MISMATCH";
+    return row;
+  });
+
+  // --- Group 3: misbehaving-tenant trio. ------------------------------
+  // Organic load is light (deadline-dominated p99); the rogue bronze
+  // tenant floods `rogue_extra` times the aggregate organic rate. Token
+  // buckets admit twice the hottest tenant's organic share, so clustered
+  // organic traffic passes while the sustained flood is pinned.
+  const double base_rate_tuples =
+      flags.GetDouble("base-load") * capacity_tps;
+  const double hottest_share =
+      flags.GetDouble("tenant-zipf") > 0
+          ? HottestTenantShare(tenants, flags.GetDouble("tenant-zipf"))
+          : 1.0 / static_cast<double>(tenants);
+  const double bucket_rate = 2.0 * hottest_share * base_rate_tuples;
+  struct TrioCell {
+    const char* name;
+    serve::TenantScheduler sched;
+    bool buckets;
+    bool rogue;
+  };
+  static constexpr std::array<TrioCell, 3> kTrio = {{
+      {"rogue/isolated", serve::TenantScheduler::kDeficitWeightedFair,
+       true, false},
+      {"rogue/fair", serve::TenantScheduler::kDeficitWeightedFair, true,
+       true},
+      {"rogue/fifo", serve::TenantScheduler::kFifo, false, true},
+  }};
+  for (uint64_t ti = 0; ti < kTrio.size(); ++ti) {
+    cells.push_back([&, ti]() -> std::vector<std::string> {
+      const TrioCell& c = kTrio[ti];
+      serve::ServeConfig sc = make_serve(/*cell=*/11);
+      // Deterministic arrivals: the p99-isolation ratio compares cells
+      // whose arrival rates differ (the flood inflates one), so the
+      // arrival process itself must not add noise.
+      sc.arrival.model = serve::ArrivalModel::kDeterministic;
+      sc.arrival.rate = base_rate_tuples / static_cast<double>(tpr);
+      sc.tenants.scheduler = c.sched;
+      sc.tenants.rogue_extra = c.rogue ? rogue_extra : 0;
+      sc.tenants.rogue_tenant = 1;  // a bronze tenant misbehaves
+      if (c.buckets) {
+        for (serve::TenantTier& tier : sc.tenants.tiers) {
+          tier.rate_tuples_per_sec = bucket_rate;
+          tier.burst_tuples = 8 * tpr;
+        }
+      }
+      auto report = run_serve(sc, 0);
+      if (!report.ok()) return error_row(c.name, report.status());
+      trio_gold_p99[ti] = TierP99(*report, "gold");
+      emit_cell(6 + ti, "rogue", sc, 0, *report);
+      return row_for(c.name, sc, 0, *report);
+    });
+  }
+
+  SweepInto(flags, cells, table);
+
+  std::printf("Multi-tenant serving — %llu tenants (Zipf %.2f), windowed "
+              "INLJ behind a micro-batcher, R = 8 GiB\n",
+              static_cast<unsigned long long>(tenants),
+              flags.GetDouble("tenant-zipf"));
+  std::printf("calibrated: one %llu-tuple request window = %.3f ms  "
+              "(capacity %.1f Mtup/s, %.0f req/s); batch deadline "
+              "%.3f ms\n",
+              static_cast<unsigned long long>(tpr), request_service * 1e3,
+              capacity_tps * 1e-6, 1.0 / request_service,
+              4.0 * batch_service * 1e3);
+  PrintTable(table, flags);
+
+  // Post-sweep summary: the two acceptance ratios in one place.
+  const double qps_gain =
+      grid_qps[0] > 0 ? grid_qps[1] / grid_qps[0] : 0.0;
+  const double fair_ratio =
+      trio_gold_p99[0] > 0 ? trio_gold_p99[1] / trio_gold_p99[0] : 0.0;
+  const double fifo_ratio =
+      trio_gold_p99[0] > 0 ? trio_gold_p99[2] / trio_gold_p99[0] : 0.0;
+  std::printf("\ncache: fair-scheduler aggregate %s -> %s req/s "
+              "(%.2fx) at equal shed (%llu vs %llu); match sets %s\n",
+              TablePrinter::Num(grid_qps[0], 0).c_str(),
+              TablePrinter::Num(grid_qps[1], 0).c_str(), qps_gain,
+              static_cast<unsigned long long>(grid_shed[0]),
+              static_cast<unsigned long long>(grid_shed[1]),
+              match_mismatch.load() ? "DIFFER" : "identical");
+  std::printf("isolation: gold p99 %.3f ms isolated, %.3f ms under the "
+              "%.0fx flood with fair+buckets (%.2fx), %.3f ms under "
+              "unmetered FIFO (%.2fx)\n",
+              trio_gold_p99[0] * 1e3, trio_gold_p99[1] * 1e3, rogue_extra,
+              fair_ratio, trio_gold_p99[2] * 1e3, fifo_ratio);
+
+  if (sink.active()) {
+    obs::RecordBuilder rec = StartRecord("fig14_tenants", BaseConfig(flags));
+    rec.AddParam("point", "summary");
+    rec.AddParam("tenants", tenants);
+    rec.AddParam("rogue_extra", rogue_extra);
+    obs::MetricsRegistry& m = rec.metrics();
+    m.SetScalar("serve.cache_qps_gain", qps_gain, "1");
+    m.SetScalar("serve.match_sets_identical",
+                match_mismatch.load() ? 0.0 : 1.0, "1");
+    m.SetScalar("serve.gold_p99_isolated_seconds", trio_gold_p99[0], "s");
+    m.SetScalar("serve.gold_p99_fair_rogue_seconds", trio_gold_p99[1], "s");
+    m.SetScalar("serve.gold_p99_fifo_rogue_seconds", trio_gold_p99[2], "s");
+    m.SetScalar("serve.gold_p99_fair_ratio", fair_ratio, "1");
+    m.SetScalar("serve.gold_p99_fifo_ratio", fifo_ratio, "1");
+    sink.Add(9, rec.ToJsonLine());
+  }
+  if (!sink.Flush()) return 1;
+  if (match_mismatch.load()) {
+    std::fprintf(stderr, "FAIL: cached match sets differ from the "
+                         "uncached run's\n");
+    return 1;
+  }
+  if (verify_hits.load() == 0) {
+    std::fprintf(stderr, "FAIL: the verification cell never hit the "
+                         "cache — the identity check proved nothing\n");
+    return 1;
+  }
+  return cell_failed.load() ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace gpujoin::bench
+
+int main(int argc, char** argv) { return gpujoin::bench::Main(argc, argv); }

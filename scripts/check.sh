@@ -38,6 +38,8 @@ require_file results/BENCH_plan.json "regenerate with: scripts/bench_plan.sh"
 require_file results/BENCH_chaos.json \
   "regenerate with: scripts/bench_chaos.sh"
 require_file results/BENCH_htap.json "regenerate with: scripts/bench_htap.sh"
+require_file results/BENCH_tenant.json \
+  "regenerate with: scripts/bench_tenant.sh"
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 
@@ -108,6 +110,20 @@ build-release/bench/fig13_htap --requests 500 --s_sample $((1 << 16)) \
   --merge-threshold 1024 --json "$HTAP_TMP" > /dev/null
 python3 scripts/validate_metrics.py "$HTAP_TMP"
 
+# Multi-tenant smoke: the tenant grid must complete with cached match
+# sets identical to the uncached run's (the bench exits nonzero on a
+# mismatch or a hit-free verification), emit schema-valid tenants
+# sections, and stay byte-identical across sweep thread counts.
+TENANT_TMP="$(mktemp --suffix=.metrics.json)"
+TENANT_TMP4="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP" "$PLAN_TMP" "$CHAOS_TMP" "$HTAP_TMP" "$TENANT_TMP" "$TENANT_TMP4"' EXIT
+build-release/bench/fig14_tenants --requests 2000 --verify-requests 500 \
+  --threads 1 --json "$TENANT_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$TENANT_TMP"
+build-release/bench/fig14_tenants --requests 2000 --verify-requests 500 \
+  --threads 4 --json "$TENANT_TMP4" > /dev/null
+diff "$TENANT_TMP" "$TENANT_TMP4"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -119,7 +135,7 @@ for san in "${SANITIZERS[@]}"; do
   # and HTAP ingest tests churn node recycling and merge/swap lifecycles,
   # the kind of use-after-free surface sanitizers exist for.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|dist_test|plan_test|chaos_test|dynamic_btree_test|htap_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|tenant_test|dist_test|plan_test|chaos_test|dynamic_btree_test|htap_test'
 done
 
 echo "=== all configurations passed ==="

@@ -380,6 +380,126 @@ INGEST_COUNTER_FIELDS = [
 
 INGEST_STALENESS_FIELDS = ["mean", "p50", "p95", "p99", "max"]
 
+TENANT_SCHEDULERS = {"fifo", "fair"}
+
+TENANT_TIER_COUNTER_FIELDS = [
+    "tenants", "requests", "admitted", "shed_rate_limit", "shed_backlog",
+    "served",
+]
+
+TENANT_LATENCY_FIELDS = ["mean", "p50", "p95", "p99", "max"]
+
+TENANT_CACHE_COUNTER_FIELDS = [
+    "reserved_bytes", "lookups", "hits", "misses", "insertions",
+    "evictions", "skipped_too_large", "entries", "used_bytes",
+]
+
+
+def check_tenants(errors, where, tenants):
+    """Multi-tenant serving section (src/obs/tenant.cc TenantsJson):
+    scheduler identity, per-tier admission/latency breakdown, and the
+    hot-key result cache's counters."""
+    if not isinstance(tenants, dict):
+        err(errors, where, "tenants must be an object")
+        return
+    sched = tenants.get("scheduler")
+    if sched not in TENANT_SCHEDULERS:
+        err(errors, where, f"scheduler must be one of "
+            f"{sorted(TENANT_SCHEDULERS)}, got {sched!r}")
+    for field in ("tenants", "tenants_seen", "rogue_requests"):
+        check_uint(errors, where, tenants, field)
+    pop = tenants.get("tenants")
+    seen = tenants.get("tenants_seen")
+    if isinstance(pop, int) and isinstance(seen, int) \
+            and not isinstance(pop, bool) and seen > pop:
+        err(errors, where, f"tenants_seen ({seen}) cannot exceed the "
+            f"tenant population ({pop})")
+
+    tiers = tenants.get("tiers")
+    if not isinstance(tiers, list) or not tiers:
+        err(errors, where, "tiers must be a non-empty array")
+        tiers = []
+    seen_names = set()
+    for i, tier in enumerate(tiers):
+        w = f"{where} tier[{i}]"
+        if not isinstance(tier, dict):
+            err(errors, w, "must be an object")
+            continue
+        name = tier.get("tier")
+        if not isinstance(name, str) or not name:
+            err(errors, w, "tier must be a non-empty string")
+        elif name in seen_names:
+            err(errors, w, f"duplicate tier name {name!r}")
+        else:
+            seen_names.add(name)
+        weight = tier.get("weight")
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool) \
+                or weight <= 0:
+            err(errors, w, f"weight must be a positive number, "
+                f"got {weight!r}")
+        for field in TENANT_TIER_COUNTER_FIELDS:
+            check_uint(errors, w, tier, field)
+        reqs = tier.get("requests")
+        parts = [tier.get(f) for f in ("admitted", "shed_rate_limit",
+                                       "shed_backlog")]
+        if all(isinstance(v, int) and not isinstance(v, bool)
+               for v in [reqs] + parts) and sum(parts) != reqs:
+            err(errors, w, f"admitted + shed_rate_limit + shed_backlog "
+                f"must equal requests ({sum(parts)} != {reqs})")
+        served = tier.get("served")
+        admitted = tier.get("admitted")
+        if isinstance(served, int) and isinstance(admitted, int) \
+                and not isinstance(served, bool) and served > admitted:
+            err(errors, w, f"served ({served}) cannot exceed "
+                f"admitted ({admitted})")
+        lat = tier.get("latency")
+        if not isinstance(lat, dict):
+            err(errors, w, "latency must be an object")
+            continue
+        check_uint(errors, f"{w} latency", lat, "count")
+        if isinstance(served, int) and not isinstance(served, bool) \
+                and lat.get("count") != served:
+            err(errors, w, f"latency count ({lat.get('count')!r}) must "
+                f"equal served ({served})")
+        for field in TENANT_LATENCY_FIELDS:
+            v = lat.get(field)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or v < 0:
+                err(errors, f"{w} latency", f"{field!r} must be a "
+                    f"non-negative number, got {v!r}")
+
+    cache = tenants.get("cache")
+    if not isinstance(cache, dict):
+        err(errors, where, "cache must be an object")
+        return
+    w = f"{where} cache"
+    for field in TENANT_CACHE_COUNTER_FIELDS:
+        check_uint(errors, w, cache, field)
+    for field in ("hit_seconds", "insert_seconds"):
+        v = cache.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            err(errors, w, f"{field!r} must be a non-negative number, "
+                f"got {v!r}")
+    hits, misses, lookups = (cache.get(f) for f in
+                             ("hits", "misses", "lookups"))
+    if all(isinstance(v, int) and not isinstance(v, bool)
+           for v in (hits, misses, lookups)) and hits + misses != lookups:
+        err(errors, w, f"hits + misses must equal lookups "
+            f"({hits} + {misses} != {lookups})")
+    used = cache.get("used_bytes")
+    reserved = cache.get("reserved_bytes")
+    if all(isinstance(v, int) and not isinstance(v, bool)
+           for v in (used, reserved)) and reserved > 0 and used > reserved:
+        err(errors, w, f"used_bytes ({used}) cannot exceed "
+            f"reserved_bytes ({reserved})")
+    if isinstance(reserved, int) and not isinstance(reserved, bool) \
+            and reserved == 0:
+        for field in ("lookups", "hits", "entries", "used_bytes"):
+            v = cache.get(field)
+            if isinstance(v, int) and not isinstance(v, bool) and v != 0:
+                err(errors, w, f"{field!r} must be 0 when no cache is "
+                    f"reserved, got {v!r}")
+
 
 def check_ingest(errors, where, ingest):
     """HTAP ingest section (src/obs/ingest.cc IngestJson): write-stream
@@ -526,6 +646,12 @@ def check_record(errors, where, rec):
     # activity. Omitted entirely on write-free runs.
     if "ingest" in rec:
         check_ingest(errors, where, rec["ingest"])
+
+    # Multi-tenant serving section (bench/fig14_tenants): per-tier
+    # admission/latency plus the hot-key result cache. Omitted on
+    # single-tenant runs so legacy records stay bit-identical.
+    if "tenants" in rec:
+        check_tenants(errors, where, rec["tenants"])
 
     # Adaptive-routing sections (bench/fig11_adaptive, serve_latency
     # --planner adaptive|oracle).

@@ -39,6 +39,11 @@ void LogHistogram::Record(double value) {
 
 double LogHistogram::Quantile(double q) const {
   if (count_ == 0) return 0;
+  // A NaN q sails through std::clamp (every comparison is false) and the
+  // later float->uint64 cast of ceil(NaN * count) is UB. Treat any
+  // non-finite q as 0 — the conservative end of the distribution — so
+  // +/-inf and NaN all resolve deterministically.
+  if (!std::isfinite(q)) q = 0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-quantile, 1-based: the smallest rank covering a
   // fraction q of the recorded values.

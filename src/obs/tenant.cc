@@ -1,0 +1,68 @@
+#include "obs/tenant.h"
+
+#include "obs/json.h"
+
+namespace gpujoin::obs {
+
+namespace {
+
+void WriteHistogram(JsonWriter& w, const LogHistogram& h) {
+  w.BeginObject();
+  w.Key("count").Uint(h.count());
+  w.Key("mean").Double(h.mean());
+  w.Key("p50").Double(h.Quantile(0.5));
+  w.Key("p95").Double(h.Quantile(0.95));
+  w.Key("p99").Double(h.Quantile(0.99));
+  w.Key("max").Double(h.max());
+  w.EndObject();
+}
+
+}  // namespace
+
+bool TenantStats::any() const {
+  if (!scheduler.empty() || !tiers.empty()) return true;
+  if (tenants != 0 || tenants_seen != 0 || rogue_requests != 0) return true;
+  return cache.reserved_bytes != 0 || cache.lookups != 0;
+}
+
+std::string TenantsJson(const TenantStats& stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("scheduler").String(stats.scheduler);
+  w.Key("tenants").Uint(stats.tenants);
+  w.Key("tenants_seen").Uint(stats.tenants_seen);
+  w.Key("rogue_requests").Uint(stats.rogue_requests);
+  w.Key("tiers").BeginArray();
+  for (const TenantTierStats& t : stats.tiers) {
+    w.BeginObject();
+    w.Key("tier").String(t.tier);
+    w.Key("weight").Double(t.weight);
+    w.Key("tenants").Uint(t.tenants);
+    w.Key("requests").Uint(t.requests);
+    w.Key("admitted").Uint(t.admitted);
+    w.Key("shed_rate_limit").Uint(t.shed_rate_limit);
+    w.Key("shed_backlog").Uint(t.shed_backlog);
+    w.Key("served").Uint(t.served);
+    w.Key("latency");
+    WriteHistogram(w, t.latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("cache").BeginObject();
+  w.Key("reserved_bytes").Uint(stats.cache.reserved_bytes);
+  w.Key("lookups").Uint(stats.cache.lookups);
+  w.Key("hits").Uint(stats.cache.hits);
+  w.Key("misses").Uint(stats.cache.misses);
+  w.Key("insertions").Uint(stats.cache.insertions);
+  w.Key("evictions").Uint(stats.cache.evictions);
+  w.Key("skipped_too_large").Uint(stats.cache.skipped_too_large);
+  w.Key("entries").Uint(stats.cache.entries);
+  w.Key("used_bytes").Uint(stats.cache.used_bytes);
+  w.Key("hit_seconds").Double(stats.cache.hit_seconds);
+  w.Key("insert_seconds").Double(stats.cache.insert_seconds);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace gpujoin::obs

@@ -1,0 +1,68 @@
+#ifndef GPUJOIN_OBS_TENANT_H_
+#define GPUJOIN_OBS_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace gpujoin::obs {
+
+// Per-SLO-tier serving outcomes of one multi-tenant run: admission and
+// shedding counts split by cause, and the tier's own sojourn-time
+// histogram — the per-tier p99 is what the fairness experiments compare
+// (a protected tier's tail must not move when another tier floods).
+// Filled by serve::RequestServer.
+struct TenantTierStats {
+  std::string tier;        // tier name ("gold"/"silver"/...)
+  double weight = 0;       // deficit-round-robin weight
+  uint64_t tenants = 0;    // tenants assigned to this tier
+  uint64_t requests = 0;   // generated (admitted + shed)
+  uint64_t admitted = 0;
+  uint64_t shed_rate_limit = 0;  // token bucket empty at arrival
+  uint64_t shed_backlog = 0;     // global backlog bound hit
+  uint64_t served = 0;           // completed with a latency sample
+  LogHistogram latency;          // sojourn seconds of served requests
+};
+
+// Hot-key result cache outcomes (serve::ResultCache): the hit-rate vs
+// reserved-bytes tradeoff in numbers. All-zero when no cache is attached.
+struct CacheStats {
+  uint64_t reserved_bytes = 0;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  // Insertions skipped because a single entry exceeds the reservation.
+  uint64_t skipped_too_large = 0;
+  uint64_t entries = 0;     // resident entries at end of run
+  uint64_t used_bytes = 0;  // resident bytes at end of run
+  double hit_seconds = 0;   // simulated seconds charged for hits
+  double insert_seconds = 0;
+};
+
+// Everything a multi-tenant serving run reports on top of the aggregate
+// ServeReport: scheduler identity, tier breakdown and cache activity.
+// All-empty on a single-tenant run, in which case callers omit the JSON
+// section so legacy records stay bit-identical.
+struct TenantStats {
+  std::string scheduler;        // "fifo" | "fair"
+  uint64_t tenants = 0;         // configured tenant population
+  uint64_t tenants_seen = 0;    // distinct tenants that sent >= 1 request
+  uint64_t rogue_requests = 0;  // requests attributed to the rogue tenant
+  std::vector<TenantTierStats> tiers;
+  CacheStats cache;
+
+  bool any() const;
+};
+
+// The stats as a JSON object, spliced into a bench record with
+// obs::RecordBuilder::AddSection("tenants", ...). Validated by
+// scripts/validate_metrics.py (which also rejects duplicate tier names).
+std::string TenantsJson(const TenantStats& stats);
+
+}  // namespace gpujoin::obs
+
+#endif  // GPUJOIN_OBS_TENANT_H_

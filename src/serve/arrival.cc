@@ -16,6 +16,26 @@ const char* ArrivalModelName(ArrivalModel model) {
   return "unknown";
 }
 
+Status ArrivalConfig::Validate() const {
+  if (!(rate > 0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument(
+        "arrival.rate must be finite and > 0");
+  }
+  if (model == ArrivalModel::kOnOff) {
+    if (!(burst_factor > 1) || !std::isfinite(burst_factor)) {
+      return Status::InvalidArgument(
+          "arrival.burst_factor must be finite and > 1 for on/off "
+          "arrivals (otherwise use poisson)");
+    }
+    if (!(mean_on_seconds > 0) || !std::isfinite(mean_on_seconds)) {
+      return Status::InvalidArgument(
+          "arrival.mean_on_seconds must be finite and > 0 for on/off "
+          "arrivals");
+    }
+  }
+  return Status();
+}
+
 ArrivalGenerator::ArrivalGenerator(const ArrivalConfig& config)
     : config_(config), rng_(config.seed) {
   Reset();

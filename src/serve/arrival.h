@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace gpujoin::serve {
 
@@ -30,6 +31,14 @@ struct ArrivalConfig {
   // kOnOff: mean duration of an on phase in simulated seconds.
   double mean_on_seconds = 1e-3;
   uint64_t seed = 42;
+
+  // InvalidArgument naming the offending field when the config cannot
+  // produce a monotone arrival stream: a non-positive/non-finite rate,
+  // or kOnOff with burst_factor <= 1 (the off phase would have
+  // non-positive length — the documented "Must be > 1" that nothing used
+  // to enforce) or a non-positive mean_on_seconds. Called by
+  // serve::RequestServer at construction and by bench flag parsing.
+  Status Validate() const;
 };
 
 // Generates a monotone stream of absolute arrival times starting at 0.

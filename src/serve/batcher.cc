@@ -1,21 +1,50 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gpujoin::serve {
 
+Status BatchPolicy::Validate() const {
+  if (batch_tuples == 0) {
+    return Status::InvalidArgument("batch.batch_tuples must be positive");
+  }
+  if (min_batch_tuples == 0) {
+    return Status::InvalidArgument(
+        "batch.min_batch_tuples must be positive");
+  }
+  if (min_batch_tuples > max_batch_tuples) {
+    return Status::InvalidArgument(
+        "batch.min_batch_tuples must not exceed batch.max_batch_tuples");
+  }
+  if (!(deadline_seconds > 0) || !std::isfinite(deadline_seconds)) {
+    return Status::InvalidArgument(
+        "batch.deadline_seconds must be finite and > 0 (a non-positive "
+        "deadline would leave partial batches open forever)");
+  }
+  return Status();
+}
+
 MicroBatcher::MicroBatcher(const BatchPolicy& policy)
     : policy_(policy),
-      batch_tuples_(std::clamp(policy.batch_tuples, policy.min_batch_tuples,
-                               policy.max_batch_tuples)) {}
+      // Not std::clamp: clamp is UB when min > max, and the batcher must
+      // stay well-defined even for configs the caller forgot to
+      // Validate(). min wins on an inverted band.
+      batch_tuples_(std::max(policy.min_batch_tuples,
+                             std::min(policy.batch_tuples,
+                                      policy.max_batch_tuples))) {}
 
 void MicroBatcher::ObserveBacklog(uint64_t backlog_tuples) {
   if (!policy_.adaptive) return;
+  // The shrink threshold floors at one tuple: with batch_tuples_ < 4 the
+  // integer division yields 0 and `backlog < 0` can never fire, pinning
+  // tiny batches at their inflated size forever.
+  const uint64_t shrink_below = std::max<uint64_t>(1, batch_tuples_ / 4);
   if (backlog_tuples > 2 * batch_tuples_ &&
       batch_tuples_ < policy_.max_batch_tuples) {
     batch_tuples_ = std::min(batch_tuples_ * 2, policy_.max_batch_tuples);
     ++grows_;
-  } else if (backlog_tuples < batch_tuples_ / 4 &&
+  } else if (backlog_tuples < shrink_below &&
              batch_tuples_ > policy_.min_batch_tuples) {
     batch_tuples_ = std::max(batch_tuples_ / 2, policy_.min_batch_tuples);
     ++shrinks_;

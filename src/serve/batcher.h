@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace gpujoin::serve {
 
 // When a micro-batch closes and hands its requests to the windowed join:
@@ -19,6 +21,14 @@ struct BatchPolicy {
   bool adaptive = true;
   uint64_t min_batch_tuples = uint64_t{1} << 19;  // 4 MiB
   uint64_t max_batch_tuples = (uint64_t{52} << 20) / 8;  // 52 MiB
+
+  // InvalidArgument naming the offending field when a knob is malformed:
+  // an inverted [min, max] band, a zero size, or a non-positive /
+  // non-finite deadline (which would silently disable the deadline
+  // trigger and let partial batches wait forever). Called by
+  // serve::RequestServer before the batcher is built; same idiom as
+  // RetryPolicy::Validate and sim::DeviceFaultConfig::Validate.
+  Status Validate() const;
 };
 
 // The batching policy, kept separate from the event loop so the

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "serve/cache.h"
 #include "serve/ingest.h"
 #include "util/rng.h"
 
@@ -26,7 +27,14 @@ class LocalBackend final : public WindowBackend {
 
   Result<double> ServiceSlice(uint64_t begin, uint64_t count,
                               uint64_t ordinal) override {
-    Result<core::WindowRun> run = joiner_.RunWindow(begin, count, ordinal);
+    return ServiceSliceCollect(begin, count, ordinal, nullptr);
+  }
+
+  Result<double> ServiceSliceCollect(
+      uint64_t begin, uint64_t count, uint64_t ordinal,
+      std::vector<core::JoinMatch>* collect) override {
+    Result<core::WindowRun> run =
+        joiner_.RunWindow(begin, count, ordinal, collect);
     if (!run.ok()) return run.status();
     return run->seconds();
   }
@@ -38,6 +46,29 @@ class LocalBackend final : public WindowBackend {
 
 }  // namespace
 
+Status RetryPolicy::Validate() const {
+  if (deadline_seconds < 0 || !std::isfinite(deadline_seconds)) {
+    return Status::InvalidArgument(
+        "retry.deadline_seconds must be finite and >= 0");
+  }
+  if (retry_cap < 0 || retry_cap > 32) {
+    return Status::InvalidArgument("retry.retry_cap must be in [0, 32]");
+  }
+  if (retry_cap > 0 && !(backoff_base > 0)) {
+    return Status::InvalidArgument(
+        "retry.backoff_base must be > 0 when retries are enabled");
+  }
+  if (backoff_jitter < 0 || backoff_jitter > 1) {
+    return Status::InvalidArgument(
+        "retry.backoff_jitter must be in [0, 1]");
+  }
+  if (hedge_after < 0 || !std::isfinite(hedge_after)) {
+    return Status::InvalidArgument(
+        "retry.hedge_after must be finite and >= 0");
+  }
+  return Status();
+}
+
 Result<ServeReport> RequestServer::Run() {
   if (serve_config_.requests == 0) {
     return Status::InvalidArgument("serving run needs at least one request");
@@ -45,34 +76,11 @@ Result<ServeReport> RequestServer::Run() {
   if (serve_config_.tuples_per_request == 0) {
     return Status::InvalidArgument("tuples_per_request must be positive");
   }
-  if (!(serve_config_.arrival.rate > 0)) {
-    return Status::InvalidArgument("arrival rate must be positive");
-  }
-  if (serve_config_.arrival.model == ArrivalModel::kOnOff &&
-      !(serve_config_.arrival.burst_factor > 1)) {
-    return Status::InvalidArgument(
-        "on/off arrivals need burst_factor > 1 (otherwise use poisson)");
-  }
+  if (Status st = serve_config_.arrival.Validate(); !st.ok()) return st;
+  if (Status st = serve_config_.batch.Validate(); !st.ok()) return st;
+  if (Status st = serve_config_.tenants.Validate(); !st.ok()) return st;
   const RetryPolicy& retry = serve_config_.retry;
-  if (retry.deadline_seconds < 0 || !std::isfinite(retry.deadline_seconds)) {
-    return Status::InvalidArgument(
-        "retry.deadline_seconds must be finite and >= 0");
-  }
-  if (retry.retry_cap < 0 || retry.retry_cap > 32) {
-    return Status::InvalidArgument("retry.retry_cap must be in [0, 32]");
-  }
-  if (retry.retry_cap > 0 && !(retry.backoff_base > 0)) {
-    return Status::InvalidArgument(
-        "retry.backoff_base must be > 0 when retries are enabled");
-  }
-  if (retry.backoff_jitter < 0 || retry.backoff_jitter > 1) {
-    return Status::InvalidArgument(
-        "retry.backoff_jitter must be in [0, 1]");
-  }
-  if (retry.hedge_after < 0 || !std::isfinite(retry.hedge_after)) {
-    return Status::InvalidArgument(
-        "retry.hedge_after must be finite and >= 0");
-  }
+  if (Status st = retry.Validate(); !st.ok()) return st;
 
   const uint64_t tpr = serve_config_.tuples_per_request;
 
@@ -87,6 +95,16 @@ Result<ServeReport> RequestServer::Run() {
     backend = local.get();
   }
   const uint64_t sample = backend->sample_size();
+
+  if (serve_config_.tenants.enabled()) return RunTenants(*backend);
+  if (cache_ != nullptr) {
+    return Status::InvalidArgument(
+        "result cache requires tenant mode (tenants.num_tenants > 0)");
+  }
+  if (serve_config_.collect_matches) {
+    return Status::InvalidArgument(
+        "collect_matches requires tenant mode (tenants.num_tenants > 0)");
+  }
 
   ArrivalGenerator gen(serve_config_.arrival);
   MicroBatcher batcher(serve_config_.batch);
@@ -304,6 +322,242 @@ Result<ServeReport> RequestServer::Run() {
         static_cast<double>(report.counters.tuples_served) /
         report.sim_seconds;
   }
+  return report;
+}
+
+Result<ServeReport> RequestServer::RunTenants(WindowBackend& backend) {
+  const TenantConfig& tenants = serve_config_.tenants;
+  const uint64_t tpr = serve_config_.tuples_per_request;
+  const uint64_t sample = backend.sample_size();
+
+  // Tenant mode composes with admission control and adaptive batching but
+  // not (yet) with the retry/hedge machinery or online ingest; reject the
+  // combinations instead of silently ignoring the knobs.
+  if (serve_config_.retry.enabled()) {
+    return Status::InvalidArgument(
+        "tenant mode does not compose with retry.deadline_seconds / "
+        "retry.retry_cap / retry.hedge_after yet");
+  }
+  if (ingest_ != nullptr && ingest_->active()) {
+    return Status::InvalidArgument(
+        "tenant mode does not compose with an active ingest coordinator");
+  }
+  if (tenants.key_universe > 0 && tenants.key_universe * tpr > sample) {
+    return Status::InvalidArgument(
+        "tenants.key_universe * tuples_per_request must not exceed the "
+        "probe sample size");
+  }
+  if (cache_ != nullptr && tenants.key_universe == 0) {
+    return Status::InvalidArgument(
+        "result cache requires keyed requests (tenants.key_universe > 0)");
+  }
+
+  Result<std::unique_ptr<TenantRouter>> router_or =
+      TenantRouter::Create(tenants, tpr);
+  if (!router_or.ok()) return router_or.status();
+  TenantRouter& router = **router_or;
+
+  // The rogue flood rides on top of the configured arrival rate: the
+  // generator runs (1 + rogue_extra)x faster and the router's attribution
+  // coin assigns the surplus to the rogue tenant, so the well-behaved
+  // tenants' offered load matches the rogue-free run.
+  ArrivalConfig arrival = serve_config_.arrival;
+  arrival.rate *= 1.0 + tenants.rogue_extra;
+  ArrivalGenerator gen(arrival);
+  MicroBatcher batcher(serve_config_.batch);
+
+  ServeReport report;
+  report.offered_rate = serve_config_.arrival.rate;
+
+  struct Request {
+    double arrival = 0;
+    TenantRouter::Draw draw;
+    bool served = false;
+  };
+  std::vector<Request> requests;
+  // Queued request ids in arrival order; served entries are skipped
+  // lazily, so the front yields the oldest queued arrival for the
+  // deadline trigger.
+  std::deque<uint64_t> queued_order;
+  auto oldest_queued = [&]() -> const Request* {
+    while (!queued_order.empty() &&
+           requests[queued_order.front()].served) {
+      queued_order.pop_front();
+    }
+    return queued_order.empty() ? nullptr : &requests[queued_order.front()];
+  };
+
+  std::deque<std::pair<double, uint64_t>> in_flight;
+  uint64_t in_flight_tuples = 0;
+  double server_free = 0;
+  uint64_t cursor = 0;   // cyclic cursor, used when key_universe == 0
+  uint64_t ordinal = 0;
+  std::vector<uint64_t> batch_ids;
+  std::vector<core::JoinMatch> scratch;
+
+  auto advance = [&](double now) {
+    while (!in_flight.empty() && in_flight.front().first <= now) {
+      in_flight_tuples -= in_flight.front().second;
+      in_flight.pop_front();
+    }
+  };
+
+  // Services one request's probe slice, memoizing through the cache when
+  // attached. Adds the simulated time to *service.
+  auto serve_request = [&](const Request& req, double* service) -> Status {
+    std::vector<core::JoinMatch>* out =
+        serve_config_.collect_matches ? &report.matches : nullptr;
+    if (tenants.key_universe == 0) {
+      // Legacy cyclic slicing: the request's tuples come from wherever
+      // the cursor points, wrapping at the sample boundary.
+      uint64_t remaining = tpr;
+      while (remaining > 0) {
+        const uint64_t take = std::min(remaining, sample - cursor);
+        Result<double> slice =
+            backend.ServiceSliceCollect(cursor, take, ordinal++, out);
+        if (!slice.ok()) return slice.status();
+        *service += *slice;
+        cursor += take;
+        if (cursor == sample) cursor = 0;
+        remaining -= take;
+      }
+      return Status();
+    }
+    const uint64_t begin = req.draw.key * tpr;
+    if (cache_ != nullptr && cache_->Lookup(req.draw.key, out, service)) {
+      return Status();
+    }
+    if (cache_ != nullptr) {
+      scratch.clear();
+      Result<double> slice =
+          backend.ServiceSliceCollect(begin, tpr, ordinal++, &scratch);
+      if (!slice.ok()) return slice.status();
+      *service += *slice;
+      if (out != nullptr) {
+        out->insert(out->end(), scratch.begin(), scratch.end());
+      }
+      cache_->Insert(req.draw.key, scratch, service);
+      return Status();
+    }
+    Result<double> slice =
+        backend.ServiceSliceCollect(begin, tpr, ordinal++, out);
+    if (!slice.ok()) return slice.status();
+    *service += *slice;
+    return Status();
+  };
+
+  // Closes one batch at `close_t`: the scheduler picks up to the current
+  // adaptive batch size from the queues (FIFO or deficit-weighted fair),
+  // the batch is serviced request by request, and each request's sojourn
+  // lands in its tier's histogram.
+  auto close_batch = [&](double close_t, bool by_deadline) -> Status {
+    batch_ids.clear();
+    router.PopBatch(batcher.batch_tuples(), &batch_ids);
+    if (batch_ids.empty()) return Status();
+    const double start = std::max(close_t, server_free);
+
+    double service = 0;
+    for (uint64_t id : batch_ids) {
+      requests[id].served = true;
+      if (Status st = serve_request(requests[id], &service); !st.ok()) {
+        return st;
+      }
+    }
+
+    const double end = start + service;
+    server_free = end;
+    const uint64_t n_tuples = batch_ids.size() * tpr;
+    for (uint64_t id : batch_ids) {
+      const Request& req = requests[id];
+      report.latency.Record(end - req.arrival);
+      report.queue_seconds_total += start - req.arrival;
+      router.CountServed(req.draw, end - req.arrival);
+    }
+    report.service_seconds_total +=
+        service * static_cast<double>(batch_ids.size());
+    in_flight.emplace_back(end, n_tuples);
+    in_flight_tuples += n_tuples;
+
+    ++report.counters.batches;
+    report.counters.tuples_served += n_tuples;
+    if (by_deadline) {
+      ++report.counters.deadline_batches;
+    } else {
+      ++report.counters.size_batches;
+    }
+    report.sim_seconds = std::max(report.sim_seconds, end);
+
+    batcher.ObserveBacklog(router.queued_requests() * tpr +
+                           in_flight_tuples);
+    return Status();
+  };
+
+  for (uint64_t i = 0; i < serve_config_.requests; ++i) {
+    const double t = gen.Next();
+
+    // Deadlines that expire before this arrival close their batch first.
+    for (const Request* oldest = oldest_queued(); oldest != nullptr;
+         oldest = oldest_queued()) {
+      const double deadline = batcher.DeadlineFor(oldest->arrival);
+      if (deadline >= t) break;
+      advance(deadline);
+      if (Status st = close_batch(deadline, /*by_deadline=*/true);
+          !st.ok()) {
+        return st;
+      }
+    }
+    advance(t);
+
+    TenantRouter::Draw draw = router.NextArrival();
+    router.CountArrival(draw);
+    if (!router.Admit(draw, t, tpr)) {
+      ++report.counters.requests_shed;
+      continue;
+    }
+    if (serve_config_.max_backlog_tuples > 0 &&
+        router.queued_requests() * tpr + in_flight_tuples + tpr >
+            serve_config_.max_backlog_tuples) {
+      ++report.counters.requests_shed;
+      router.CountBacklogShed(draw);
+      continue;
+    }
+    ++report.counters.requests_admitted;
+    const uint64_t id = requests.size();
+    requests.push_back(Request{t, draw, false});
+    queued_order.push_back(id);
+    router.Enqueue(draw, id);
+
+    if (batcher.SizeTriggered(router.queued_requests() * tpr)) {
+      if (Status st = close_batch(t, /*by_deadline=*/false); !st.ok()) {
+        return st;
+      }
+    }
+  }
+
+  // Drain: remaining queued requests go out on their deadlines, in
+  // scheduling order, one bounded batch at a time.
+  for (const Request* oldest = oldest_queued(); oldest != nullptr;
+       oldest = oldest_queued()) {
+    const double deadline = batcher.DeadlineFor(oldest->arrival);
+    advance(deadline);
+    if (Status st = close_batch(deadline, /*by_deadline=*/true); !st.ok()) {
+      return st;
+    }
+  }
+
+  report.counters.window_grows = batcher.grows();
+  report.counters.window_shrinks = batcher.shrinks();
+  report.final_batch_tuples = batcher.batch_tuples();
+  if (report.sim_seconds > 0) {
+    report.achieved_requests_per_sec =
+        static_cast<double>(report.counters.requests_admitted) /
+        report.sim_seconds;
+    report.achieved_tuples_per_sec =
+        static_cast<double>(report.counters.tuples_served) /
+        report.sim_seconds;
+  }
+  router.FillStats(&report.tenants);
+  if (cache_ != nullptr) report.tenants.cache = cache_->FinalStats();
   return report;
 }
 

@@ -2,13 +2,17 @@
 #define GPUJOIN_SERVE_SERVER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/inlj.h"
+#include "core/match.h"
 #include "core/window_join.h"
 #include "obs/histogram.h"
 #include "obs/robustness.h"
+#include "obs/tenant.h"
 #include "serve/arrival.h"
 #include "serve/batcher.h"
+#include "serve/tenant.h"
 #include "sim/gpu.h"
 #include "util/status.h"
 #include "workload/relation.h"
@@ -16,6 +20,7 @@
 namespace gpujoin::serve {
 
 class IngestCoordinator;
+class ResultCache;
 
 // What the server needs from an execution engine: service one
 // contiguous slice of the probe sample and report its simulated service
@@ -41,6 +46,22 @@ class WindowBackend {
   // safe plan instead of the routed one.
   virtual Result<double> ServiceHedge(uint64_t begin, uint64_t count,
                                       uint64_t ordinal) {
+    return ServiceSlice(begin, count, ordinal);
+  }
+
+  // ServiceSlice that additionally appends the slice's join matches to
+  // *collect (the hook the hot-key result cache installs memoized results
+  // through). A null `collect` is exactly ServiceSlice. Backends without
+  // match materialization keep the default, which refuses non-null
+  // collection with Unimplemented instead of silently returning an empty
+  // match set.
+  virtual Result<double> ServiceSliceCollect(
+      uint64_t begin, uint64_t count, uint64_t ordinal,
+      std::vector<core::JoinMatch>* collect) {
+    if (collect != nullptr) {
+      return Status::Unimplemented(
+          "backend does not support match collection");
+    }
     return ServiceSlice(begin, count, ordinal);
   }
 };
@@ -75,6 +96,10 @@ struct RetryPolicy {
   bool enabled() const {
     return deadline_seconds > 0 || retry_cap > 0 || hedge_after > 0;
   }
+
+  // InvalidArgument naming the offending field (negative or non-finite
+  // deadline/hedge trigger, retry cap outside [0, 32], bad backoff).
+  Status Validate() const;
 };
 
 struct ServeConfig {
@@ -88,6 +113,15 @@ struct ServeConfig {
   // backlog (pending + in-flight tuples) past this. 0 disables shedding.
   uint64_t max_backlog_tuples = (uint64_t{256} << 20) / 8;  // 256 MiB
   RetryPolicy retry;
+  // Multi-tenant mode (default off: num_tenants == 0 keeps the original
+  // single-tenant event loop and its bit-identical output). See
+  // serve/tenant.h.
+  TenantConfig tenants;
+  // Collects every served request's join matches into
+  // ServeReport::matches (tenant mode only; needs a backend that
+  // implements ServiceSliceCollect). The regression hook behind the
+  // cache-on/off match-identity check — leave off for large runs.
+  bool collect_matches = false;
 };
 
 // Event counts in the style of core::RecoveryPolicy's degradation
@@ -122,6 +156,13 @@ struct ServeReport {
   // RetryPolicy; retry_histogram[k] = batch slices that needed exactly
   // k backoff retries).
   obs::RobustnessStats robustness;
+  // Tenant-mode accounting: per-tier admission/latency plus the result
+  // cache's hit/eviction counters. Empty (any() == false) outside tenant
+  // mode.
+  obs::TenantStats tenants;
+  // Every served request's join matches, in service order, when
+  // ServeConfig::collect_matches is set (empty otherwise).
+  std::vector<core::JoinMatch> matches;
 };
 
 // Streams simulated request arrivals into the windowed INLJ: an open-loop
@@ -163,11 +204,25 @@ class RequestServer {
     return *this;
   }
 
+  // Attaches the hot-key result cache (tenant mode with keyed requests
+  // only; Run() rejects a cache without tenants.key_universe > 0). Not
+  // owned; must outlive Run(). Null detaches.
+  RequestServer& AttachCache(ResultCache* cache) {
+    cache_ = cache;
+    return *this;
+  }
+
   Result<ServeReport> Run();
 
  private:
+  // The multi-tenant event loop: token-bucket admission, per-tenant
+  // queues drained FIFO or deficit-weighted-fair, keyed per-request
+  // service with optional memoization.
+  Result<ServeReport> RunTenants(WindowBackend& backend);
+
   WindowBackend* backend_ = nullptr;  // null: build a local WindowJoiner
   IngestCoordinator* ingest_ = nullptr;
+  ResultCache* cache_ = nullptr;
   sim::Gpu* gpu_ = nullptr;
   const index::Index* index_ = nullptr;
   const workload::ProbeRelation* s_ = nullptr;

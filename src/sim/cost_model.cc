@@ -74,4 +74,26 @@ double CostModel::HostLookupSeconds(uint64_t lookups,
   return Seconds(c);
 }
 
+double CostModel::CacheServeSeconds(uint64_t result_bytes,
+                                    uint32_t probe_depth_lines) const {
+  CounterSet c;
+  c.host_seq_read_bytes = result_bytes;
+  const uint64_t lines = probe_depth_lines;
+  c.host_random_read_bytes = lines * platform_.gpu.cacheline_bytes;
+  c.memory_transactions = lines;
+  c.serial_dependent_loads = lines;
+  return Seconds(c);
+}
+
+double CostModel::CacheInstallSeconds(uint64_t result_bytes,
+                                      uint32_t probe_depth_lines) const {
+  CounterSet c;
+  c.host_write_bytes = result_bytes;
+  const uint64_t lines = probe_depth_lines;
+  c.host_random_read_bytes = lines * platform_.gpu.cacheline_bytes;
+  c.memory_transactions = lines;
+  c.serial_dependent_loads = lines;
+  return Seconds(c);
+}
+
 }  // namespace gpujoin::sim

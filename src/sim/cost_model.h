@@ -56,6 +56,20 @@ class CostModel {
   // dependent-load latency floor for small batches.
   double HostLookupSeconds(uint64_t lookups, uint32_t depth_lines) const;
 
+  // Charge for serving one request from the hot-key result cache
+  // (serve::ResultCache): one pointer-chasing directory probe of
+  // `probe_depth_lines` dependent lines plus streaming the memoized
+  // `result_bytes` out of host memory. This is what makes the hit-rate
+  // vs reserved-bytes tradeoff real — a hit is cheap but not free, so an
+  // over-large cache full of cold entries buys nothing.
+  double CacheServeSeconds(uint64_t result_bytes,
+                           uint32_t probe_depth_lines) const;
+
+  // Charge for installing a memoized result: the directory probe plus
+  // writing `result_bytes` back to the host-resident cache region.
+  double CacheInstallSeconds(uint64_t result_bytes,
+                             uint32_t probe_depth_lines) const;
+
   const PlatformSpec& platform() const { return platform_; }
 
  private:

@@ -2,14 +2,17 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "core/experiment.h"
 #include "mem/address_space.h"
 #include "obs/emitter.h"
+#include "obs/histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/phase_timeline.h"
+#include "obs/tenant.h"
 #include "sim/gpu.h"
 #include "sim/memory_model.h"
 #include "sim/phase.h"
@@ -289,6 +292,62 @@ TEST(RecordBuilder, DeterministicAcrossIdenticalInputs) {
 }
 
 // --- End-to-end through core::Experiment ------------------------------
+
+TEST(LogHistogram, QuantileTreatsNonFiniteAndOutOfRangeDeterministically) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);
+
+  // Out-of-range q clamps to the ends of the distribution.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.5), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.max());
+
+  // NaN would sail through std::clamp (all comparisons false) into a
+  // float->uint64 cast; it must resolve like q = 0 instead, as must the
+  // infinities.
+  EXPECT_DOUBLE_EQ(h.Quantile(std::nan("")), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(std::numeric_limits<double>::infinity()),
+                   h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(-std::numeric_limits<double>::infinity()),
+                   h.Quantile(0.0));
+
+  // Empty histograms stay at zero for any q, finite or not.
+  LogHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(std::nan("")), 0.0);
+}
+
+TEST(TenantStats, JsonSectionCoversTiersAndCache) {
+  TenantStats stats;
+  EXPECT_FALSE(stats.any());
+  stats.scheduler = "fair";
+  stats.tenants = 100;
+  stats.tenants_seen = 42;
+  stats.rogue_requests = 7;
+  TenantTierStats tier;
+  tier.tier = "gold";
+  tier.weight = 4;
+  tier.tenants = 50;
+  tier.requests = 10;
+  tier.admitted = 9;
+  tier.shed_rate_limit = 1;
+  tier.served = 9;
+  tier.latency.Record(1e-3);
+  stats.tiers.push_back(tier);
+  stats.cache.reserved_bytes = 1 << 20;
+  stats.cache.lookups = 10;
+  stats.cache.hits = 6;
+  stats.cache.misses = 4;
+  EXPECT_TRUE(stats.any());
+
+  const std::string json = TenantsJson(stats);
+  EXPECT_NE(json.find("\"scheduler\":\"fair\""), std::string::npos);
+  EXPECT_NE(json.find("\"tier\":\"gold\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed_rate_limit\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Deterministic byte-for-byte across calls.
+  EXPECT_EQ(json, TenantsJson(stats));
+}
 
 TEST(Observability, ExperimentProducesPhaseSpans) {
   core::ExperimentConfig cfg;

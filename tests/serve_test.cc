@@ -99,6 +99,107 @@ TEST(MicroBatcher, AdaptsWithinTheSweetSpotBand) {
   EXPECT_EQ(fixed.batch_tuples(), BatchPolicy{}.batch_tuples);
 }
 
+TEST(BatchPolicy, ValidateNamesTheOffendingField) {
+  const struct {
+    void (*set)(BatchPolicy&);
+    const char* names;
+  } cases[] = {
+      {[](BatchPolicy& p) { p.batch_tuples = 0; }, "batch_tuples"},
+      {[](BatchPolicy& p) { p.min_batch_tuples = 0; }, "min_batch_tuples"},
+      // The inverted band that would make std::clamp UB in the batcher.
+      {[](BatchPolicy& p) {
+         p.min_batch_tuples = 1024;
+         p.max_batch_tuples = 512;
+       },
+       "min_batch_tuples"},
+      // A zero deadline silently disables the deadline trigger and
+      // leaves partial batches open forever.
+      {[](BatchPolicy& p) { p.deadline_seconds = 0; }, "deadline_seconds"},
+      {[](BatchPolicy& p) { p.deadline_seconds = -1; }, "deadline_seconds"},
+      {[](BatchPolicy& p) { p.deadline_seconds = NAN; }, "deadline_seconds"},
+  };
+  for (const auto& c : cases) {
+    BatchPolicy p;
+    c.set(p);
+    Status st = p.Validate();
+    ASSERT_FALSE(st.ok()) << c.names;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << c.names;
+    EXPECT_NE(st.ToString().find(c.names), std::string::npos)
+        << st.ToString();
+  }
+  EXPECT_TRUE(BatchPolicy{}.Validate().ok());
+}
+
+TEST(MicroBatcher, InvertedBandIsWellDefinedAndMinWins) {
+  // Even without Validate(), the batcher must not hit std::clamp's UB on
+  // min > max: the starting size resolves to the min bound.
+  BatchPolicy p;
+  p.batch_tuples = 2048;
+  p.min_batch_tuples = 1024;
+  p.max_batch_tuples = 512;
+  MicroBatcher b(p);
+  EXPECT_EQ(b.batch_tuples(), 1024u);
+}
+
+TEST(MicroBatcher, TinyBatchesCanStillShrink) {
+  // Regression: with batch_tuples < 4 the shrink threshold batch/4
+  // truncated to 0 and `backlog < 0` could never fire, so a tiny batch
+  // that had grown was pinned at its inflated size forever.
+  BatchPolicy p;
+  p.batch_tuples = 3;
+  p.min_batch_tuples = 1;
+  p.max_batch_tuples = 1 << 10;
+  MicroBatcher b(p);
+  ASSERT_EQ(b.batch_tuples(), 3u);
+  b.ObserveBacklog(0);
+  EXPECT_EQ(b.shrinks(), 1u);
+  EXPECT_LT(b.batch_tuples(), 3u);
+  // An idle queue walks it all the way down to the floor.
+  for (int i = 0; i < 8; ++i) b.ObserveBacklog(0);
+  EXPECT_EQ(b.batch_tuples(), p.min_batch_tuples);
+}
+
+TEST(ArrivalConfig, ValidateNamesTheOffendingField) {
+  const struct {
+    void (*set)(ArrivalConfig&);
+    const char* names;
+  } cases[] = {
+      {[](ArrivalConfig& c) { c.rate = 0; }, "rate"},
+      {[](ArrivalConfig& c) { c.rate = -5; }, "rate"},
+      {[](ArrivalConfig& c) { c.rate = INFINITY; }, "rate"},
+      // "Must be > 1" was documented on burst_factor but never enforced.
+      {[](ArrivalConfig& c) {
+         c.model = ArrivalModel::kOnOff;
+         c.burst_factor = 1.0;
+       },
+       "burst_factor"},
+      {[](ArrivalConfig& c) {
+         c.model = ArrivalModel::kOnOff;
+         c.burst_factor = NAN;
+       },
+       "burst_factor"},
+      {[](ArrivalConfig& c) {
+         c.model = ArrivalModel::kOnOff;
+         c.mean_on_seconds = 0;
+       },
+       "mean_on_seconds"},
+  };
+  for (const auto& c : cases) {
+    ArrivalConfig cfg;
+    c.set(cfg);
+    Status st = cfg.Validate();
+    ASSERT_FALSE(st.ok()) << c.names;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << c.names;
+    EXPECT_NE(st.ToString().find(c.names), std::string::npos)
+        << st.ToString();
+  }
+  // A burst_factor of 1 on a *poisson* config is fine: the knob is
+  // meaningless there and must not reject valid configs.
+  ArrivalConfig poisson;
+  poisson.burst_factor = 1.0;
+  EXPECT_TRUE(poisson.Validate().ok());
+}
+
 core::ExperimentConfig ServeExperimentConfig() {
   core::ExperimentConfig cfg;
   cfg.r_tuples = uint64_t{1} << 22;
@@ -513,6 +614,35 @@ TEST(RetryPolicy, InvalidKnobsAreNamedInTheError) {
     EXPECT_NE(r.status().ToString().find(c.names), std::string::npos)
         << r.status().ToString();
   }
+}
+
+TEST(RequestServer, SurfacesBatchAndArrivalValidationErrors) {
+  FlakyBackend backend(1e-5, /*fail_first=*/0);
+
+  // The inverted batch band is rejected up front, not clamped silently.
+  ServeConfig bad_batch = RetryServeConfig();
+  bad_batch.batch.min_batch_tuples = 1 << 20;
+  bad_batch.batch.max_batch_tuples = 1 << 10;
+  auto r1 = RequestServer(backend, bad_batch).Run();
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r1.status().ToString().find("min_batch_tuples"),
+            std::string::npos);
+
+  ServeConfig bad_deadline = RetryServeConfig();
+  bad_deadline.batch.deadline_seconds = 0;
+  auto r2 = RequestServer(backend, bad_deadline).Run();
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().ToString().find("deadline_seconds"),
+            std::string::npos);
+
+  // The documented-but-unenforced burst_factor > 1 is now enforced.
+  ServeConfig bad_burst = RetryServeConfig();
+  bad_burst.arrival.model = ArrivalModel::kOnOff;
+  bad_burst.arrival.burst_factor = 0.5;
+  auto r3 = RequestServer(backend, bad_burst).Run();
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().ToString().find("burst_factor"), std::string::npos);
 }
 
 }  // namespace
