@@ -40,6 +40,8 @@ require_file results/BENCH_chaos.json \
 require_file results/BENCH_htap.json "regenerate with: scripts/bench_htap.sh"
 require_file results/BENCH_tenant.json \
   "regenerate with: scripts/bench_tenant.sh"
+require_file results/BENCH_cluster.json \
+  "regenerate with: scripts/bench_multinode.sh"
 
 run_config build-release -DCMAKE_BUILD_TYPE=Release -DGPUJOIN_SANITIZE=
 
@@ -124,6 +126,17 @@ build-release/bench/fig14_tenants --requests 2000 --verify-requests 500 \
   --threads 4 --json "$TENANT_TMP4" > /dev/null
 diff "$TENANT_TMP" "$TENANT_TMP4"
 
+# Multi-node smoke: the cluster sweep must complete with every
+# scenario's match set identical to its fault-free baseline, the 1-node
+# cell bit-identical to dist::ShardScheduler, and the 4-node uniform
+# speedup >= 1.5x (the bench exits nonzero on any violation), emitting
+# schema-valid nodes/network_links sections.
+CLUSTER_TMP="$(mktemp --suffix=.metrics.json)"
+trap 'rm -f "$METRICS_TMP" "$SERVE_TMP" "$DIST_TMP" "$PLAN_TMP" "$CHAOS_TMP" "$HTAP_TMP" "$TENANT_TMP" "$TENANT_TMP4" "$CLUSTER_TMP"' EXIT
+build-release/bench/fig15_multinode --s_sample $((1 << 16)) \
+  --json "$CLUSTER_TMP" > /dev/null
+python3 scripts/validate_metrics.py "$CLUSTER_TMP"
+
 for san in "${SANITIZERS[@]}"; do
   # RelWithDebInfo keeps the sanitizer runs fast enough for the full
   # test suite while preserving usable stack traces.
@@ -135,7 +148,7 @@ for san in "${SANITIZERS[@]}"; do
   # and HTAP ingest tests churn node recycling and merge/swap lifecycles,
   # the kind of use-after-free surface sanitizers exist for.
   ctest --test-dir "build-san-${san//,/}" --output-on-failure \
-    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|tenant_test|dist_test|plan_test|chaos_test|dynamic_btree_test|htap_test'
+    -R 'fault_test|partition_test|sweep_test|counters_test|obs_test|trace_test|serve_test|tenant_test|dist_test|plan_test|chaos_test|dynamic_btree_test|htap_test|cluster_test|topology_test'
 done
 
 echo "=== all configurations passed ==="

@@ -192,6 +192,65 @@ def check_links(errors, where, links):
             err(errors, w, f"utilization must be >= 0, got {util!r}")
 
 
+NODE_FIELDS = {
+    "node": int, "origin": bool, "alive": bool, "drained": bool,
+    "shards": int, "r_tuples": int, "tuples_routed": int,
+    "tuples_rerouted": int, "matches": int, "steal_events": int,
+    "busy_seconds": (int, float),
+}
+
+NETWORK_LINK_FIELDS = {
+    "name": str, "bytes": int, "utilization": (int, float),
+}
+
+
+def check_nodes(errors, where, nodes, params):
+    if not isinstance(nodes, list) or not nodes:
+        err(errors, where, "nodes must be a non-empty array")
+        return
+    seen_ids = set()
+    shard_total = 0
+    for i, node in enumerate(nodes):
+        w = f"{where} node[{i}]"
+        if not isinstance(node, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, node, NODE_FIELDS)
+        nid = node.get("node")
+        if isinstance(nid, int) and not isinstance(nid, bool):
+            if nid in seen_ids:
+                err(errors, w, f"duplicate node id {nid}")
+            seen_ids.add(nid)
+        shards = node.get("shards")
+        if isinstance(shards, int) and not isinstance(shards, bool):
+            if shards < 0:
+                err(errors, w, f"shards must be >= 0, got {shards!r}")
+            shard_total += max(shards, 0)
+        if "phases" in node and not isinstance(node["phases"], list):
+            err(errors, w, "phases must be an array")
+    total = params.get("total_shards") if isinstance(params, dict) else None
+    if isinstance(total, int) and not isinstance(total, bool) \
+            and shard_total != total:
+        err(errors, where, f"per-node shard counts sum to {shard_total}, "
+            f"but params.total_shards is {total}")
+
+
+def check_network_links(errors, where, links):
+    if not isinstance(links, list) or not links:
+        err(errors, where, "network_links must be a non-empty array")
+        return
+    for i, link in enumerate(links):
+        w = f"{where} network_link[{i}]"
+        if not isinstance(link, dict):
+            err(errors, w, "must be an object")
+            continue
+        check_typed(errors, w, link, NETWORK_LINK_FIELDS)
+        util = link.get("utilization")
+        if isinstance(util, (int, float)) and not isinstance(util, bool) \
+                and not 0 <= util <= 1:
+            err(errors, w, f"utilization must be in [0, 1], got {util!r}")
+
+
 PLANNER_FIELDS = {
     "mode": str, "decisions": int, "explorations": int,
     "residual_observations": int, "total_seconds": (int, float),
@@ -636,6 +695,18 @@ def check_record(errors, where, rec):
         check_shards(errors, where, rec["shards"])
     if "links" in rec:
         check_links(errors, where, rec["links"])
+
+    # Cluster-tier sections (bench/fig15_multinode): per-node and
+    # network-link breakdowns travel together.
+    for section in ("nodes", "network_links"):
+        if (section in rec) != ("nodes" in rec and "network_links" in rec):
+            err(errors, where,
+                "'nodes' and 'network_links' must appear together")
+            break
+    if "nodes" in rec:
+        check_nodes(errors, where, rec["nodes"], rec.get("params"))
+    if "network_links" in rec:
+        check_network_links(errors, where, rec["network_links"])
 
     # Robustness section (bench/fig12_chaos, serve_latency with a
     # RetryPolicy): failover and retry activity.

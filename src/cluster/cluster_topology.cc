@@ -1,0 +1,125 @@
+#include "cluster/cluster_topology.h"
+
+namespace gpujoin::cluster {
+
+namespace {
+
+dist::Link MakeLink(std::string name, const sim::InterconnectSpec& spec,
+                    bool shared) {
+  dist::Link link;
+  link.name = std::move(name);
+  link.seq_bandwidth = spec.seq_bandwidth;
+  link.random_bandwidth = spec.random_bandwidth;
+  link.latency = spec.latency;
+  link.shared = shared;
+  return link;
+}
+
+}  // namespace
+
+const char* NetworkKindName(NetworkKind kind) {
+  switch (kind) {
+    case NetworkKind::kInfiniBand:
+      return "infiniband";
+    case NetworkKind::kEthernet:
+      return "ethernet";
+  }
+  return "unknown";
+}
+
+Result<NetworkKind> ParseNetworkKind(const std::string& name) {
+  if (name == "infiniband" || name == "ib") return NetworkKind::kInfiniBand;
+  if (name == "ethernet" || name == "eth") return NetworkKind::kEthernet;
+  return Status::InvalidArgument("unknown network kind '" + name +
+                                 "' (want infiniband | ethernet)");
+}
+
+Result<ClusterTopology> ClusterTopology::Create(NetworkKind network,
+                                                int num_nodes,
+                                                dist::TopologyKind node_fabric,
+                                                int gpus_per_node) {
+  switch (network) {
+    case NetworkKind::kInfiniBand:
+      return FromSpec(network, num_nodes, node_fabric, gpus_per_node,
+                      sim::InfiniBandHdr200(), /*shared_switch=*/false);
+    case NetworkKind::kEthernet:
+      return FromSpec(network, num_nodes, node_fabric, gpus_per_node,
+                      sim::Ethernet25G(), /*shared_switch=*/true);
+  }
+  return Status::InvalidArgument("unknown network kind");
+}
+
+Result<ClusterTopology> ClusterTopology::FromSpec(
+    NetworkKind network, int num_nodes, dist::TopologyKind node_fabric,
+    int gpus_per_node, const sim::InterconnectSpec& spec,
+    bool shared_switch) {
+  if (num_nodes < 1 || num_nodes > 64) {
+    return Status::InvalidArgument("num_nodes must be in [1, 64]");
+  }
+  ClusterTopology topo;
+  topo.network_ = network;
+  topo.spec_ = spec;
+  topo.fabric_kind_ = node_fabric;
+  topo.gpus_per_node_ = gpus_per_node;
+  topo.shared_switch_ = shared_switch;
+
+  const std::string prefix = NetworkKindName(network);
+  if (shared_switch) {
+    topo.backplane_link_ = 0;
+    topo.links_.push_back(
+        MakeLink(prefix + ".switch", spec, /*shared=*/true));
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    Result<int> added = topo.AddNode();
+    if (!added.ok()) return added.status();
+  }
+  return topo;
+}
+
+Result<int> ClusterTopology::AddNode() {
+  Result<dist::Topology> fabric =
+      dist::Topology::Create(fabric_kind_, gpus_per_node_);
+  if (!fabric.ok()) return fabric.status();
+  const int node = num_nodes_;
+  uplink_of_.push_back(static_cast<int>(links_.size()));
+  links_.push_back(MakeLink(
+      std::string(NetworkKindName(network_)) + ".node" + std::to_string(node),
+      spec_, /*shared=*/false));
+  fabrics_.push_back(*std::move(fabric));
+  ++num_nodes_;
+  return node;
+}
+
+double ClusterTopology::NodeSeconds(int from, int to, uint64_t bytes) const {
+  GPUJOIN_CHECK(from >= 0 && from < num_nodes_)
+      << "NodeSeconds: from must be in [0, " << num_nodes_ << "), got "
+      << from;
+  GPUJOIN_CHECK(to >= 0 && to < num_nodes_)
+      << "NodeSeconds: to must be in [0, " << num_nodes_ << "), got " << to;
+  if (from == to || bytes == 0) return 0;
+  const double b = static_cast<double>(bytes);
+  const dist::Link& out = links_[static_cast<size_t>(uplink_of_[from])];
+  const dist::Link& in = links_[static_cast<size_t>(uplink_of_[to])];
+  double seconds =
+      b / out.seq_bandwidth + out.latency + b / in.seq_bandwidth + in.latency;
+  if (backplane_link_ >= 0) {
+    const dist::Link& bp = links_[static_cast<size_t>(backplane_link_)];
+    seconds += b / bp.seq_bandwidth + bp.latency;
+  }
+  return seconds;
+}
+
+std::vector<int> ClusterTopology::NodePathLinks(int from, int to) const {
+  GPUJOIN_CHECK(from >= 0 && from < num_nodes_)
+      << "NodePathLinks: from must be in [0, " << num_nodes_ << "), got "
+      << from;
+  GPUJOIN_CHECK(to >= 0 && to < num_nodes_)
+      << "NodePathLinks: to must be in [0, " << num_nodes_ << "), got " << to;
+  if (from == to) return {};
+  std::vector<int> path = {uplink_of_[from]};
+  if (backplane_link_ >= 0) path.push_back(backplane_link_);
+  path.push_back(uplink_of_[to]);
+  return path;
+}
+
+}  // namespace gpujoin::cluster

@@ -1,0 +1,119 @@
+#ifndef GPUJOIN_CLUSTER_CLUSTER_TOPOLOGY_H_
+#define GPUJOIN_CLUSTER_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/topology.h"
+#include "sim/specs.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace gpujoin::cluster {
+
+// The network tier above the per-node GPU fabrics. The paper's fast
+// interconnects live *inside* one machine; the moment the index
+// outgrows a node, probes and results cross a network whose bandwidth
+// and latency are one to three orders of magnitude worse than NVLink.
+// The cluster planner exists to respect that asymmetry, and this class
+// is where the asymmetry is priced.
+enum class NetworkKind {
+  // HDR InfiniBand through a non-blocking switch: every node has a
+  // dedicated ~23 GB/s uplink and node-to-node traffic takes the
+  // sender's uplink then the receiver's, with no shared bottleneck.
+  kInfiniBand,
+  // 25 GbE through an oversubscribed top-of-rack switch: per-node
+  // uplinks feed one shared backplane segment that every transfer
+  // crosses — concurrent senders contend on it.
+  kEthernet,
+};
+
+const char* NetworkKindName(NetworkKind kind);
+Result<NetworkKind> ParseNetworkKind(const std::string& name);
+
+// Two-level interconnect topology: `num_nodes` machines, each with its
+// own dist::Topology GPU fabric (the in-node tier the ShardScheduler
+// prices), joined by a network tier of per-node uplinks (plus a shared
+// backplane for Ethernet). Network links are identified by index into
+// links() so the scheduler can account bytes and contention per link,
+// exactly as dist::Topology does for the in-node fabric.
+class ClusterTopology {
+ public:
+  static Result<ClusterTopology> Create(NetworkKind network, int num_nodes,
+                                        dist::TopologyKind node_fabric,
+                                        int gpus_per_node);
+  // As Create, but with an explicit network spec and sharing mode
+  // (tests; `shared_switch` inserts the contended backplane segment).
+  static Result<ClusterTopology> FromSpec(NetworkKind network, int num_nodes,
+                                          dist::TopologyKind node_fabric,
+                                          int gpus_per_node,
+                                          const sim::InterconnectSpec& spec,
+                                          bool shared_switch);
+
+  NetworkKind network() const { return network_; }
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  dist::TopologyKind node_fabric_kind() const { return fabric_kind_; }
+  // Network-tier links only (the in-node links live in the fabrics).
+  const std::vector<dist::Link>& links() const { return links_; }
+
+  // The GPU fabric inside `node`. Out-of-range node ids are programming
+  // errors on the scheduler side, so these accessors CHECK with the
+  // offending value named (dist::Topology::host_link convention).
+  const dist::Topology& node_fabric(int node) const {
+    GPUJOIN_CHECK(node >= 0 && node < num_nodes_)
+        << "node_fabric: node must be in [0, " << num_nodes_ << "), got "
+        << node;
+    return fabrics_[static_cast<size_t>(node)];
+  }
+
+  // The node's uplink into the switch, as an index into links().
+  int uplink(int node) const {
+    GPUJOIN_CHECK(node >= 0 && node < num_nodes_)
+        << "uplink: node must be in [0, " << num_nodes_ << "), got " << node;
+    return uplink_of_[static_cast<size_t>(node)];
+  }
+
+  // Number of nodes contending on `link` when all of `active_nodes` are
+  // transferring at once (1 when the link is dedicated).
+  int Sharers(int link, int active_nodes) const {
+    GPUJOIN_CHECK(link >= 0 && link < static_cast<int>(links_.size()))
+        << "Sharers: link must be in [0, " << links_.size() << "), got "
+        << link;
+    return links_[static_cast<size_t>(link)].shared ? active_nodes : 1;
+  }
+
+  // Simulated seconds to stream `bytes` from node `from` to node `to`
+  // (probe handoffs, migrations, result merges). InfiniBand pays the
+  // sender's and receiver's uplinks; Ethernet additionally crosses the
+  // shared backplane segment.
+  double NodeSeconds(int from, int to, uint64_t bytes) const;
+
+  // Links charged by a node-to-node transfer, for utilization
+  // accounting.
+  std::vector<int> NodePathLinks(int from, int to) const;
+
+  // Elastic membership: attaches one more node (uplink + fabric) and
+  // returns its id. The scheduler calls this when an AddNode event
+  // fires; existing link ids stay valid.
+  Result<int> AddNode();
+
+ private:
+  ClusterTopology() = default;
+
+  NetworkKind network_ = NetworkKind::kInfiniBand;
+  sim::InterconnectSpec spec_;
+  dist::TopologyKind fabric_kind_ = dist::TopologyKind::kNvLink2;
+  int num_nodes_ = 0;
+  int gpus_per_node_ = 0;
+  bool shared_switch_ = false;
+  int backplane_link_ = -1;         // links() index, -1 when dedicated
+  std::vector<dist::Link> links_;
+  std::vector<int> uplink_of_;      // node -> links() index
+  std::vector<dist::Topology> fabrics_;
+};
+
+}  // namespace gpujoin::cluster
+
+#endif  // GPUJOIN_CLUSTER_CLUSTER_TOPOLOGY_H_

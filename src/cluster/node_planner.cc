@@ -1,0 +1,28 @@
+#include "cluster/node_planner.h"
+
+namespace gpujoin::cluster {
+
+Result<NodePlan> NodePlanner::Plan(const workload::KeyColumn& r,
+                                   int num_nodes) {
+  Result<dist::ShardPlan> base = dist::ShardPlanner::Plan(r, num_nodes);
+  if (!base.ok()) return base.status();
+
+  NodePlan plan;
+  plan.base = *std::move(base);
+
+  // Per-cell R positions, the same LowerBound construction the base
+  // planner uses for shard boundaries — at most 2^9 cells for 64 nodes,
+  // so the binary searches are negligible.
+  const uint64_t cells = plan.cells();
+  plan.cell_pos.resize(cells + 1);
+  plan.cell_pos[0] = 0;
+  plan.cell_pos[cells] = r.size();
+  for (uint64_t c = 1; c < cells; ++c) {
+    const workload::Key boundary = static_cast<workload::Key>(
+        plan.base.min_key + (c << static_cast<uint64_t>(plan.base.shift)));
+    plan.cell_pos[c] = r.LowerBound(boundary);
+  }
+  return plan;
+}
+
+}  // namespace gpujoin::cluster

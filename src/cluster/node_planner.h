@@ -1,0 +1,64 @@
+#ifndef GPUJOIN_CLUSTER_NODE_PLANNER_H_
+#define GPUJOIN_CLUSTER_NODE_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/shard_planner.h"
+#include "util/status.h"
+#include "workload/key_column.h"
+
+namespace gpujoin::cluster {
+
+// The top level of the two-level plan: R's key domain is cut by leading
+// radix bits into nodes exactly the way dist::ShardPlanner cuts it into
+// shards — the cluster reuses that geometry wholesale, one level up.
+// Every node then re-plans *its own slice* across its GPUs with the
+// same planner (dist::ShardScheduler with an R restriction), so a key's
+// home is found by two radix lookups: node by the leading bits, shard
+// by the node-local plan.
+//
+// On top of the base plan the node level keeps per-*cell* R positions:
+// cells are the granularity of elastic membership (a rebalance moves
+// whole cells, and only the cells whose charge actually changed).
+struct NodePlan {
+  dist::ShardPlan base;  // "shards" here are nodes
+  // Per cell, the first R position; cell_pos[cells()] == r.size().
+  // What migration byte accounting is computed from.
+  std::vector<uint64_t> cell_pos;
+
+  int num_nodes() const { return base.num_shards; }
+  uint64_t cells() const { return uint64_t{1} << base.cell_bits; }
+
+  // Cell of a probe key (monotone in the key, clamped to the domain).
+  uint64_t CellOf(workload::Key key) const {
+    uint64_t cell = static_cast<uint64_t>(key - base.min_key) >>
+                    static_cast<uint64_t>(base.shift);
+    const uint64_t n = cells();
+    return cell >= n ? n - 1 : cell;
+  }
+
+  // Node whose R slice holds the key under the *initial* plan (the
+  // origin node; elastic charge reassignment lives in the scheduler).
+  int OriginOf(workload::Key key) const { return base.OwnerOf(key); }
+
+  uint64_t node_r_begin(int node) const { return base.pos_begin[node]; }
+  uint64_t node_r_end(int node) const { return base.pos_begin[node + 1]; }
+  uint64_t node_r_tuples(int node) const {
+    return base.shard_r_tuples(node);
+  }
+  uint64_t cell_r_tuples(uint64_t cell) const {
+    return cell_pos[cell + 1] - cell_pos[cell];
+  }
+};
+
+class NodePlanner {
+ public:
+  // `num_nodes` in [1, 64] (dist::ShardPlanner's bound). Fails when R
+  // has fewer keys than nodes.
+  static Result<NodePlan> Plan(const workload::KeyColumn& r, int num_nodes);
+};
+
+}  // namespace gpujoin::cluster
+
+#endif  // GPUJOIN_CLUSTER_NODE_PLANNER_H_

@@ -102,7 +102,24 @@ Status ShardScheduler::Build() {
           : workload::SampleScheme::kThinned;
   s_ = workload::MakeProbeRelation(base_space_.get(), *base_r_, probe_config);
 
-  Result<ShardPlan> plan = ShardPlanner::Plan(*base_r_, dcfg_.num_shards);
+  // Cluster mode restricts the engine to rows [r_begin, r_end) of R: the
+  // planner and every shard slice view the restricted column, while the
+  // probe sample above stays the full one (identical on every node; the
+  // cluster router only feeds this engine rows whose keys fall in the
+  // slice). Positions are slice-relative throughout.
+  if (dcfg_.r_begin != 0 || dcfg_.r_end != 0) {
+    if (!(dcfg_.r_begin < dcfg_.r_end && dcfg_.r_end <= cfg_.r_tuples)) {
+      return Status::InvalidArgument(
+          "r restriction must satisfy r_begin < r_end <= r_tuples");
+    }
+    restricted_r_ = std::make_unique<ShardKeyColumn>(
+        base_space_.get(), *base_r_, dcfg_.r_begin,
+        dcfg_.r_end - dcfg_.r_begin);
+  }
+  const workload::KeyColumn& plan_r =
+      restricted_r_ != nullptr ? *restricted_r_ : *base_r_;
+
+  Result<ShardPlan> plan = ShardPlanner::Plan(plan_r, dcfg_.num_shards);
   if (!plan.ok()) return plan.status();
   plan_ = *std::move(plan);
 
@@ -145,7 +162,7 @@ Status ShardScheduler::Build() {
       shard->gpu->memory().SetFaultInjector(shard->fault.get());
     }
     shard->r = std::make_unique<ShardKeyColumn>(
-        &shard->space, *base_r_, plan_.pos_begin[i], plan_.shard_r_tuples(i));
+        &shard->space, plan_r, plan_.pos_begin[i], plan_.shard_r_tuples(i));
     shard->index = core::IndexFactory::Build(
         &shard->space, shard->r.get(), cfg_.index_type,
         {cfg_.btree, cfg_.harmonia, cfg_.radix_spline});
@@ -879,6 +896,120 @@ Result<ShardedRunResult> ShardScheduler::RunJoin(
     out.links.push_back(std::move(ls));
   }
   return out;
+}
+
+Status ShardScheduler::BeginBatchWindows() {
+  Status st = ResetShardsForRun();
+  if (!st.ok()) return st;
+  return CreateJoiners();
+}
+
+Result<ShardScheduler::RowBatchResult> ShardScheduler::ExecuteRowBatch(
+    const uint64_t* rows, uint64_t count, uint64_t ordinal,
+    std::vector<core::JoinMatch>* collect) {
+  if (count == 0) return RowBatchResult{};
+  const uint64_t sample = s_.sample_size();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (rows[i] >= sample) {
+      return Status::InvalidArgument(
+          "row set exceeds the probe sample (row " +
+          std::to_string(rows[i]) + " >= " + std::to_string(sample) + ")");
+    }
+  }
+  if (shards_[0]->joiner == nullptr) {
+    Status st = CreateJoiners();
+    if (!st.ok()) return st;
+  }
+
+  const int n = num_shards();
+  double stall = 0;
+  if (fault_timeline_ != nullptr) {
+    Result<double> s = CheckHealth(clock_);
+    if (!s.ok()) return s.status();
+    stall = *s;
+    clock_ += stall;
+  }
+
+  // Route the row set into the shards' probe buffers from the front:
+  // each batch window overwrites the last one's keys, and the per-call
+  // row map keeps local buffer indices mapping back to global rows.
+  // Capacity is the whole sample, so any row set fits.
+  const workload::Key* keys = s_.keys.data().data();
+  std::vector<uint64_t> cnt(n, 0);
+  if (n == 1) {
+    cnt[0] = count;
+  } else {
+    for (uint64_t i = 0; i < count; ++i) {
+      ++cnt[plan_.OwnerOf(keys[rows[i]])];
+    }
+  }
+  std::vector<SliceRef> slices(n);
+  std::vector<uint64_t> write_at(n, 0);
+  for (int i = 0; i < n; ++i) {
+    slices[i] = {0, cnt[i]};
+    shards_[i]->row_map.clear();
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t row = rows[i];
+    const int owner = n == 1 ? 0 : plan_.OwnerOf(keys[row]);
+    Shard& shard = *shards_[owner];
+    shard.s.keys[write_at[owner]++] = keys[row];
+    shard.row_map.push_back(row);
+  }
+  for (int i = 0; i < n; ++i) {
+    shards_[i]->cursor = cnt[i];
+    shards_[i]->out.tuples_routed += cnt[i];
+  }
+
+  RowBatchResult out;
+  std::vector<std::vector<Chunk>> chunks =
+      PlanChunks(slices, &out.steal_events);
+  RoutePlans(&chunks);
+
+  std::vector<std::vector<core::JoinMatch>> window_collect;
+  if (collect != nullptr) window_collect.resize(n);
+  std::vector<uint64_t> link_bytes(topo_.links().size(), 0);
+  std::vector<uint64_t> window_matches(n, 0);
+  Result<double> wall = ExecuteWindow(
+      chunks, ordinal, pool_.get(),
+      collect != nullptr ? &window_collect : nullptr, &link_bytes,
+      &window_matches);
+  if (!wall.ok()) return wall.status();
+  if (fault_timeline_ != nullptr) clock_ += *wall;
+
+  if (collect != nullptr) {
+    // Shard order, generation order within a shard — the same
+    // deterministic merge RunJoin uses, mapped to global rows.
+    for (int i = 0; i < n; ++i) {
+      const Shard& shard = *shards_[i];
+      for (const core::JoinMatch& m : window_collect[i]) {
+        collect->push_back(
+            {shard.row_map[m.probe_row], plan_.pos_begin[i] + m.position});
+      }
+    }
+  }
+  for (uint64_t m : window_matches) out.matches += m;
+  out.seconds = stall + *wall;
+  return out;
+}
+
+sim::CounterSet ShardScheduler::sample_counters() const {
+  sim::CounterSet sum;
+  for (const auto& shard : shards_) {
+    sum += shard->part_sum;
+    sum += shard->join_sum;
+  }
+  return sum;
+}
+
+std::vector<sim::PhaseSpan> ShardScheduler::ShardPhaseSpans(
+    int shard) const {
+  GPUJOIN_CHECK(shard >= 0 && shard < num_shards())
+      << "ShardPhaseSpans: shard must be in [0, " << num_shards()
+      << "), got " << shard;
+  const auto& timeline = shards_[static_cast<size_t>(shard)]->timeline;
+  if (timeline == nullptr) return {};
+  return timeline->Spans();
 }
 
 Result<double> ShardScheduler::ServiceSlice(uint64_t begin, uint64_t count,

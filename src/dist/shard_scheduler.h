@@ -92,6 +92,16 @@ struct ShardConfig {
   // candidate would re-run chunks on shared shard state; use the
   // single-device plan::PlannedBackend for oracle measurements.
   plan::PlannerConfig planner{.mode = plan::PlannerMode::kStatic};
+  // Cluster hook: restricts this engine to rows [r_begin, r_end) of the
+  // base R column (0, 0 = the full R; anything else must satisfy
+  // r_begin < r_end <= r_tuples). The shard planner then splits only
+  // the restricted slice across the shards, which is how a cluster
+  // node's GPUs all stay busy on probes drawn from the node's key
+  // range. Probes routed in must fall inside the slice's key range;
+  // match positions come back slice-relative (the cluster layer adds
+  // the node's R offset).
+  uint64_t r_begin = 0;
+  uint64_t r_end = 0;
 };
 
 // Per-shard outcome of a sharded run. Counters are extrapolated to the
@@ -175,6 +185,44 @@ class ShardScheduler final : public serve::WindowBackend {
   uint64_t sample_size() const override { return s_.sample_size(); }
   Result<double> ServiceSlice(uint64_t begin, uint64_t count,
                               uint64_t ordinal) override;
+
+  // ------------------------------------------------------------------
+  // Cluster hooks (src/cluster). The cluster tier drives one engine per
+  // node: it routes each global window's probe rows to their owning
+  // node by leading radix bits and hands the node engine an explicit
+  // row set to execute as one batch window. Nothing here is charged to
+  // the network — the cluster layer prices handoffs and merges through
+  // its own ClusterTopology on top of the returned node-local wall.
+
+  // Outcome of one ExecuteRowBatch window on this engine.
+  struct RowBatchResult {
+    double seconds = 0;       // node-local window wall (sample scale)
+    uint64_t matches = 0;     // sample-scale matches this window
+    uint64_t steal_events = 0;  // intra-node buckets rebalanced
+  };
+
+  // Prepares the engine for a sequence of ExecuteRowBatch windows:
+  // resets the run ledgers and (re)builds the joiners, exactly like the
+  // head of RunJoin. Call once per cluster batch run.
+  Status BeginBatchWindows();
+
+  // Executes `count` explicit global sample rows as one batch window:
+  // routes them to their owning shards, plans chunks (work stealing and
+  // device-fault failover active), executes on the worker pool, and
+  // appends every match to `collect` (optional) in shard order with
+  // *global* probe rows and positions. Joiners are created lazily so
+  // the serving path can call this without BeginBatchWindows.
+  Result<RowBatchResult> ExecuteRowBatch(
+      const uint64_t* rows, uint64_t count, uint64_t ordinal,
+      std::vector<core::JoinMatch>* collect);
+
+  // Sample-scale counter sum over all shards since the last reset —
+  // the cluster layer extrapolates these with its own window grid.
+  sim::CounterSet sample_counters() const;
+
+  // The shard's phase spans so far (empty without EnableObservability);
+  // the cluster layer splices them into its per-node timelines.
+  std::vector<sim::PhaseSpan> ShardPhaseSpans(int shard) const;
 
   // Attaches a PhaseTimeline to every shard's device (idempotent);
   // subsequent runs fill ShardStats::phase_spans.
@@ -384,6 +432,10 @@ class ShardScheduler final : public serve::WindowBackend {
   // by the router) and the probe sample the windows slice.
   std::unique_ptr<mem::AddressSpace> base_space_;
   std::unique_ptr<workload::KeyColumn> base_r_;
+  // Non-null iff dcfg_.{r_begin, r_end} restrict the engine to a slice
+  // of R (cluster mode); the shard planner and shard slices then view
+  // this column instead of base_r_.
+  std::unique_ptr<ShardKeyColumn> restricted_r_;
   workload::ProbeRelation s_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

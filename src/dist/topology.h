@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/specs.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace gpujoin::dist {
@@ -57,13 +58,23 @@ class Topology {
 
   // Link the device's host traffic (probe keys, index reads over the
   // interconnect) crosses. Shared topologies return the same id for
-  // every device.
-  int host_link(int device) const { return host_link_of_[device]; }
+  // every device. An out-of-range device id is a programming error on
+  // the scheduler side, not recoverable input, so it CHECKs (with the
+  // offending value named) instead of returning a Status.
+  int host_link(int device) const {
+    GPUJOIN_CHECK(device >= 0 && device < num_devices_)
+        << "host_link: device must be in [0, " << num_devices_
+        << "), got " << device;
+    return host_link_of_[static_cast<size_t>(device)];
+  }
 
   // Number of devices whose host traffic contends on `link` when all of
   // `active` are transferring at once (1 when the link is dedicated).
   int HostSharers(int link, int active_devices) const {
-    return links_[link].shared ? active_devices : 1;
+    GPUJOIN_CHECK(link >= 0 && link < static_cast<int>(links_.size()))
+        << "HostSharers: link must be in [0, " << links_.size()
+        << "), got " << link;
+    return links_[static_cast<size_t>(link)].shared ? active_devices : 1;
   }
 
   // Simulated seconds to stream `bytes` from device `from` to device

@@ -74,6 +74,36 @@ InterconnectSpec NvLinkC2C() {
   return ic;
 }
 
+InterconnectSpec InfiniBandHdr200() {
+  InterconnectSpec ic;
+  ic.name = "InfiniBand HDR 200";
+  // One HDR port: 200 Gb/s signalling, ~24 GB/s of goodput per
+  // direction after encoding/transport overhead — PCI-e-4.0-class
+  // bandwidth, but a microsecond-scale switch traversal on top.
+  ic.peak_bandwidth = 25 * kGB;
+  ic.seq_bandwidth = 23 * kGB;
+  // RDMA gathers amortize poorly across the switch (completion
+  // round-trips); well below the PCI-e gather rate.
+  ic.random_bandwidth = 8 * kGB;
+  ic.latency = 2e-6;
+  // No device-side address translation crosses the network: remote
+  // access is explicit (RDMA), so the ATS fields keep their defaults
+  // and the cluster tier never charges them.
+  return ic;
+}
+
+InterconnectSpec Ethernet25G() {
+  InterconnectSpec ic;
+  ic.name = "Ethernet 25G";
+  // 25 GbE through an oversubscribed top-of-rack switch: ~1/8 of the
+  // PCI-e 4.0 host link, and a 10 us store-and-forward traversal.
+  ic.peak_bandwidth = 3.125 * kGB;
+  ic.seq_bandwidth = 2.9 * kGB;
+  ic.random_bandwidth = 1 * kGB;
+  ic.latency = 1e-5;
+  return ic;
+}
+
 // ---------------------------------------------------------------------------
 // GPUs. `l1_size` is an aggregate proxy for the per-SM L1s visible to the
 // sequentialized warp executor (see sim/gpu.h); `warp_step_throughput` is a

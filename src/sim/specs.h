@@ -99,6 +99,14 @@ InterconnectSpec PciE5();
 InterconnectSpec InfinityFabric3();
 InterconnectSpec NvLinkC2C();
 
+// Network-tier interconnects (cluster scale-out, DESIGN.md §16): what a
+// node's uplink to the cluster switch delivers. Orders of magnitude
+// worse than the in-node fabrics above in latency, and (for Ethernet)
+// in bandwidth too — which is exactly the asymmetry the two-level
+// cluster planner exists to respect.
+InterconnectSpec InfiniBandHdr200();
+InterconnectSpec Ethernet25G();
+
 GpuSpec TeslaV100();
 GpuSpec A100();
 GpuSpec GH200Gpu();
